@@ -1,0 +1,21 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+All benches share one :class:`~repro.experiments.common.ExperimentContext`
+so each (benchmark, policy) run — and the one-off Random Forest training
+— happens once per session.  The trained forest is also cached on disk
+under ``.cache/`` and reused across sessions.
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return ExperimentContext(cache_dir=".cache")
+
+
+def run_once(benchmark, func, *args):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, rounds=1, iterations=1)

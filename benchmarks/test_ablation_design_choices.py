@@ -1,0 +1,49 @@
+"""Bench: ablations of the reproduction's design choices.
+
+Shape assertions: the whole-window reserve is load-bearing for
+performance on phase-structured benchmarks; CPU-phase hiding removes
+essentially all wall-clock overhead; neither mechanism costs aggregate
+performance when enabled.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablation_design import (
+    ablation_overhead_hiding,
+    ablation_search_order,
+    ablation_window_reserve,
+    design_ablation_summary,
+)
+
+
+def test_ablation_window_reserve(benchmark, ctx):
+    table = run_once(benchmark, ablation_window_reserve, ctx)
+    print()
+    print(table.format())
+    summary = design_ablation_summary(ctx)
+    print(f"summary: {summary}")
+    # The reserve must not cost performance, and must help somewhere.
+    assert summary["window_reserve_speedup_gain"] > 0.995
+    reserve_col = table.column("Speedup (reserve)")
+    plain_col = table.column("Speedup (per-kernel)")
+    assert any(r > p + 0.01 for r, p in zip(reserve_col, plain_col))
+
+
+def test_ablation_search_order(benchmark, ctx):
+    table = run_once(benchmark, ablation_search_order, ctx)
+    print()
+    print(table.format())
+    summary = design_ablation_summary(ctx)
+    assert summary["search_order_speedup_gain"] > 0.99
+    assert summary["search_order_energy_gain_pct"] > -2.0
+
+
+def test_ablation_overhead_hiding(benchmark, ctx):
+    table = run_once(benchmark, ablation_overhead_hiding, ctx)
+    print()
+    print(table.format())
+    worst = table.column("Perf overhead, worst case (%)")
+    hidden = table.column("Perf overhead, hidden (%)")
+    # 2 ms CPU phases swallow the per-decision optimizer time entirely.
+    assert all(h <= w + 1e-9 for h, w in zip(hidden, worst))
+    assert max(hidden) < 0.05

@@ -1,0 +1,23 @@
+"""Bench: Section VI-E ablation — adaptive vs full horizon.
+
+Shape assertion: once overheads are charged, the adaptive scheme must
+dominate the full-horizon scheme on performance while keeping
+comparable (or better) energy, concentrated on short-kernel apps.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablation_horizon import ablation, ablation_summary
+
+
+def test_ablation_full_horizon(benchmark, ctx):
+    table = run_once(benchmark, ablation, ctx)
+    print()
+    print(table.format())
+    summary = ablation_summary(ctx)
+    print(f"summary: {summary}")
+
+    assert summary["adaptive_speedup"] >= summary["full_speedup"] - 1e-6
+    # The energy gap stays small: the paper's full-horizon bonus is
+    # only ~2.6% before overheads and negative after.
+    assert summary["adaptive_energy_savings_pct"] > summary["full_energy_savings_pct"] - 4.0

@@ -1,0 +1,27 @@
+"""Bench: regenerate Figure 10 (GPU-rail energy savings).
+
+Shape assertions: lbm posts the largest MPC GPU savings (peak kernels);
+the mean MPC GPU savings is positive; the chip-wide savings split is
+CPU-dominated (the paper's 75%/25%).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig10_gpu_energy import fig10, fig10_summary
+
+
+def test_fig10_gpu_energy(benchmark, ctx):
+    table = run_once(benchmark, fig10, ctx)
+    print()
+    print(table.format())
+    summary = fig10_summary(ctx)
+    print(f"summary: {summary}")
+
+    mpc_by_name = dict(zip(table.column("Benchmark"),
+                           table.column("MPC GPU energy savings (%)")))
+    assert mpc_by_name["lbm"] == max(mpc_by_name.values())
+    assert summary["mpc_gpu_energy_savings_pct"] > 3.0
+    assert summary["cpu_share_of_savings_pct"] > 50.0
+    assert summary["cpu_share_of_savings_pct"] + summary[
+        "gpu_share_of_savings_pct"
+    ] == __import__("pytest").approx(100.0)

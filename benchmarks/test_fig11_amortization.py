@@ -1,0 +1,29 @@
+"""Bench: regenerate Figure 11 (amortization of initial profiling losses).
+
+Shape assertions: gains grow with re-executions; by ten re-executions
+most of the steady-state gain is recovered; a single re-execution is
+already non-negligible.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig11_amortization import fig11, fig11_summary
+
+
+def test_fig11_amortization(benchmark, ctx):
+    table = run_once(benchmark, fig11, ctx)
+    print()
+    print(table.format())
+    summary = fig11_summary(ctx)
+    print(f"summary: {summary}")
+
+    s1 = summary[1]["speedup"]
+    s10 = summary[10]["speedup"]
+    s100 = summary[100]["speedup"]
+    assert s1 <= s10 + 1e-9 <= s100 + 2e-9  # monotone improvement
+
+    e10 = summary[10]["energy_savings_pct"]
+    e100 = summary[100]["energy_savings_pct"]
+    # Most of the x100 gain is already there at x10 (paper: "most of
+    # the full gains are observed after only ten re-executions").
+    assert e10 > 0.7 * e100

@@ -1,0 +1,27 @@
+"""Bench: regenerate Figure 12 (idealized MPC vs Theoretically Optimal).
+
+Shape assertions: idealized MPC captures the large majority of TO's
+energy savings (paper: 92%) and stays close on performance; regular
+benchmarks are essentially tied.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig12_theoretical_limit import fig12, fig12_summary
+
+REGULAR = ("mandelbulbGPU", "NBody", "lbm")
+
+
+def test_fig12_theoretical_limit(benchmark, ctx):
+    table = run_once(benchmark, fig12, ctx)
+    print()
+    print(table.format())
+    summary = fig12_summary(ctx)
+    print(f"summary: {summary}")
+
+    assert summary["energy_capture_ratio"] > 0.80
+    assert summary["mpc_speedup"] > 0.90 * summary["to_speedup"]
+
+    for name in REGULAR:
+        row = table.row_for(name)
+        assert abs(row[2] - row[1]) < 5.0

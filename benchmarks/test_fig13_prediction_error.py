@@ -1,0 +1,29 @@
+"""Bench: regenerate Figure 13 (sensitivity to prediction accuracy).
+
+Shape assertions: results are only mildly sensitive to accuracy — the
+RF-driven MPC lands within a few points of the synthetic-error models,
+and the perfect model is best or tied on energy.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig13_prediction_error import fig13, fig13_summary
+
+
+def test_fig13_prediction_error(benchmark, ctx):
+    table = run_once(benchmark, fig13, ctx)
+    print()
+    print(table.format())
+    summary = fig13_summary(ctx)
+    print(f"summary: {summary}")
+
+    savings = {label: s["energy_savings_pct"] for label, s in summary.items()}
+    speeds = {label: s["speedup"] for label, s in summary.items()}
+
+    # Paper: "comparable energy savings with minor differences in
+    # performance" — all variants within a few points of each other.
+    assert max(savings.values()) - min(savings.values()) < 8.0
+    assert max(speeds.values()) - min(speeds.values()) < 0.10
+
+    # RF is in the same ballpark as the published-accuracy models.
+    assert abs(savings["RF"] - savings["Err_15%_10%"]) < 6.0

@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 14 (MPC energy/performance overheads).
+
+Shape assertions: sub-percent average overheads, with the short-kernel
+benchmarks (Spmv and the graph workloads) at the top end, and every
+benchmark's performance overhead well under the alpha bound.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig14_overheads import fig14, fig14_summary
+
+
+def test_fig14_overheads(benchmark, ctx):
+    table = run_once(benchmark, fig14, ctx)
+    print()
+    print(table.format())
+    summary = fig14_summary(ctx)
+    print(f"summary: {summary}")
+
+    # Paper: average 0.15% energy / 0.3% performance overhead, max ~1.2%.
+    assert summary["mean_energy_overhead_pct"] < 1.0
+    assert summary["mean_perf_overhead_pct"] < 1.5
+    assert summary["max_perf_overhead_pct"] < 5.0  # within alpha

@@ -1,0 +1,29 @@
+"""Bench: regenerate Figure 15 (average adaptive horizon length).
+
+Shape assertions: several benchmarks (the long-kernel regulars NBody,
+lbm, EigenValue among them) afford the full horizon, while others
+shrink theirs substantially to bound overhead — the generator is
+genuinely adaptive, not a constant.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig15_horizon import fig15, fig15_summary
+
+FULL_HORIZON_EXPECTED = ("NBody", "lbm", "EigenValue", "mandelbulbGPU")
+
+
+def test_fig15_horizon(benchmark, ctx):
+    table = run_once(benchmark, fig15, ctx)
+    print()
+    print(table.format())
+    summary = fig15_summary(ctx)
+
+    # The long-kernel regular benchmarks can afford the full horizon.
+    for name in FULL_HORIZON_EXPECTED:
+        assert summary[name] > 80.0, f"{name} should run near-full horizons"
+
+    # ... while others shrink substantially: the horizon is adaptive.
+    shrunk = [name for name, pct in summary.items() if pct < 75.0]
+    assert len(shrunk) >= 3, f"expected several shrunk horizons, got {shrunk}"
+    assert min(summary.values()) < 40.0

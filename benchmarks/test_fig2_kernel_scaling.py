@@ -1,0 +1,43 @@
+"""Bench: regenerate Figure 2 (kernel scaling classes).
+
+Shape assertions: compute scales ~4x with CUs and ignores NB; memory
+saturates from NB2; the peak kernel is fastest below 8 CUs; the
+unscalable kernel is nearly flat, with its energy optimum at the
+smallest configuration.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig2_scaling import fig2
+
+
+def _grid(table, kernel_label):
+    rows = [r for r in table.rows if r[0] == kernel_label]
+    return {row[1]: row[2:6] for row in rows}  # NB state -> speedups by CU
+
+
+def test_fig2_kernel_scaling(benchmark, ctx):
+    table = run_once(benchmark, fig2, ctx)
+    print()
+    print(table.format())
+
+    compute = _grid(table, "compute (MaxFlops)")
+    assert compute["NB0"][-1] > 3.5  # ~4x CU scaling
+    assert compute["NB0"] == compute["NB3"]  # NB-insensitive
+
+    memory = _grid(table, "memory (readGlobalMemoryCoalesced)")
+    assert memory["NB2"] == memory["NB0"]  # saturates from NB2
+    assert memory["NB0"][-1] > 2.0 * memory["NB3"][-1]  # NB3 hurts
+    assert memory["NB0"][-1] > 2.0  # CU scaling until the bus saturates
+
+    peak = _grid(table, "peak (writeCandidates)")
+    best_cu_index = max(range(4), key=lambda i: peak["NB0"][i])
+    assert best_cu_index < 3  # fastest below 8 CUs
+
+    unscalable = _grid(table, "unscalable (astar)")
+    assert max(unscalable["NB0"]) < 1.5  # flat
+
+    optimal = {row[0]: row[-1] for row in table.rows}
+    assert "2 CUs" in optimal["unscalable (astar)"]
+    assert "DPM0" in optimal["unscalable (astar)"]
+    assert "NB3" in optimal["compute (MaxFlops)"]

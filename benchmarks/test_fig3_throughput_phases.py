@@ -1,0 +1,27 @@
+"""Bench: regenerate Figure 3 (throughput phases of three benchmarks).
+
+Shape assertions: Spmv steps from high to low throughput, kmeans from
+low to high, and hybridsort bounces (non-monotone) across its kernels.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig3_throughput import fig3, throughput_series
+
+
+def test_fig3_throughput_phases(benchmark, ctx):
+    table = run_once(benchmark, fig3, ctx)
+    print()
+    print(table.format())
+
+    spmv = throughput_series(ctx, "Spmv")
+    assert spmv[0] > 1.0 > spmv[-1]  # high -> low
+    assert spmv[0] > 2.0 * spmv[-1]
+
+    kmeans = throughput_series(ctx, "kmeans")
+    assert kmeans[0] < 1.0 < kmeans[-1]  # low -> high
+
+    hybridsort = throughput_series(ctx, "hybridsort")
+    rises = sum(1 for a, b in zip(hybridsort, hybridsort[1:]) if b > a)
+    falls = sum(1 for a, b in zip(hybridsort, hybridsort[1:]) if b < a)
+    assert rises >= 3 and falls >= 3  # multiple phase transitions

@@ -1,0 +1,37 @@
+"""Bench: regenerate Figure 4 (PPK vs Theoretically Optimal limit study).
+
+Shape assertions: PPK matches TO on the regular benchmarks; TO never
+loses performance; PPK falls measurably behind TO on energy or
+performance for several irregular benchmarks.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig4_limit_study import fig4
+from repro.workloads.suites import benchmark as build_benchmark
+
+REGULAR = ("mandelbulbGPU", "NBody", "lbm")
+
+
+def test_fig4_limit_study(benchmark, ctx):
+    table = run_once(benchmark, fig4, ctx)
+    print()
+    print(table.format())
+
+    for name in REGULAR:
+        row = table.row_for(name)
+        ppk_e, to_e, ppk_s, to_s = row[1], row[2], row[3], row[4]
+        assert abs(to_e - ppk_e) < 6.0
+        assert abs(to_s - ppk_s) < 0.06
+
+    # TO holds the baseline performance everywhere.
+    assert all(s >= 0.995 for s in table.column("TO speedup"))
+
+    # PPK visibly trails TO on several irregular benchmarks.
+    trailing = [
+        row[0]
+        for row in table.rows
+        if row[0] not in REGULAR
+        and (row[2] - row[1] > 2.0 or row[4] - row[3] > 0.05)
+    ]
+    assert len(trailing) >= 4, f"PPK should trail TO; only {trailing}"

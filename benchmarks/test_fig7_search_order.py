@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 7 (search-order worked example)."""
+
+from conftest import run_once
+
+from repro.experiments.fig7_search_order import fig7
+
+
+def test_fig7_search_order(benchmark, ctx):
+    table = run_once(benchmark, fig7, ctx)
+    print()
+    print(table.format())
+    windows = dict(zip(table.column("Executing kernel"),
+                       table.column("Optimization window (search order)")))
+    # The paper's worked example, verbatim.
+    assert windows[1] == "(3, 2, 1)"
+    assert windows[2] == "(3, 2)"
+    assert windows[3] == "(3)"
+    assert windows[4] == "(6, 5, 4)"
+    assert windows[5] == "(6, 5)"
+    assert windows[6] == "(6)"

@@ -1,0 +1,32 @@
+"""Bench: regenerate Figure 8 (PPK and MPC vs Turbo Core, RF predictions).
+
+Shape assertions: substantial mean energy savings at a small mean
+performance loss for MPC; MPC ~ PPK on regular benchmarks; MPC's
+performance at least matches PPK's on the irregular ones in aggregate.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig8_mpc_vs_turbo import fig8, fig8_summary
+
+REGULAR = ("mandelbulbGPU", "NBody", "lbm")
+
+
+def test_fig8_mpc_vs_turbo(benchmark, ctx):
+    table = run_once(benchmark, fig8, ctx)
+    print()
+    print(table.format())
+    summary = fig8_summary(ctx)
+    print(f"summary: {summary}")
+
+    # Paper: 24.8% energy savings at 1.8% performance loss.
+    assert summary["mpc_energy_savings_pct"] > 15.0
+    assert summary["mpc_speedup"] > 0.93
+
+    for name in REGULAR:
+        row = table.row_for(name)
+        assert abs(row[2] - row[1]) < 8.0  # MPC ~ PPK energy on regulars
+        assert abs(row[4] - row[3]) < 0.08
+
+    # MPC is at least as fast as PPK in aggregate.
+    assert summary["mpc_speedup"] >= summary["ppk_speedup"] - 1e-6

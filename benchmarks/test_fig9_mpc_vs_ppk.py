@@ -1,0 +1,29 @@
+"""Bench: regenerate Figure 9 (MPC relative to PPK).
+
+Shape assertions: near-zero deltas on regular benchmarks; positive
+aggregate speedup on the irregular ones (the paper's 9.6% / 6.6%
+headline direction) without giving up energy in aggregate.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig9_mpc_vs_ppk import fig9, fig9_summary
+
+REGULAR = ("mandelbulbGPU", "NBody", "lbm")
+
+
+def test_fig9_mpc_vs_ppk(benchmark, ctx):
+    table = run_once(benchmark, fig9, ctx)
+    print()
+    print(table.format())
+    summary = fig9_summary(ctx)
+    print(f"summary: {summary}")
+
+    for name in REGULAR:
+        row = table.row_for(name)
+        assert abs(row[1]) < 8.0
+        assert abs(row[2] - 1.0) < 0.08
+
+    assert summary["irregular_speedup"] > 1.0
+    assert summary["speedup"] > 1.0
+    assert summary["energy_savings_pct"] > -1.0

@@ -1,0 +1,29 @@
+"""Bench: the paper's headline aggregates (abstract / Section VI-A).
+
+Paper: 24.8% energy savings at 1.8% performance loss vs Turbo Core;
+6.6% energy savings and 9.6% speedup vs PPK; 75%/25% CPU/GPU split.
+Shape assertions check signs and rough magnitudes, not exact values.
+"""
+
+from conftest import run_once
+
+from repro.experiments.headline import headline_numbers, headline_table
+
+
+def test_headline_numbers(benchmark, ctx):
+    table = run_once(benchmark, headline_table, ctx)
+    print()
+    print(table.format())
+    numbers = headline_numbers(ctx)
+
+    # Large double-digit savings over Turbo Core at a small perf cost.
+    assert numbers["mpc_vs_turbo_energy_savings_pct"] > 15.0
+    assert numbers["mpc_vs_turbo_perf_loss_pct"] < 7.0
+
+    # MPC wins performance vs PPK without losing energy in aggregate.
+    assert numbers["mpc_vs_ppk_speedup_pct"] > 0.0
+    assert numbers["mpc_vs_ppk_energy_savings_pct"] > -1.0
+
+    # CPU-dominated savings split (paper: 75 / 25).
+    assert numbers["cpu_share_of_savings_pct"] > 50.0
+    assert numbers["gpu_share_of_savings_pct"] > 5.0

@@ -1,0 +1,77 @@
+"""Bench: the Section IV-A search-cost claims.
+
+Paper: greedy hill climbing cuts per-kernel energy evaluations from
+``|cpu| x |nb| x |gpu| x |cu|`` (336) to ``|cpu| + |nb| + |gpu| + |cu|``
+(a factor of ~19x) while "compromising optimality" only mildly.
+
+Shape assertions: an order-of-magnitude fewer evaluations, with chosen
+configurations within a few percent of the exhaustive optimum's energy,
+across every unique kernel of the evaluation suite.
+"""
+
+from conftest import run_once
+
+from repro.core.optimizer import GreedyHillClimbOptimizer
+from repro.core.pattern import KernelRecord
+from repro.core.tracker import PerformanceTracker
+from repro.experiments.common import ExperimentTable
+from repro.ml.predictors import OraclePredictor
+from repro.workloads.counters import CounterSynthesizer
+
+
+def _search_cost_table(ctx) -> ExperimentTable:
+    synth = CounterSynthesizer(noise=0.0)
+    table = ExperimentTable(
+        experiment_id="Search cost (IV-A)",
+        title="Greedy hill climbing vs exhaustive per-kernel search "
+        "(oracle predictions, 1.5x-slack target)",
+        headers=[
+            "Benchmark",
+            "Greedy evals/kernel",
+            "Exhaustive evals/kernel",
+            "Reduction (x)",
+            "Greedy/optimal energy",
+        ],
+    )
+    for name in ctx.benchmark_names:
+        app = ctx.app(name)
+        oracle = OraclePredictor(ctx.apu, app.unique_kernels)
+        optimizer = GreedyHillClimbOptimizer(ctx.space, oracle)
+        greedy_evals = exhaustive_evals = 0
+        greedy_energy = optimal_energy = 0.0
+        for spec in app.unique_kernels:
+            counters = synth.nominal(spec)
+            record = KernelRecord(
+                signature=counters.signature(), counters=counters,
+                instructions=spec.instructions,
+            )
+            baseline = ctx.apu.execute(spec, ctx.space.fastest()).time_s
+            tracker = PerformanceTracker(spec.instructions / (1.5 * baseline))
+            greedy = optimizer.optimize_kernel(record, tracker)
+            exhaustive = optimizer.exhaustive_kernel_search(record, tracker)
+            greedy_evals += greedy.evaluations
+            exhaustive_evals += exhaustive.evaluations
+            greedy_energy += ctx.apu.kernel_energy(spec, greedy.config)
+            optimal_energy += ctx.apu.kernel_energy(spec, exhaustive.config)
+        n = len(app.unique_kernels)
+        table.add_row(
+            name,
+            round(greedy_evals / n, 1),
+            round(exhaustive_evals / n, 1),
+            round(exhaustive_evals / greedy_evals, 1),
+            round(greedy_energy / optimal_energy, 4),
+        )
+    return table
+
+
+def test_search_cost_reduction(benchmark, ctx):
+    table = run_once(benchmark, _search_cost_table, ctx)
+    print()
+    print(table.format())
+    reductions = table.column("Reduction (x)")
+    ratios = table.column("Greedy/optimal energy")
+    # Order-of-magnitude cheaper than exhaustive (paper: ~19x)...
+    assert min(reductions) > 5.0
+    assert sum(reductions) / len(reductions) > 8.0
+    # ...while staying near the exhaustive optimum's energy.
+    assert max(ratios) < 1.10

@@ -1,0 +1,13 @@
+"""Bench: regenerate Table I (DVFS state tables)."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table1
+
+
+def test_table1_dvfs_states(benchmark, ctx):
+    table = run_once(benchmark, table1, ctx)
+    print()
+    print(table.format())
+    assert len(table.rows) == 7 + 4 + 5
+    assert table.row_for("CPU")[1] == "P1"

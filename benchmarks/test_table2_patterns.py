@@ -1,0 +1,12 @@
+"""Bench: regenerate Table II (irregular execution patterns)."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table2
+
+
+def test_table2_patterns(benchmark, ctx):
+    table = run_once(benchmark, table2, ctx)
+    print()
+    print(table.format())
+    assert all(table.column("Match"))

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table III (selected GPU performance counters)."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table3
+
+
+def test_table3_counters(benchmark, ctx):
+    table = run_once(benchmark, table3, ctx)
+    print()
+    print(table.format())
+    assert table.column("Name") == [
+        "GlobalWorkSize", "MemUnitStalled", "CacheHit", "VFetchInsts",
+        "ScratchRegs", "LDSBankConflict", "VALUInsts", "FetchSize",
+    ]

@@ -1,0 +1,14 @@
+"""Bench: regenerate Table IV (the 15 evaluation benchmarks)."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table4
+
+
+def test_table4_benchmarks(benchmark, ctx):
+    table = run_once(benchmark, table4, ctx)
+    print()
+    print(table.format())
+    assert len(table.rows) == 15
+    categories = set(table.column("Category"))
+    assert len(categories) == 4

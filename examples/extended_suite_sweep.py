@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Sweep MPC over the extended (held-out) benchmark collection.
+
+The 16 benchmarks in ``repro.workloads.extended`` rebuild a further
+slice of the paper's 73-app corpus and were never used to calibrate
+anything in this repository.  This sweep is the "does it generalize?"
+check: MPC should save double-digit energy on every one of them with
+bounded performance loss.
+
+Run from the repository root:
+
+    python examples/extended_suite_sweep.py
+"""
+
+from repro import (
+    MPCPowerManager,
+    OraclePredictor,
+    Simulator,
+    TurboCorePolicy,
+    energy_savings_pct,
+    speedup,
+)
+from repro.sim.metrics import geomean, mean
+from repro.workloads import corpus_stats, extended_benchmarks
+
+
+def main() -> None:
+    sim = Simulator()
+    apps = extended_benchmarks()
+
+    stats = corpus_stats(apps)
+    print(
+        f"extended corpus: {stats.num_benchmarks} benchmarks, "
+        f"{100 * stats.irregular_fraction:.0f}% irregular, "
+        f"{100 * stats.input_varying_fraction:.0f}% input-varying "
+        f"(paper corpus: 75% / 44%)"
+    )
+
+    savings = []
+    speeds = []
+    print(f"\n{'benchmark':14s} {'suite':12s} {'E%':>7s} {'speedup':>8s} {'H% of N':>8s}")
+    for app in apps:
+        turbo = sim.run(app, TurboCorePolicy(tdp_w=sim.apu.tdp_w))
+        target = turbo.instructions / turbo.kernel_time_s
+        manager = MPCPowerManager(
+            target, OraclePredictor(sim.apu, app.unique_kernels),
+            overhead_model=sim.overhead,
+        )
+        sim.run(app, manager)
+        steady = sim.run(app, manager)
+        e = energy_savings_pct(steady, turbo)
+        s = speedup(steady, turbo)
+        savings.append(e)
+        speeds.append(s)
+        print(
+            f"{app.name:14s} {app.suite:12s} {e:7.1f} {s:8.3f} "
+            f"{100 * steady.mean_horizon / len(app):8.1f}"
+        )
+
+    print(
+        f"\nmean energy savings {mean(savings):.1f}% | "
+        f"geomean speedup {geomean(speeds):.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

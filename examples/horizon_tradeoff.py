@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Explore the adaptive-horizon tradeoff (Sections IV-A4 and VI-E).
+
+Sweeps the performance-penalty bound alpha for two benchmarks with very
+different kernel lengths — Spmv (short kernels, overhead-critical) and
+EigenValue (long kernels) — and compares against the always-full-horizon
+ablation.  A tighter alpha shrinks the horizon and the overhead; the
+full horizon maximizes look-ahead but pays for it on short kernels.
+
+Run from the repository root:
+
+    python examples/horizon_tradeoff.py
+"""
+
+from repro import (
+    MPCPowerManager,
+    OraclePredictor,
+    Simulator,
+    TurboCorePolicy,
+    benchmark,
+    energy_savings_pct,
+    speedup,
+)
+
+
+def run_variant(sim, app, target, *, alpha=0.05, adaptive=True):
+    manager = MPCPowerManager(
+        target,
+        OraclePredictor(sim.apu, app.unique_kernels),
+        alpha=alpha,
+        adaptive_horizon=adaptive,
+        overhead_model=sim.overhead,
+    )
+    sim.run(app, manager)          # profiling invocation
+    return sim.run(app, manager)   # steady state
+
+
+def main() -> None:
+    sim = Simulator()
+    for name in ("Spmv", "EigenValue"):
+        app = benchmark(name)
+        turbo = sim.run(app, TurboCorePolicy(tdp_w=sim.apu.tdp_w))
+        target = turbo.instructions / turbo.kernel_time_s
+
+        print(f"\n=== {name} (N={len(app)}) ===")
+        print("variant          energy%   speedup   mean H (% of N)   overhead%")
+        for alpha in (0.01, 0.05, 0.20):
+            run = run_variant(sim, app, target, alpha=alpha)
+            print(
+                f"alpha={alpha:<4}    {energy_savings_pct(run, turbo):9.1f} "
+                f"{speedup(run, turbo):9.3f} "
+                f"{100 * run.mean_horizon / len(app):12.1f}     "
+                f"{100 * run.overhead_time_s / turbo.total_time_s:8.2f}"
+            )
+        full = run_variant(sim, app, target, adaptive=False)
+        print(
+            f"full horizon {energy_savings_pct(full, turbo):9.1f} "
+            f"{speedup(full, turbo):9.3f} "
+            f"{100 * full.mean_horizon / len(app):12.1f}     "
+            f"{100 * full.overhead_time_s / turbo.total_time_s:8.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

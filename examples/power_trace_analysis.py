@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Instrument a managed run with power-controller telemetry + analysis.
+
+Reproduces the measurement side of the paper's methodology: sample the
+chip's power at 1 ms like the APU's power-management controller, then
+break a run down the way an engineer would — energy by component,
+configuration occupancy, per-kernel summaries, and throughput phases.
+
+Run from the repository root:
+
+    python examples/power_trace_analysis.py
+"""
+
+from repro import (
+    MPCPowerManager,
+    OraclePredictor,
+    Simulator,
+    TurboCorePolicy,
+    benchmark,
+)
+from repro.hardware.telemetry import PowerTelemetry
+from repro.sim.analysis import (
+    config_occupancy,
+    energy_breakdown,
+    kernel_summaries,
+    knob_occupancy,
+    throughput_phases,
+)
+
+
+def main() -> None:
+    sim = Simulator()
+    app = benchmark("hybridsort")
+
+    turbo = sim.run(app, TurboCorePolicy(tdp_w=sim.apu.tdp_w))
+    target = turbo.instructions / turbo.kernel_time_s
+    manager = MPCPowerManager(
+        target, OraclePredictor(sim.apu, app.unique_kernels),
+        overhead_model=sim.overhead,
+    )
+    sim.run(app, manager)          # profiling invocation
+    steady = sim.run(app, manager)
+
+    # --- 1 ms power-controller trace -----------------------------------
+    telemetry = PowerTelemetry(apu=sim.apu, period_s=1e-3, noise=0.01)
+    trace = telemetry.sample(steady)
+    print(f"{app.name}: {len(trace)} power samples over {trace.duration_s * 1e3:.0f} ms")
+    print(
+        f"  mean {trace.mean_power_w():.1f} W, peak {trace.peak_power_w():.1f} W, "
+        f"sampled energy {trace.energy_j():.2f} J "
+        f"(accounted {steady.energy_j:.2f} J)"
+    )
+
+    # --- energy decomposition -------------------------------------------
+    breakdown = energy_breakdown(steady)
+    shares = breakdown.shares()
+    print(
+        f"\nenergy: GPU {100 * shares['gpu_kernel']:.1f}% | "
+        f"CPU {100 * shares['cpu_kernel']:.1f}% | "
+        f"optimizer {100 * shares['overhead']:.2f}%"
+    )
+
+    # --- configuration occupancy ----------------------------------------
+    print("\ntop configurations by time:")
+    for config, share in sorted(config_occupancy(steady).items(),
+                                key=lambda kv: -kv[1])[:4]:
+        print(f"  {config:<26} {100 * share:5.1f}%")
+    print("CPU knob occupancy:", knob_occupancy(steady)["cpu"])
+
+    # --- per-kernel summaries ---------------------------------------------
+    print("\nkernels by energy:")
+    for summary in kernel_summaries(steady)[:5]:
+        print(
+            f"  {summary.kernel_key:<20} x{summary.launches}  "
+            f"{summary.total_energy_j:6.2f} J  "
+            f"{summary.total_time_s * 1e3:7.1f} ms  "
+            f"failsafe {summary.fail_safe_launches}"
+        )
+
+    # --- throughput phases --------------------------------------------------
+    print("\nthroughput phases (Figure-3 view):")
+    for start, end, label in throughput_phases(steady):
+        keys = {steady.launches[i].kernel_key for i in range(start, end)}
+        print(f"  launches {start:>2}-{end - 1:>2}: {label:<4} ({', '.join(sorted(keys))})")
+
+
+if __name__ == "__main__":
+    main()

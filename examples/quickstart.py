@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: manage one benchmark's power with MPC.
+
+Runs the paper's kmeans benchmark under three managers — the AMD Turbo
+Core baseline, the history-based PPK scheme, and the MPC manager — and
+prints their energy/performance against each other.
+
+Run from the repository root:
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    MPCPowerManager,
+    PPKPolicy,
+    Simulator,
+    TurboCorePolicy,
+    benchmark,
+    energy_savings_pct,
+    speedup,
+    train_predictor,
+)
+
+
+def main() -> None:
+    sim = Simulator()
+    app = benchmark("kmeans")
+    print(f"Application: {app} ({app.pattern})")
+
+    # 1. The baseline: AMD Turbo Core boosts everything within the TDP.
+    turbo = sim.run(app, TurboCorePolicy(tdp_w=sim.apu.tdp_w))
+    target = turbo.instructions / turbo.kernel_time_s
+    print(
+        f"Turbo Core: {turbo.kernel_time_s * 1e3:.1f} ms, "
+        f"{turbo.energy_j:.2f} J (throughput target "
+        f"{target / 1e9:.1f} Ginst/s)"
+    )
+
+    # 2. The offline-trained Random Forest predictor (cached on disk;
+    #    the first call trains it and takes about a minute).
+    predictor = train_predictor(apu=sim.apu, cache_dir=".cache")
+
+    # 3. PPK: the state-of-the-art history-based scheme.
+    ppk = sim.run(app, PPKPolicy(target, predictor))
+
+    # 4. MPC: first invocation profiles (running PPK), later invocations
+    #    plan over the extracted kernel pattern.
+    manager = MPCPowerManager(target, predictor, overhead_model=sim.overhead)
+    sim.run(app, manager)        # profiling invocation
+    mpc = sim.run(app, manager)  # steady state
+
+    print("\n      energy savings   speedup   (vs Turbo Core)")
+    for label, run in (("PPK", ppk), ("MPC", mpc)):
+        print(
+            f"{label:4s}  {energy_savings_pct(run, turbo):13.1f}%  "
+            f"{speedup(run, turbo):8.3f}"
+        )
+    print(
+        f"\nMPC vs PPK: {energy_savings_pct(mpc, ppk):+.1f}% energy, "
+        f"{speedup(mpc, ppk):.3f}x speed"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper in one pass.
+
+Equivalent to ``python -m repro.experiments.runner``; runs the shared
+experiment context over all 15 benchmarks and prints each reproduced
+table.  Expect several minutes on the first run (the Random Forest
+trains once and is cached under ``.cache/``).
+
+Run from the repository root:
+
+    python examples/reproduce_paper.py            # everything
+    python examples/reproduce_paper.py fig8 fig9  # selected figures
+"""
+
+import sys
+
+from repro.experiments.runner import run_all
+
+
+def main() -> None:
+    only = sys.argv[1:] or None
+    run_all(only=only)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Offline-train the Random Forest predictor and audit its accuracy.
+
+Reproduces the paper's Section VI-D methodology: characterize a
+synthetic kernel population over the 336-configuration space, fit the
+two forests (log-time and GPU power), then measure out-of-sample MAPE
+on the 15 evaluation benchmarks' kernels (paper: 25% performance /
+12% power).
+
+Run from the repository root:
+
+    python examples/train_and_evaluate_model.py
+"""
+
+from repro import (
+    APUModel,
+    HardwareConfig,
+    all_benchmarks,
+    evaluate_predictor,
+    train_predictor,
+)
+from repro.workloads.counters import CounterSynthesizer
+
+
+def main() -> None:
+    apu = APUModel()
+    print("training Random Forest predictor (cached under .cache/)...")
+    predictor = train_predictor(apu=apu, cache_dir=".cache")
+
+    eval_kernels = [k for app in all_benchmarks() for k in app.unique_kernels]
+    time_mape, power_mape = evaluate_predictor(predictor, eval_kernels, apu=apu)
+    print(
+        f"out-of-sample accuracy over {len(eval_kernels)} kernels x 336 configs: "
+        f"time MAPE {time_mape:.1f}% | GPU power MAPE {power_mape:.1f}% "
+        f"(paper: 25% / 12%)"
+    )
+
+    # Spot-check a few predictions against ground truth.
+    synthesizer = CounterSynthesizer(noise=0.0)
+    configs = [
+        HardwareConfig(cpu="P1", nb="NB0", gpu="DPM4", cu=8),
+        HardwareConfig(cpu="P7", nb="NB2", gpu="DPM2", cu=4),
+        HardwareConfig(cpu="P7", nb="NB3", gpu="DPM0", cu=2),
+    ]
+    spec = eval_kernels[0]
+    counters = synthesizer.nominal(spec)
+    print(f"\nspot check: kernel {spec.key}")
+    print("config                      predicted time  actual time  predicted W  actual W")
+    for config in configs:
+        estimate = predictor.estimate(counters, config)
+        truth = apu.execute(spec, config)
+        print(
+            f"{str(config):<26} {estimate.time_s * 1e3:11.2f}ms "
+            f"{truth.time_s * 1e3:10.2f}ms {estimate.gpu_power_w:10.1f}W "
+            f"{truth.gpu_power_w:8.1f}W"
+        )
+
+
+if __name__ == "__main__":
+    main()

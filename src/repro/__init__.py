@@ -1,0 +1,122 @@
+"""repro: reproduction of "Dynamic GPGPU Power Management Using Adaptive
+Model Predictive Control" (Majumdar et al., HPCA 2017).
+
+The package implements the paper's complete system on a modelled AMD
+A10-7850K APU:
+
+* :mod:`repro.hardware` — the DVFS tables, 336-point configuration
+  space, and ground-truth timing/power/thermal models.
+* :mod:`repro.workloads` — kernels, Table-III counters, and the 15
+  Table-IV evaluation benchmarks.
+* :mod:`repro.ml` — a from-scratch Random Forest performance/power
+  predictor and the synthetic-error models.
+* :mod:`repro.core` — the MPC power manager (optimizer, pattern
+  extractor, performance tracker, adaptive horizon) and the PPK /
+  theoretically-optimal baselines.
+* :mod:`repro.sim` — the execution simulator, Turbo Core baseline, and
+  comparison metrics.
+* :mod:`repro.experiments` — one module per table/figure of the paper.
+
+Quickstart::
+
+    from repro import (Simulator, TurboCorePolicy, MPCPowerManager,
+                       train_predictor, benchmark)
+
+    sim = Simulator()
+    app = benchmark("kmeans")
+    turbo = sim.run(app, TurboCorePolicy())
+    mpc = MPCPowerManager(turbo.throughput, train_predictor())
+    sim.run(app, mpc)              # profiling invocation (runs PPK)
+    result = sim.run(app, mpc)     # true MPC
+"""
+
+from repro.core import (
+    AdaptiveHorizonGenerator,
+    GreedyHillClimbOptimizer,
+    KernelPatternExtractor,
+    MPCPowerManager,
+    PerformanceTracker,
+    PPKPolicy,
+    SearchOrder,
+    build_search_order,
+    solve_theoretically_optimal,
+)
+from repro.core.policies import FixedConfigPolicy, PlannedPolicy
+from repro.hardware import (
+    APUModel,
+    ConfigSpace,
+    FAILSAFE_CONFIG,
+    HardwareConfig,
+    Measurement,
+)
+from repro.ml import (
+    OraclePredictor,
+    RandomForestPredictor,
+    SyntheticErrorPredictor,
+    evaluate_predictor,
+    train_predictor,
+)
+from repro.sim import (
+    OverheadModel,
+    RunResult,
+    Simulator,
+    TurboCorePolicy,
+    energy_savings_pct,
+    gpu_energy_savings_pct,
+    performance_loss_pct,
+    speedup,
+)
+from repro.workloads import (
+    Application,
+    BENCHMARK_NAMES,
+    KernelSpec,
+    ScalingClass,
+    all_benchmarks,
+    benchmark,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # hardware
+    "APUModel",
+    "ConfigSpace",
+    "HardwareConfig",
+    "FAILSAFE_CONFIG",
+    "Measurement",
+    # workloads
+    "Application",
+    "KernelSpec",
+    "ScalingClass",
+    "BENCHMARK_NAMES",
+    "all_benchmarks",
+    "benchmark",
+    # ml
+    "train_predictor",
+    "evaluate_predictor",
+    "RandomForestPredictor",
+    "OraclePredictor",
+    "SyntheticErrorPredictor",
+    # core
+    "MPCPowerManager",
+    "PPKPolicy",
+    "FixedConfigPolicy",
+    "PlannedPolicy",
+    "GreedyHillClimbOptimizer",
+    "PerformanceTracker",
+    "KernelPatternExtractor",
+    "AdaptiveHorizonGenerator",
+    "SearchOrder",
+    "build_search_order",
+    "solve_theoretically_optimal",
+    # sim
+    "Simulator",
+    "OverheadModel",
+    "RunResult",
+    "TurboCorePolicy",
+    "energy_savings_pct",
+    "gpu_energy_savings_pct",
+    "speedup",
+    "performance_loss_pct",
+]

@@ -1,0 +1,218 @@
+"""Command-line interface for the reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli list                         # available benchmarks
+    python -m repro.cli run kmeans --policy mpc      # manage one benchmark
+    python -m repro.cli run Spmv --policy all        # compare every policy
+    python -m repro.cli train                        # (re)train the forest
+    python -m repro.cli experiments fig8 fig9        # regenerate figures
+    python -m repro.cli report -o EXPERIMENTS.md     # full markdown report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.manager import MPCPowerManager
+from repro.core.oracle import solve_theoretically_optimal
+from repro.core.policies import PlannedPolicy, PPKPolicy
+from repro.ml.predictors import evaluate_predictor, train_predictor
+from repro.sim.metrics import energy_savings_pct, speedup
+from repro.sim.simulator import Simulator
+from repro.sim.turbocore import TurboCorePolicy
+from repro.workloads.suites import BENCHMARK_NAMES, all_benchmarks, benchmark
+
+__all__ = ["main", "build_parser"]
+
+_POLICIES = ("turbo", "ppk", "mpc", "to", "all")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Dynamic GPGPU Power Management "
+        "Using Adaptive Model Predictive Control' (HPCA 2017).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the Table-IV benchmarks")
+
+    run = sub.add_parser("run", help="run a benchmark under a policy")
+    run.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    run.add_argument("--policy", choices=_POLICIES, default="all")
+    run.add_argument("--alpha", type=float, default=0.05,
+                     help="adaptive-horizon performance bound")
+    run.add_argument("--full-horizon", action="store_true",
+                     help="disable the adaptive horizon")
+    run.add_argument("--cache-dir", default=".cache",
+                     help="Random Forest cache directory")
+
+    train = sub.add_parser("train", help="train/evaluate the Random Forest")
+    train.add_argument("--cache-dir", default=".cache")
+
+    analyze = sub.add_parser(
+        "analyze", help="analyse an MPC run of a benchmark"
+    )
+    analyze.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    analyze.add_argument("--cache-dir", default=".cache")
+    analyze.add_argument("--oracle", action="store_true",
+                         help="use the oracle predictor (skip training)")
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate tables/figures of the paper"
+    )
+    experiments.add_argument("keys", nargs="*",
+                             help="experiment keys (default: all)")
+
+    report = sub.add_parser("report", help="write the EXPERIMENTS.md report")
+    report.add_argument("-o", "--output", default="EXPERIMENTS.md")
+
+    return parser
+
+
+def _cmd_list() -> int:
+    print(f"{'benchmark':16s} {'suite':14s} {'category':40s} {'pattern'}")
+    for app in all_benchmarks():
+        print(f"{app.name:16s} {app.suite:14s} {app.category.value:40s} {app.pattern}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    sim = Simulator()
+    app = benchmark(args.benchmark)
+    turbo = sim.run(app, TurboCorePolicy(tdp_w=sim.apu.tdp_w))
+    target = turbo.instructions / turbo.kernel_time_s
+    print(
+        f"{app.name}: N={len(app)}, Turbo Core {turbo.kernel_time_s * 1e3:.1f} ms / "
+        f"{turbo.energy_j:.2f} J"
+    )
+
+    wanted = _POLICIES[:-1] if args.policy == "all" else (args.policy,)
+    predictor = None
+    if "ppk" in wanted or "mpc" in wanted:
+        predictor = train_predictor(apu=sim.apu, cache_dir=args.cache_dir)
+
+    print(f"\n{'policy':8s} {'energy savings':>15s} {'speedup':>9s}")
+    for kind in wanted:
+        if kind == "turbo":
+            run = turbo
+        elif kind == "ppk":
+            run = sim.run(app, PPKPolicy(target, predictor))
+        elif kind == "mpc":
+            manager = MPCPowerManager(
+                target, predictor, alpha=args.alpha,
+                adaptive_horizon=not args.full_horizon,
+                overhead_model=sim.overhead,
+            )
+            sim.run(app, manager)
+            run = sim.run(app, manager)
+        elif kind == "to":
+            plan = solve_theoretically_optimal(app, sim.apu, target)
+            run = sim.run(app, PlannedPolicy(plan.configs, name="TO"),
+                          charge_overhead=False)
+        else:  # pragma: no cover - argparse restricts choices
+            raise ValueError(kind)
+        print(
+            f"{kind:8s} {energy_savings_pct(run, turbo):14.1f}% "
+            f"{speedup(run, turbo):9.3f}"
+        )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    predictor = train_predictor(cache_dir=args.cache_dir)
+    kernels = [k for app in all_benchmarks() for k in app.unique_kernels]
+    time_mape, power_mape = evaluate_predictor(predictor, kernels)
+    print(
+        f"trained; out-of-sample MAPE: time {time_mape:.1f}% / "
+        f"power {power_mape:.1f}% (paper: 25% / 12%)"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.ml.predictors import OraclePredictor
+    from repro.sim.analysis import (
+        config_occupancy,
+        energy_breakdown,
+        kernel_summaries,
+        throughput_phases,
+    )
+
+    sim = Simulator()
+    app = benchmark(args.benchmark)
+    turbo = sim.run(app, TurboCorePolicy(tdp_w=sim.apu.tdp_w))
+    target = turbo.instructions / turbo.kernel_time_s
+    predictor = (
+        OraclePredictor(sim.apu, app.unique_kernels)
+        if args.oracle
+        else train_predictor(apu=sim.apu, cache_dir=args.cache_dir)
+    )
+    manager = MPCPowerManager(target, predictor, overhead_model=sim.overhead)
+    sim.run(app, manager)
+    steady = sim.run(app, manager)
+
+    print(
+        f"{app.name}: MPC {energy_savings_pct(steady, turbo):.1f}% energy "
+        f"savings at {speedup(steady, turbo):.3f}x vs Turbo Core\n"
+    )
+    shares = energy_breakdown(steady).shares()
+    print(
+        f"energy split: GPU {100 * shares['gpu_kernel']:.1f}% / "
+        f"CPU {100 * shares['cpu_kernel']:.1f}% / "
+        f"optimizer {100 * shares['overhead']:.2f}%"
+    )
+    print("\nconfiguration occupancy (by time):")
+    for config, share in sorted(config_occupancy(steady).items(),
+                                key=lambda kv: -kv[1]):
+        print(f"  {config:<26} {100 * share:5.1f}%")
+    print("\nkernels by energy:")
+    for summary in kernel_summaries(steady):
+        print(
+            f"  {summary.kernel_key:<22} x{summary.launches:<3} "
+            f"{summary.total_energy_j:7.2f} J  failsafe {summary.fail_safe_launches}"
+        )
+    print("\nthroughput phases:")
+    for start, end, label in throughput_phases(steady):
+        print(f"  launches {start:>3}-{end - 1:>3}: {label}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_all
+
+    run_all(only=args.keys or None)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import write_report
+
+    print(f"writing {write_report(args.output)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "train":
+        return _cmd_train(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "experiments":
+        return _cmd_experiments(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise ValueError(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""The paper's contribution: MPC-based GPGPU power management.
+
+Exports the Figure-6 architecture blocks — optimizer, pattern extractor,
+performance tracker, adaptive horizon generator — the composed
+:class:`~repro.core.manager.MPCPowerManager`, the baseline policies
+(PPK, fixed, planned), and the theoretically-optimal offline solver.
+"""
+
+from repro.core.horizon import AdaptiveHorizonGenerator
+from repro.core.manager import MPCPowerManager
+from repro.core.optimizer import GreedyHillClimbOptimizer, OptimizationResult
+from repro.core.oracle import OptimalPlan, solve_theoretically_optimal
+from repro.core.pattern import KernelPatternExtractor, KernelRecord, detect_period
+from repro.core.policies import FixedConfigPolicy, PlannedPolicy, PPKPolicy
+from repro.core.search_order import SearchOrder, build_search_order
+from repro.core.tracker import PerformanceTracker
+
+__all__ = [
+    "AdaptiveHorizonGenerator",
+    "MPCPowerManager",
+    "GreedyHillClimbOptimizer",
+    "OptimizationResult",
+    "OptimalPlan",
+    "solve_theoretically_optimal",
+    "KernelPatternExtractor",
+    "KernelRecord",
+    "detect_period",
+    "FixedConfigPolicy",
+    "PlannedPolicy",
+    "PPKPolicy",
+    "SearchOrder",
+    "build_search_order",
+    "PerformanceTracker",
+]

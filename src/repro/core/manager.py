@@ -1,0 +1,280 @@
+"""The MPC-based power manager (Figure 6 of the paper).
+
+:class:`MPCPowerManager` composes the four architectural blocks:
+
+* the **optimizer** (greedy hill climbing + search-order window,
+  :mod:`~repro.core.optimizer`),
+* the **kernel pattern extractor** (:mod:`~repro.core.pattern`),
+* the **performance and power predictor** (:mod:`~repro.ml.predictors`),
+* the **adaptive horizon generator** (:mod:`~repro.core.horizon`),
+
+plus the **performance tracker** (:mod:`~repro.core.tracker`) that feeds
+headroom back into the optimization.
+
+Lifecycle, exactly as in the paper: on an application's *first*
+invocation the manager has no stored knowledge — it runs PPK (the very
+first kernel at fail-safe) while the extractor records the execution
+pattern and the manager measures its own optimization cost (T_PPK).
+When the first invocation ends, the profile is frozen into a search
+order and horizon statistics; every later invocation runs true MPC with
+receding, adaptively bounded horizons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.horizon import AdaptiveHorizonGenerator
+from repro.core.optimizer import GreedyHillClimbOptimizer
+from repro.core.pattern import KernelPatternExtractor, KernelRecord
+from repro.core.search_order import SearchOrder, build_search_order
+from repro.core.tracker import PerformanceTracker
+from repro.hardware.config import FAILSAFE_CONFIG, ConfigSpace, HardwareConfig
+from repro.ml.predictors import PerfPowerPredictor
+from repro.sim.policy import Decision, Observation, PowerPolicy
+from repro.sim.simulator import OverheadModel
+
+__all__ = ["MPCPowerManager"]
+
+
+@dataclass
+class _ProfiledStats:
+    """Statistics frozen at the end of the profiling invocation."""
+
+    search_order: SearchOrder
+    num_kernels: int
+    mean_prefix_length: float
+    ppk_overhead_s: float
+    baseline_total_time_s: float
+
+
+class MPCPowerManager(PowerPolicy):
+    """Future-aware kernel-level DVFS manager using MPC.
+
+    Args:
+        target_throughput: Performance target — the baseline (Turbo
+            Core) application throughput I_total/T_total.
+        predictor: Performance/power model (Random Forest in the real
+            system; the oracle or synthetic-error models in studies).
+        space: Searchable configuration space.
+        alpha: Total performance-penalty bound for the adaptive horizon
+            (the paper evaluates 0.05).
+        adaptive_horizon: When ``False``, always use the full horizon
+            (the ablation of Section VI-E).
+        overhead_model: Cost model the manager uses to estimate its own
+            optimization time; should match the simulator's so that
+            T_PPK and T_MPC reflect what is actually charged.
+        fail_safe: Fallback configuration.
+        use_search_order: Ablation switch — when ``False``, the
+            above/below-target reordering of Section IV-A1a is disabled
+            and windows are visited in plain execution order.
+        window_reserve: Ablation switch — when ``False``, undecided
+            window members are not reserved at fail-safe, reverting to
+            per-kernel constraint checking (the window's future can no
+            longer repay or restrict the current kernel's slack).
+    """
+
+    name = "MPC"
+
+    def __init__(
+        self,
+        target_throughput: float,
+        predictor: PerfPowerPredictor,
+        space: Optional[ConfigSpace] = None,
+        alpha: float = 0.05,
+        adaptive_horizon: bool = True,
+        overhead_model: Optional[OverheadModel] = None,
+        fail_safe: HardwareConfig = FAILSAFE_CONFIG,
+        use_search_order: bool = True,
+        window_reserve: bool = True,
+    ) -> None:
+        self.space = space if space is not None else ConfigSpace()
+        self.optimizer = GreedyHillClimbOptimizer(self.space, predictor, fail_safe)
+        self.tracker = PerformanceTracker(target_throughput)
+        self.extractor = KernelPatternExtractor()
+        self.alpha = alpha
+        self.adaptive_horizon = adaptive_horizon
+        self.overhead_model = (
+            overhead_model if overhead_model is not None else OverheadModel()
+        )
+        self.use_search_order = use_search_order
+        self.window_reserve = window_reserve
+        self._fail_safe = self.optimizer.fail_safe
+
+        self._stats: Optional[_ProfiledStats] = None
+        self._horizon_gen: Optional[AdaptiveHorizonGenerator] = None
+        self._last_config: HardwareConfig = self._fail_safe
+        self._last_decision_overhead_s = 0.0
+
+        # Profiling-run accumulators.
+        self._profile_insts: List[float] = []
+        self._profile_times: List[float] = []
+        self._profile_overhead_s = 0.0
+
+    # ----- lifecycle -------------------------------------------------------------
+
+    @property
+    def profiled(self) -> bool:
+        """Whether the initial (PPK) profiling invocation has completed."""
+        return self._stats is not None
+
+    @property
+    def search_order(self) -> Optional[SearchOrder]:
+        """The frozen search order, once profiled."""
+        return self._stats.search_order if self._stats else None
+
+    def begin_run(self) -> None:
+        if self.extractor.has_profile or self._profile_insts:
+            # A run just ended; freeze the profile on first completion.
+            if self._stats is None and self._profile_insts:
+                self._freeze_profile()
+        self.extractor.end_run()
+        self.tracker.reset()
+        if self._horizon_gen is not None:
+            self._horizon_gen.reset()
+        self._last_config = self._fail_safe
+        self._last_decision_overhead_s = 0.0
+
+    def _freeze_profile(self) -> None:
+        insts = self._profile_insts
+        times = self._profile_times
+        throughputs = [i / t for i, t in zip(insts, times)]
+        cumulative = []
+        acc_i = acc_t = 0.0
+        for i, t in zip(insts, times):
+            acc_i += i
+            acc_t += t
+            cumulative.append(acc_i / acc_t)
+        if self.use_search_order:
+            order = build_search_order(
+                throughputs, cumulative, self.tracker.target_throughput
+            )
+        else:
+            # Ablation: plain execution order (every window degenerates
+            # to the current kernel plus the fail-safe reserve).
+            order = SearchOrder(
+                order=tuple(range(len(insts))), above_target=frozenset()
+            )
+        baseline_total = sum(insts) / self.tracker.target_throughput
+        self._stats = _ProfiledStats(
+            search_order=order,
+            num_kernels=len(insts),
+            mean_prefix_length=order.mean_prefix_length(),
+            ppk_overhead_s=self._profile_overhead_s,
+            baseline_total_time_s=baseline_total,
+        )
+        self._horizon_gen = AdaptiveHorizonGenerator(
+            num_kernels=len(insts),
+            mean_prefix_length=order.mean_prefix_length(),
+            ppk_overhead_s=self._profile_overhead_s,
+            baseline_total_time_s=baseline_total,
+            alpha=self.alpha,
+            time_profile=list(times),
+            instruction_profile=list(insts),
+        )
+
+    # ----- decisions ---------------------------------------------------------------
+
+    def decide(self, index: int) -> Decision:
+        if self._stats is None:
+            decision = self._decide_ppk()
+        else:
+            decision = self._decide_mpc(index)
+        self._last_config = decision.config
+        self._last_decision_overhead_s = self.overhead_model.decision_time_s(decision)
+        return decision
+
+    def _decide_ppk(self) -> Decision:
+        """Profiling mode: run PPK while the pattern is being extracted."""
+        record = self.extractor.last_record()
+        if record is None:
+            return Decision(config=self._fail_safe, fail_safe=True, horizon=0)
+        result = self.optimizer.optimize_kernel(record, self.tracker)
+        return Decision(
+            config=result.config,
+            model_evaluations=result.evaluations,
+            horizon=1,
+            fail_safe=result.fail_safe,
+        )
+
+    def _decide_mpc(self, index: int) -> Decision:
+        assert self._stats is not None and self._horizon_gen is not None
+        n = self._stats.num_kernels
+        if index >= n:
+            # The application launched more kernels than the profile
+            # recorded; degrade gracefully to PPK behaviour.
+            return self._decide_ppk()
+
+        horizon = (
+            self._horizon_gen.horizon(index) if self.adaptive_horizon else n
+        )
+        if horizon <= 0:
+            # No overhead budget: skip optimization (no model calls).
+            # The previous configuration is only safe to reuse when the
+            # upcoming kernel looks like the one that just ran AND we
+            # are still on target; across a kernel transition, or once
+            # cumulative throughput slips, take the fail-safe so the
+            # situation stays recoverable.
+            expected = self.extractor.expected_record(index)
+            last = self.extractor.last_record()
+            same_kernel = (
+                expected is not None
+                and last is not None
+                and expected.signature == last.signature
+            )
+            if same_kernel and self.tracker.above_target():
+                return Decision(config=self._last_config, horizon=0)
+            return Decision(config=self._fail_safe, horizon=0, fail_safe=True)
+
+        positions = self._stats.search_order.window(index, horizon)
+        window: List[KernelRecord] = []
+        for position in positions:
+            record = self.extractor.expected_record(position)
+            if record is not None:
+                window.append(record)
+        if not window:
+            return Decision(config=self._fail_safe, fail_safe=True, horizon=horizon)
+
+        # Window-range kernels not in the optimization prefix (they run
+        # within the horizon but are decided on a later shift) are
+        # reserved at fail-safe so Equation 3's whole-window constraint
+        # holds.
+        in_prefix = set(positions)
+        reserved: List[KernelRecord] = []
+        if self.window_reserve:
+            for position in range(index, min(index + horizon, n)):
+                if position in in_prefix:
+                    continue
+                record = self.extractor.expected_record(position)
+                if record is not None:
+                    reserved.append(record)
+
+        result = self.optimizer.optimize_window(
+            window, self.tracker, reserved=reserved,
+            reserve_window=self.window_reserve,
+        )
+        return Decision(
+            config=result.config,
+            model_evaluations=result.evaluations,
+            horizon=horizon,
+            fail_safe=result.fail_safe,
+        )
+
+    # ----- feedback -------------------------------------------------------------------
+
+    def observe(self, observation: Observation) -> None:
+        time_s = observation.measurement.time_s
+        self.tracker.update(observation.instructions, time_s)
+        self.extractor.observe(
+            observation.counters,
+            observation.instructions,
+            time_s,
+            observation.measurement.gpu_power_w,
+        )
+        if self._stats is None:
+            self._profile_insts.append(observation.instructions)
+            self._profile_times.append(time_s)
+            self._profile_overhead_s += self._last_decision_overhead_s
+        elif self._horizon_gen is not None:
+            self._horizon_gen.record(time_s, self._last_decision_overhead_s)

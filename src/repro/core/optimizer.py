@@ -1,0 +1,377 @@
+"""Greedy hill-climbing optimizer and the MPC window optimization.
+
+The paper replaces exhaustive configuration search with two nested
+approximations (Section IV-A1):
+
+* **Greedy hill climbing over knobs.**  For one kernel, the optimizer
+  ranks the four hardware knobs by predicted energy sensitivity and
+  climbs each knob's axis — most sensitive first — as long as predicted
+  energy keeps decreasing and the performance target stays met.  This
+  cuts the per-kernel evaluations from ``|cpu| x |nb| x |gpu| x |cu|``
+  (336) to roughly ``|cpu| + |nb| + |gpu| + |cu|`` (18), the paper's
+  "factor of 19x".
+* **Search-order window optimization.**  A window of future kernels is
+  optimized in the fixed search order, each kernel consuming or
+  contributing execution-time headroom, and the configuration chosen
+  when the *current* kernel's turn comes (last in the window) is the one
+  applied.
+
+If no configuration meets the performance requirement the optimizer
+falls back to the fail-safe configuration [P7, NB2, DPM4, 8 CUs].
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.pattern import KernelRecord
+from repro.core.tracker import PerformanceTracker
+from repro.hardware.config import FAILSAFE_CONFIG, ConfigSpace, HardwareConfig, Knob
+from repro.ml.predictors import KernelEstimate, PerfPowerPredictor
+
+__all__ = ["OptimizationResult", "GreedyHillClimbOptimizer"]
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of optimizing one kernel.
+
+    Attributes:
+        config: The chosen hardware configuration.
+        estimate: Predicted behaviour at that configuration.
+        evaluations: Predictor queries spent.
+        fail_safe: Whether the fail-safe fallback was taken.
+    """
+
+    config: HardwareConfig
+    estimate: KernelEstimate
+    evaluations: int
+    fail_safe: bool
+
+
+class GreedyHillClimbOptimizer:
+    """Energy-minimizing configuration search for single kernels/windows.
+
+    Args:
+        space: The searchable configuration space.
+        predictor: Performance/power model used for all estimates.
+        fail_safe: Configuration applied when the performance target
+            cannot be met (clamped onto ``space``).
+    """
+
+    def __init__(self, space: ConfigSpace, predictor: PerfPowerPredictor,
+                 fail_safe: HardwareConfig = FAILSAFE_CONFIG,
+                 max_passes: int = 3) -> None:
+        if max_passes < 1:
+            raise ValueError("max_passes must be at least 1")
+        self.space = space
+        self.predictor = predictor
+        self.fail_safe = space.clamp(fail_safe)
+        self.max_passes = max_passes
+
+    # ----- single kernel -------------------------------------------------------
+
+    def optimize_kernel(self, record: KernelRecord,
+                        tracker: PerformanceTracker) -> OptimizationResult:
+        """Find a low-energy configuration meeting the throughput target.
+
+        Args:
+            record: Stored knowledge of the kernel (counters and
+                expected instruction count).
+            tracker: Throughput state; Equation 5's headroom is derived
+                from it.  Not modified.
+
+        Returns:
+            The optimization outcome, including the evaluation count
+            that the simulator converts into overhead.
+        """
+        evals = 0
+
+        def estimate(config: HardwareConfig) -> KernelEstimate:
+            nonlocal evals
+            evals += 1
+            return self.predictor.estimate(record.counters, config)
+
+        def feasible(est: KernelEstimate) -> bool:
+            return tracker.admits(record.instructions, est.time_s)
+
+        current = self.fail_safe
+        current_est = estimate(current)
+
+        # Rank knobs by predicted energy sensitivity: |ΔE| across the
+        # knob's full axis, per configuration step.
+        sensitivities: List[Tuple[float, str]] = []
+        for knob in Knob.ALL:
+            axis = self.space.axis(knob)
+            if len(axis) < 2:
+                continue
+            low = estimate(current.replace(**{knob: axis[0]}))
+            high = estimate(current.replace(**{knob: axis[-1]}))
+            delta = abs(high.energy_j - low.energy_j) / (len(axis) - 1)
+            sensitivities.append((delta, knob))
+        sensitivities.sort(key=lambda item: -item[0])
+
+        best_feasible: Optional[Tuple[HardwareConfig, KernelEstimate]] = (
+            (current, current_est) if feasible(current_est) else None
+        )
+
+        # Sweep the knobs in sensitivity order; repeat the sweep until a
+        # whole pass makes no move (knobs interact — e.g. a lower NB
+        # state only pays off after the GPU clock moves), bounded by
+        # max_passes to keep the evaluation count small and predictable.
+        for _ in range(self.max_passes):
+            moved = False
+            for _, knob in sensitivities:
+                # Pick the climb direction: the feasible neighbour with
+                # the larger energy reduction.
+                direction = 0
+                best_gain = 1e-12
+                neighbour_est = {}
+                for d in (-1, +1):
+                    nxt = self.space.step(current, knob, d)
+                    if nxt is None:
+                        continue
+                    est = estimate(nxt)
+                    neighbour_est[d] = (nxt, est)
+                    if feasible(est) and current_est.energy_j - est.energy_j > best_gain:
+                        best_gain = current_est.energy_j - est.energy_j
+                        direction = d
+                if direction == 0:
+                    # No energy-reducing feasible neighbour; but if we
+                    # are still infeasible, move toward feasibility.
+                    if best_feasible is None:
+                        for d, (nxt, est) in neighbour_est.items():
+                            if feasible(est):
+                                current, current_est = nxt, est
+                                best_feasible = (current, current_est)
+                                moved = True
+                                break
+                    continue
+
+                current, current_est = neighbour_est[direction]
+                best_feasible = (current, current_est)
+                moved = True
+                # Keep climbing until the energy increases (paper: "the
+                # search stops once the energy increases") or we fall
+                # off the axis or out of feasibility.
+                while True:
+                    nxt = self.space.step(current, knob, direction)
+                    if nxt is None:
+                        break
+                    est = estimate(nxt)
+                    if not feasible(est) or est.energy_j >= current_est.energy_j:
+                        break
+                    current, current_est = nxt, est
+                    best_feasible = (current, current_est)
+            if not moved:
+                break
+
+        if best_feasible is None:
+            fail_est = self.predictor.estimate(record.counters, self.fail_safe)
+            evals += 1
+            return OptimizationResult(
+                config=self.fail_safe, estimate=fail_est,
+                evaluations=evals, fail_safe=True,
+            )
+
+        config, est = best_feasible
+        return OptimizationResult(
+            config=config, estimate=est, evaluations=evals, fail_safe=False,
+        )
+
+    def exhaustive_kernel_search(self, record: KernelRecord,
+                                 tracker: PerformanceTracker) -> OptimizationResult:
+        """Reference: evaluate every configuration in the space.
+
+        The comparator behind the paper's search-cost claim — greedy
+        hill climbing needs ``|cpu| + |nb| + |gpu| + |cu|`` evaluations
+        instead of the ``|cpu| x |nb| x |gpu| x |cu|`` of this
+        exhaustive sweep, "a factor of 19x".  Only used for validation
+        and the search-cost experiment; the runtime system always uses
+        :meth:`optimize_kernel`.
+        """
+        evals = 0
+        best: Optional[Tuple[HardwareConfig, KernelEstimate]] = None
+        for config in self.space:
+            estimate = self.predictor.estimate(record.counters, config)
+            evals += 1
+            if not tracker.admits(record.instructions, estimate.time_s):
+                continue
+            if best is None or estimate.energy_j < best[1].energy_j:
+                best = (config, estimate)
+        if best is None:
+            fail_est = self.predictor.estimate(record.counters, self.fail_safe)
+            return OptimizationResult(
+                config=self.fail_safe, estimate=fail_est,
+                evaluations=evals + 1, fail_safe=True,
+            )
+        return OptimizationResult(
+            config=best[0], estimate=best[1], evaluations=evals, fail_safe=False,
+        )
+
+    # ----- MPC window ------------------------------------------------------------
+
+    def optimize_window(
+        self,
+        window: Sequence[KernelRecord],
+        tracker: PerformanceTracker,
+        reserved: Sequence[KernelRecord] = (),
+        reserve_window: bool = True,
+    ) -> OptimizationResult:
+        """Optimize a search-ordered window; return the last kernel's result.
+
+        The window lists the kernels in optimization (search) order,
+        ending with the kernel about to execute.  Each kernel is
+        optimized against the running throughput state and its expected
+        instructions/time are committed before moving on — headroom
+        created by one kernel carries to the next, exactly the paper's
+        worked example of Figure 7.
+
+        Equation 3's constraint spans the *whole* prediction window, so
+        window members that have not been optimized yet (and any
+        ``reserved`` members that will only be optimized on a later
+        shift of the horizon) are accounted at their fail-safe
+        estimates: a kernel may only take slack that the rest of the
+        window can still repay at full speed.  This is also what lets
+        the optimizer *grant* slack against future high-throughput
+        kernels — the paper's kmeans scenario.
+
+        Args:
+            window: Kernel records in search order; must be non-empty.
+                The final entry is the kernel to be launched now.
+            tracker: Live throughput state; not modified.
+            reserved: Window-range kernels outside the optimization
+                prefix (they execute within the horizon but are decided
+                on a later shift).
+            reserve_window: Ablation switch — when ``False``, no
+                fail-safe reserve is held at all and kernels are only
+                accounted as they commit (per-kernel constraints).
+
+        Returns:
+            The result for the final (current) kernel, with the
+            evaluation count summed over the whole window.
+        """
+        if not window:
+            raise ValueError("window must contain at least the current kernel")
+        speculative = tracker.copy()
+        total_evals = 0
+
+        # Fail-safe reserve for everything in the window that has not
+        # been committed yet (one predictor query per member).
+        reserve_time = 0.0
+        reserve_insts = 0.0
+        pending: dict = {}
+        to_reserve = list(window[:-1]) + list(reserved) if reserve_window else []
+        for record in to_reserve:
+            estimate = self.predictor.estimate(record.counters, self.fail_safe)
+            total_evals += 1
+            pending[id(record)] = (record.instructions, estimate.time_s)
+            reserve_time += estimate.time_s
+            reserve_insts += record.instructions
+        speculative.update(reserve_insts, reserve_time)
+
+        result: Optional[OptimizationResult] = None
+        for record in window:
+            if id(record) in pending:
+                insts, time_s = pending.pop(id(record))
+                speculative.adjust(-insts, -time_s)
+            result = self.optimize_kernel(record, speculative)
+            total_evals += result.evaluations
+            speculative.update(record.instructions, result.estimate.time_s)
+
+        assert result is not None
+        return OptimizationResult(
+            config=result.config,
+            estimate=result.estimate,
+            evaluations=total_evals,
+            fail_safe=result.fail_safe,
+        )
+
+    def optimize_window_backtracking(
+        self,
+        window: Sequence[KernelRecord],
+        tracker: PerformanceTracker,
+        max_combinations: int = 2_000_000,
+    ) -> OptimizationResult:
+        """Exact window optimization by exhaustive backtracking.
+
+        The comparator the paper rules out for runtime use: jointly
+        enumerate every configuration assignment over the window
+        (``M^H`` combinations) and keep the minimum-energy assignment
+        whose members all satisfy the running throughput constraint in
+        *execution* order.  Exponential — usable only for validating
+        the polynomial heuristic on small instances and for the
+        paper's "65x search cost" comparison.
+
+        Args:
+            window: Kernel records in **execution** order; the first
+                entry is the kernel about to launch.
+            tracker: Live throughput state; not modified.
+            max_combinations: Safety bound on ``M^H``.
+
+        Returns:
+            The result for the first (current) kernel under the jointly
+            optimal assignment, with the full enumeration's evaluation
+            count.
+
+        Raises:
+            ValueError: If the window is empty or the enumeration would
+                exceed ``max_combinations``.
+        """
+        if not window:
+            raise ValueError("window must contain at least the current kernel")
+        configs = self.space.all_configs()
+        combinations = len(configs) ** len(window)
+        if combinations > max_combinations:
+            raise ValueError(
+                f"{combinations} combinations exceed the "
+                f"{max_combinations} safety bound; shrink the window or "
+                "the configuration space"
+            )
+
+        # Pre-evaluate each (kernel, config) pair once.
+        estimates: List[List[KernelEstimate]] = []
+        evals = 0
+        for record in window:
+            row = [self.predictor.estimate(record.counters, c) for c in configs]
+            evals += len(configs)
+            estimates.append(row)
+
+        best_energy = None
+        best_first: Optional[Tuple[HardwareConfig, KernelEstimate]] = None
+        base_insts = tracker.instructions
+        base_time = tracker.time_s
+        target = tracker.target_throughput
+
+        for assignment in itertools.product(range(len(configs)), repeat=len(window)):
+            insts = base_insts
+            time_s = base_time
+            energy = 0.0
+            feasible = True
+            for position, config_index in enumerate(assignment):
+                estimate = estimates[position][config_index]
+                insts += window[position].instructions
+                time_s += estimate.time_s
+                energy += estimate.energy_j
+                if insts / time_s < target:
+                    feasible = False
+                    break
+            if not feasible:
+                continue
+            if best_energy is None or energy < best_energy:
+                best_energy = energy
+                first_index = assignment[0]
+                best_first = (configs[first_index], estimates[0][first_index])
+
+        if best_first is None:
+            fail_est = self.predictor.estimate(window[0].counters, self.fail_safe)
+            return OptimizationResult(
+                config=self.fail_safe, estimate=fail_est,
+                evaluations=evals + 1, fail_safe=True,
+            )
+        return OptimizationResult(
+            config=best_first[0], estimate=best_first[1],
+            evaluations=evals, fail_safe=False,
+        )

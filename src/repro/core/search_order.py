@@ -1,0 +1,130 @@
+"""The MPC search-order heuristic (Section IV-A1a, Figure 7).
+
+Truly optimizing a window of H kernels requires exponential
+backtracking.  The paper instead fixes, from the application's first
+(profiling) invocation, a *search order* over kernel positions such
+that optimizing the window's kernels in that order — carrying headroom
+from one to the next and never revisiting — approximates backtracking
+in polynomial time.
+
+Construction (from the profiled per-kernel throughputs):
+
+1. After each kernel, note whether the *accumulated* application
+   throughput was above the overall target.  Above-target positions go
+   to one group, the rest to the other.
+2. Sort the above-target group by individual kernel throughput
+   *ascending*, the below-target group *descending*.
+3. Concatenate: above-target first.  (For the paper's Figure-7 example
+   this yields (3, 2, 1, 6, 5, 4).)
+
+At execution position ``i`` the optimization visits the still-pending
+positions in search order, truncated at ``i`` — so the configuration
+finally applied to kernel ``i`` was chosen *after* anticipating the
+future kernels that precede it in search order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+__all__ = ["SearchOrder", "build_search_order"]
+
+
+@dataclass(frozen=True)
+class SearchOrder:
+    """A fixed optimization order over kernel positions.
+
+    Attributes:
+        order: Kernel positions (0-based execution indices) in the
+            order the optimizer should visit them.
+        above_target: Positions whose accumulated runtime throughput was
+            above the overall target during profiling.
+    """
+
+    order: tuple
+    above_target: frozenset
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "order", tuple(self.order))
+        object.__setattr__(self, "above_target", frozenset(self.above_target))
+        if sorted(self.order) != list(range(len(self.order))):
+            raise ValueError("order must be a permutation of 0..N-1")
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def window(self, current: int, horizon: Optional[int] = None) -> List[int]:
+        """Optimization order for execution position ``current``.
+
+        Args:
+            current: The execution index about to run.
+            horizon: Maximum window length H_i; ``None`` (or a value
+                covering the whole remaining run) uses the full future.
+
+        Returns:
+            Pending positions in search order, truncated at (and
+            including) ``current``.  The last element is always
+            ``current``.
+        """
+        if not 0 <= current < len(self.order):
+            raise ValueError(f"current={current} out of range")
+        limit = len(self.order) if horizon is None else max(1, horizon)
+        window: List[int] = []
+        for position in self.order:
+            if position < current or position >= current + limit:
+                continue
+            window.append(position)
+            if position == current:
+                break
+        if not window or window[-1] != current:
+            # The horizon window excluded everything that precedes the
+            # current kernel in search order; optimize it alone.
+            window = [current]
+        return window
+
+    def prefix_length(self, current: int) -> int:
+        """Unbounded window length at a position (for the paper's N̄)."""
+        return len(self.window(current, horizon=None))
+
+    def mean_prefix_length(self) -> float:
+        """The paper's N̄: average per-kernel horizon from the order."""
+        n = len(self.order)
+        return sum(self.prefix_length(i) for i in range(n)) / n
+
+
+def build_search_order(
+    kernel_throughputs: Sequence[float],
+    cumulative_throughputs: Sequence[float],
+    target_throughput: float,
+) -> SearchOrder:
+    """Build the search order from a profiling run.
+
+    Args:
+        kernel_throughputs: Individual throughput of each launch, in
+            execution order.
+        cumulative_throughputs: Accumulated application throughput
+            after each launch (ΣI/ΣT over the run so far).
+        target_throughput: The overall target throughput.
+
+    Returns:
+        The search order.
+    """
+    if len(kernel_throughputs) != len(cumulative_throughputs):
+        raise ValueError("throughput sequences must have equal length")
+    if not kernel_throughputs:
+        raise ValueError("cannot build a search order for an empty run")
+    if target_throughput <= 0:
+        raise ValueError("target throughput must be positive")
+
+    above = [
+        i
+        for i, cum in enumerate(cumulative_throughputs)
+        if cum >= target_throughput
+    ]
+    below = [i for i in range(len(kernel_throughputs)) if i not in set(above)]
+
+    above.sort(key=lambda i: (kernel_throughputs[i], i))
+    below.sort(key=lambda i: (-kernel_throughputs[i], i))
+
+    return SearchOrder(order=tuple(above + below), above_target=frozenset(above))

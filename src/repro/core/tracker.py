@@ -1,0 +1,125 @@
+"""Performance tracker: throughput target and execution-time headroom.
+
+Implements Equations 4 and 5 of the paper.  The tracker accumulates the
+instructions and kernel time of completed launches and, given an
+expected instruction count for an upcoming kernel, computes the maximum
+execution time that kernel may take while keeping the cumulative
+throughput at or above the target:
+
+    E[T_i] <= (sum_{j<i} I_j + E[I_i]) / (I_total/T_total) - sum_{j<i} T_j
+
+"Significant performance slack provides the optimizer with the
+opportunity to aggressively save energy.  With less headroom, the
+optimizer operates more conservatively."
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["PerformanceTracker"]
+
+
+class PerformanceTracker:
+    """Tracks cumulative kernel throughput against a target.
+
+    Args:
+        target_throughput: The performance target ``I_total/T_total`` in
+            instructions per second — in the paper, the throughput the
+            default Turbo Core power manager achieves.
+    """
+
+    def __init__(self, target_throughput: float) -> None:
+        if target_throughput <= 0 or not math.isfinite(target_throughput):
+            raise ValueError("target throughput must be positive and finite")
+        self.target_throughput = target_throughput
+        self._instructions = 0.0
+        self._time_s = 0.0
+
+    # ----- state ------------------------------------------------------------
+
+    @property
+    def instructions(self) -> float:
+        """Instructions retired by completed launches (Σ I_j)."""
+        return self._instructions
+
+    @property
+    def time_s(self) -> float:
+        """Kernel time of completed launches (Σ T_j; no overheads)."""
+        return self._time_s
+
+    @property
+    def throughput(self) -> float:
+        """Cumulative throughput so far; infinite before any launch."""
+        if self._time_s == 0.0:
+            return math.inf
+        return self._instructions / self._time_s
+
+    def above_target(self) -> bool:
+        """Whether cumulative throughput meets or exceeds the target."""
+        return self.throughput >= self.target_throughput
+
+    def update(self, instructions: float, time_s: float) -> None:
+        """Record a completed launch.
+
+        Args:
+            instructions: Instructions the launch retired.
+            time_s: Kernel wall-clock time of the launch.
+        """
+        if instructions < 0 or time_s < 0:
+            raise ValueError("instructions and time must be non-negative")
+        self._instructions += instructions
+        self._time_s += time_s
+
+    def adjust(self, instructions: float, time_s: float) -> None:
+        """Apply a *signed* correction to the accumulated state.
+
+        Used by speculative window planning to move a kernel between
+        "reserved at fail-safe" and "committed at its optimized
+        estimate"; real execution accounting should use :meth:`update`.
+        """
+        self._instructions += instructions
+        self._time_s += time_s
+
+    def reset(self) -> None:
+        """Forget all accumulated history."""
+        self._instructions = 0.0
+        self._time_s = 0.0
+
+    # ----- headroom (Equations 4-5) ------------------------------------------
+
+    def headroom_s(self, expected_instructions: float) -> float:
+        """Maximum time the next kernel may take (Equation 5).
+
+        Args:
+            expected_instructions: The pattern extractor's estimate of
+                the upcoming kernel's instruction count, E[I_i].
+
+        Returns:
+            The time budget in seconds; can be negative when past
+            launches have already fallen behind the target so far that
+            even a zero-time kernel would not catch up.
+        """
+        if expected_instructions < 0:
+            raise ValueError("expected instructions must be non-negative")
+        budget = (
+            (self._instructions + expected_instructions) / self.target_throughput
+            - self._time_s
+        )
+        return budget
+
+    def admits(self, expected_instructions: float, expected_time_s: float) -> bool:
+        """Equation 4: would this launch keep cumulative throughput on target?"""
+        return expected_time_s <= self.headroom_s(expected_instructions)
+
+    def copy(self) -> "PerformanceTracker":
+        """An independent tracker with the same state.
+
+        The MPC window optimization speculates several kernels ahead;
+        it works on a copy and leaves the live tracker untouched until
+        launches actually complete.
+        """
+        clone = PerformanceTracker(self.target_throughput)
+        clone._instructions = self._instructions
+        clone._time_s = self._time_s
+        return clone

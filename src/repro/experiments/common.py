@@ -1,0 +1,325 @@
+"""Shared infrastructure for the per-figure experiment modules.
+
+Most figures compare the same handful of policy runs over the same 15
+benchmarks, so :class:`ExperimentContext` runs each (benchmark, policy)
+pair once and caches the result.  The canonical run variants are:
+
+* ``turbo``      — AMD Turbo Core (the normalization baseline).
+* ``ppk``        — PPK with the Random Forest predictor, overheads charged.
+* ``ppk_oracle`` — PPK with perfect prediction, no overheads (Figure 4).
+* ``mpc_first``  — the MPC framework's first (profiling) invocation.
+* ``mpc``        — MPC steady state: invocation after profiling, adaptive
+  horizon, Random Forest predictions, overheads charged (Figures 8-10).
+* ``mpc_full``   — MPC with full horizon, overheads charged (Section VI-E).
+* ``mpc_ideal``  — MPC with perfect prediction, full horizon, no
+  overheads (Figure 12).
+* ``to``         — the Theoretically Optimal plan (Figures 4 and 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.manager import MPCPowerManager
+from repro.core.oracle import solve_theoretically_optimal
+from repro.core.policies import PlannedPolicy, PPKPolicy
+from repro.hardware.apu import APUModel
+from repro.hardware.config import ConfigSpace
+from repro.ml.errors import SyntheticErrorPredictor
+from repro.ml.predictors import (
+    OraclePredictor,
+    PerfPowerPredictor,
+    RandomForestPredictor,
+    train_predictor,
+)
+from repro.sim.simulator import OverheadModel, Simulator
+from repro.sim.trace import RunResult
+from repro.sim.turbocore import TurboCorePolicy
+from repro.workloads.app import Application
+from repro.workloads.suites import BENCHMARK_NAMES, benchmark
+
+__all__ = ["ExperimentTable", "ExperimentContext", "default_context"]
+
+#: Default on-disk cache for the trained Random Forest.
+DEFAULT_CACHE_DIR = ".cache"
+
+
+@dataclass
+class ExperimentTable:
+    """A reproduced table/figure: headers plus printable rows.
+
+    Attributes:
+        experiment_id: The paper's identifier, e.g. ``"Figure 8"``.
+        title: What the table shows.
+        headers: Column names.
+        rows: One list of cell values per row.
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one row; must match the header width."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row width {len(cells)} != header width {len(self.headers)}"
+            )
+        self.rows.append(list(cells))
+
+    def column(self, name: str) -> List[object]:
+        """All values of one named column."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    def row_for(self, key: object) -> List[object]:
+        """The row whose first cell equals ``key``."""
+        for row in self.rows:
+            if row[0] == key:
+                return row
+        raise KeyError(f"no row keyed {key!r}")
+
+    def format(self) -> str:
+        """Render as an aligned text table."""
+        def fmt(cell: object) -> str:
+            if isinstance(cell, float):
+                return f"{cell:.3f}"
+            return str(cell)
+
+        table = [self.headers] + [[fmt(c) for c in row] for row in self.rows]
+        widths = [max(len(row[i]) for row in table) for i in range(len(self.headers))]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for i, row in enumerate(table):
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+
+class ExperimentContext:
+    """Caches policy runs shared by the experiment modules.
+
+    Args:
+        benchmark_names: Benchmarks to evaluate (defaults to all 15).
+        simulator: The execution simulator (APU + overhead model).
+        predictor: The Random Forest predictor; trained (or loaded from
+            ``cache_dir``) on first use when not supplied.
+        cache_dir: On-disk cache directory for the trained forest.
+        alpha: Adaptive-horizon performance-penalty bound.
+    """
+
+    def __init__(
+        self,
+        benchmark_names: Optional[Sequence[str]] = None,
+        simulator: Optional[Simulator] = None,
+        predictor: Optional[RandomForestPredictor] = None,
+        cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
+        alpha: float = 0.05,
+    ) -> None:
+        self.benchmark_names: List[str] = list(
+            benchmark_names if benchmark_names is not None else BENCHMARK_NAMES
+        )
+        self.sim = simulator if simulator is not None else Simulator()
+        self.space = ConfigSpace()
+        self.alpha = alpha
+        self._cache_dir = cache_dir
+        self._predictor = predictor
+        self._apps: Dict[str, Application] = {}
+        self._runs: Dict[tuple, RunResult] = {}
+
+    # ----- building blocks -----------------------------------------------------
+
+    @property
+    def apu(self) -> APUModel:
+        """The ground-truth hardware model."""
+        return self.sim.apu
+
+    @property
+    def predictor(self) -> RandomForestPredictor:
+        """The (lazily trained) Random Forest predictor."""
+        if self._predictor is None:
+            self._predictor = train_predictor(
+                apu=self.apu, cache_dir=self._cache_dir
+            )
+        return self._predictor
+
+    def app(self, name: str) -> Application:
+        """The benchmark application, built once."""
+        if name not in self._apps:
+            self._apps[name] = benchmark(name)
+        return self._apps[name]
+
+    def oracle(self, name: str) -> OraclePredictor:
+        """A perfect predictor restricted to one benchmark's kernels."""
+        return OraclePredictor(self.apu, self.app(name).unique_kernels)
+
+    def target_throughput(self, name: str) -> float:
+        """The baseline (Turbo Core) kernel throughput of a benchmark."""
+        turbo = self.turbo(name)
+        return turbo.instructions / turbo.kernel_time_s
+
+    # ----- cached runs -----------------------------------------------------------
+
+    def _cached(self, key: tuple, build: Callable[[], RunResult]) -> RunResult:
+        if key not in self._runs:
+            self._runs[key] = build()
+        return self._runs[key]
+
+    def turbo(self, name: str) -> RunResult:
+        """The Turbo Core baseline run."""
+        return self._cached(
+            (name, "turbo"),
+            lambda: self.sim.run(self.app(name), TurboCorePolicy(tdp_w=self.apu.tdp_w)),
+        )
+
+    def ppk(self, name: str) -> RunResult:
+        """PPK with Random Forest predictions, overheads charged."""
+        def build() -> RunResult:
+            policy = PPKPolicy(
+                self.target_throughput(name), self.predictor, self.space
+            )
+            return self.sim.run(self.app(name), policy)
+        return self._cached((name, "ppk"), build)
+
+    def ppk_oracle(self, name: str) -> RunResult:
+        """PPK with perfect per-kernel knowledge, no overheads (Fig. 4)."""
+        def build() -> RunResult:
+            policy = PPKPolicy(
+                self.target_throughput(name), self.oracle(name), self.space
+            )
+            return self.sim.run(self.app(name), policy, charge_overhead=False)
+        return self._cached((name, "ppk_oracle"), build)
+
+    def _mpc_pair(self, name: str, *, adaptive: bool) -> None:
+        manager = MPCPowerManager(
+            self.target_throughput(name),
+            self.predictor,
+            self.space,
+            alpha=self.alpha,
+            adaptive_horizon=adaptive,
+            overhead_model=self.sim.overhead,
+        )
+        app = self.app(name)
+        suffix = "" if adaptive else "_full"
+        first = self.sim.run(app, manager)
+        steady = self.sim.run(app, manager)
+        self._runs[(name, "mpc_first" + suffix)] = first
+        self._runs[(name, "mpc" + suffix)] = steady
+
+    def mpc(self, name: str) -> RunResult:
+        """MPC steady state: adaptive horizon, RF, overheads charged."""
+        key = (name, "mpc")
+        if key not in self._runs:
+            self._mpc_pair(name, adaptive=True)
+        return self._runs[key]
+
+    def mpc_first(self, name: str) -> RunResult:
+        """The profiling (first) invocation of the MPC framework."""
+        key = (name, "mpc_first")
+        if key not in self._runs:
+            self._mpc_pair(name, adaptive=True)
+        return self._runs[key]
+
+    def mpc_full_horizon(self, name: str) -> RunResult:
+        """MPC steady state with the full (non-adaptive) horizon."""
+        key = (name, "mpc_full")
+        if key not in self._runs:
+            self._mpc_pair(name, adaptive=False)
+        return self._runs[key]
+
+    def mpc_ideal(self, name: str) -> RunResult:
+        """MPC with perfect prediction, full horizon, no overheads."""
+        def build() -> RunResult:
+            manager = MPCPowerManager(
+                self.target_throughput(name),
+                self.oracle(name),
+                self.space,
+                adaptive_horizon=False,
+                overhead_model=self.sim.overhead,
+            )
+            app = self.app(name)
+            self.sim.run(app, manager, charge_overhead=False)  # profiling
+            return self.sim.run(app, manager, charge_overhead=False)
+        return self._cached((name, "mpc_ideal"), build)
+
+    def mpc_variant(self, name: str, tag: str, *,
+                    simulator: Optional[Simulator] = None,
+                    **manager_kwargs) -> RunResult:
+        """MPC steady state with arbitrary manager options (ablations).
+
+        Args:
+            name: Benchmark name.
+            tag: Cache key suffix distinguishing the variant.
+            simulator: Optional alternative simulator (e.g. one with
+                CPU-phase overhead hiding); defaults to the shared one.
+            **manager_kwargs: Extra :class:`MPCPowerManager` arguments
+                (``use_search_order``, ``window_reserve``, ``alpha``...).
+
+        Returns:
+            The steady-state run of the variant.
+        """
+        sim = simulator if simulator is not None else self.sim
+        def build() -> RunResult:
+            manager = MPCPowerManager(
+                self.target_throughput(name),
+                self.predictor,
+                self.space,
+                overhead_model=sim.overhead,
+                **manager_kwargs,
+            )
+            app = self.app(name)
+            sim.run(app, manager)
+            return sim.run(app, manager)
+        return self._cached((name, "mpc_variant", tag), build)
+
+    def mpc_with_predictor(self, name: str, predictor: PerfPowerPredictor,
+                           tag: str) -> RunResult:
+        """MPC steady state under an arbitrary predictor (Figure 13).
+
+        Full horizon and no overhead charging, matching the paper's
+        setup for the prediction-accuracy study.
+        """
+        def build() -> RunResult:
+            manager = MPCPowerManager(
+                self.target_throughput(name),
+                predictor,
+                self.space,
+                adaptive_horizon=False,
+                overhead_model=self.sim.overhead,
+            )
+            app = self.app(name)
+            self.sim.run(app, manager, charge_overhead=False)
+            return self.sim.run(app, manager, charge_overhead=False)
+        return self._cached((name, "mpc_pred", tag), build)
+
+    def mpc_error_model(self, name: str, time_error: float,
+                        power_error: float) -> RunResult:
+        """MPC under a half-normal synthetic-error oracle (Figure 13)."""
+        predictor = SyntheticErrorPredictor(
+            self.oracle(name), time_error, power_error
+        )
+        tag = f"err_{time_error:g}_{power_error:g}"
+        return self.mpc_with_predictor(name, predictor, tag)
+
+    def theoretically_optimal(self, name: str) -> RunResult:
+        """The Theoretically Optimal plan, replayed with no overheads."""
+        def build() -> RunResult:
+            plan = solve_theoretically_optimal(
+                self.app(name), self.apu, self.target_throughput(name), self.space
+            )
+            policy = PlannedPolicy(plan.configs, name="TheoreticallyOptimal")
+            return self.sim.run(self.app(name), policy, charge_overhead=False)
+        return self._cached((name, "to"), build)
+
+
+_DEFAULT: Optional[ExperimentContext] = None
+
+
+def default_context() -> ExperimentContext:
+    """A process-wide shared context (used by benches and examples)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = ExperimentContext()
+    return _DEFAULT

@@ -1,0 +1,63 @@
+"""Figure 12: how close heuristic MPC gets to the theoretical limit.
+
+Both schemes get perfect prediction, no overheads, and unlimited
+horizons; the only differences left are MPC's greedy hill climbing and
+fixed search order versus TO's globally optimal assignment.  Shape
+target: MPC captures the large majority of TO's energy savings (the
+paper reports 92% of the savings and 93% of the performance gain).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import ExperimentContext, ExperimentTable
+from repro.sim.metrics import energy_savings_pct, geomean, mean, speedup
+
+__all__ = ["fig12", "fig12_summary"]
+
+
+def fig12(ctx: ExperimentContext) -> ExperimentTable:
+    """Reproduce Figure 12: idealized MPC vs Theoretically Optimal."""
+    table = ExperimentTable(
+        experiment_id="Figure 12",
+        title="Idealized MPC (perfect prediction, full horizon, no "
+        "overhead) vs Theoretically Optimal, over Turbo Core",
+        headers=[
+            "Benchmark",
+            "MPC energy savings (%)",
+            "TO energy savings (%)",
+            "MPC speedup",
+            "TO speedup",
+        ],
+    )
+    for name in ctx.benchmark_names:
+        turbo = ctx.turbo(name)
+        mpc = ctx.mpc_ideal(name)
+        to = ctx.theoretically_optimal(name)
+        table.add_row(
+            name,
+            round(energy_savings_pct(mpc, turbo), 2),
+            round(energy_savings_pct(to, turbo), 2),
+            round(speedup(mpc, turbo), 3),
+            round(speedup(to, turbo), 3),
+        )
+    return table
+
+
+def fig12_summary(ctx: ExperimentContext) -> Dict[str, float]:
+    """The fraction of TO's gains the MPC heuristic captures."""
+    mpc_savings, to_savings, mpc_speed, to_speed = [], [], [], []
+    for name in ctx.benchmark_names:
+        turbo = ctx.turbo(name)
+        mpc_savings.append(energy_savings_pct(ctx.mpc_ideal(name), turbo))
+        to_savings.append(energy_savings_pct(ctx.theoretically_optimal(name), turbo))
+        mpc_speed.append(speedup(ctx.mpc_ideal(name), turbo))
+        to_speed.append(speedup(ctx.theoretically_optimal(name), turbo))
+    return {
+        "mpc_energy_savings_pct": mean(mpc_savings),
+        "to_energy_savings_pct": mean(to_savings),
+        "energy_capture_ratio": mean(mpc_savings) / mean(to_savings),
+        "mpc_speedup": geomean(mpc_speed),
+        "to_speedup": geomean(to_speed),
+    }

@@ -1,0 +1,81 @@
+"""Figure 13: sensitivity of MPC to prediction-model accuracy.
+
+Compares MPC driven by the trained Random Forest against MPC driven by
+synthetic predictors whose errors follow a half-normal distribution with
+mean absolute errors matching recently published models:
+
+* ``Err_15%_10%`` — 15% performance / 10% power (Wu et al., HPCA'15),
+* ``Err_5%``      — 5% / 5% (Paul et al., ISCA'15),
+* ``Err_0%``      — a perfect model.
+
+All variants run a full horizon with no overheads, as in the paper.
+Shape target: the energy/performance results are only mildly sensitive
+to prediction accuracy, because MPC evaluates the model sparingly and
+the runtime-feedback headroom corrects for mispredictions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.experiments.common import ExperimentContext, ExperimentTable
+from repro.sim.metrics import energy_savings_pct, geomean, mean, speedup
+
+__all__ = ["ERROR_MODELS", "fig13", "fig13_summary"]
+
+#: (label, time error, power error) for the synthetic predictors.
+ERROR_MODELS: Tuple[Tuple[str, float, float], ...] = (
+    ("Err_15%_10%", 0.15, 0.10),
+    ("Err_5%", 0.05, 0.05),
+    ("Err_0%", 0.0, 0.0),
+)
+
+
+def _variant_run(ctx: ExperimentContext, name: str, label: str):
+    if label == "RF":
+        return ctx.mpc_with_predictor(name, ctx.predictor, "rf_full")
+    for model_label, time_err, power_err in ERROR_MODELS:
+        if model_label == label:
+            return ctx.mpc_error_model(name, time_err, power_err)
+    raise KeyError(f"unknown predictor variant {label!r}")
+
+
+def fig13(ctx: ExperimentContext) -> ExperimentTable:
+    """Reproduce Figure 13 per benchmark and predictor variant."""
+    labels = ["RF"] + [label for label, _, _ in ERROR_MODELS]
+    table = ExperimentTable(
+        experiment_id="Figure 13",
+        title="Impact of prediction accuracy (full horizon, no overhead): "
+        "energy savings and speedup over Turbo Core",
+        headers=["Benchmark"]
+        + [f"E% ({label})" for label in labels]
+        + [f"Speedup ({label})" for label in labels],
+    )
+    for name in ctx.benchmark_names:
+        turbo = ctx.turbo(name)
+        runs = [_variant_run(ctx, name, label) for label in labels]
+        table.add_row(
+            name,
+            *[round(energy_savings_pct(r, turbo), 2) for r in runs],
+            *[round(speedup(r, turbo), 3) for r in runs],
+        )
+    return table
+
+
+def fig13_summary(ctx: ExperimentContext) -> Dict[str, Dict[str, float]]:
+    """Aggregate savings/speedup per predictor variant."""
+    labels = ["RF"] + [label for label, _, _ in ERROR_MODELS]
+    out: Dict[str, Dict[str, float]] = {}
+    for label in labels:
+        savings: List[float] = []
+        speeds: List[float] = []
+        for name in ctx.benchmark_names:
+            turbo = ctx.turbo(name)
+            run = _variant_run(ctx, name, label)
+            savings.append(energy_savings_pct(run, turbo))
+            speeds.append(speedup(run, turbo))
+        out[label] = {
+            "energy_savings_pct": mean(savings),
+            "speedup": geomean(speeds),
+        }
+    return out

@@ -1,0 +1,57 @@
+"""Figure 14: MPC's own energy and performance overheads.
+
+The worst-case accounting of the paper: kernels arrive back-to-back, so
+every optimizer invocation delays the application and burns CPU energy
+(plus GPU idle leakage).  Reported relative to the Turbo Core run.
+Shape targets: sub-1% performance overhead and a fraction of a percent
+of energy, with the short-kernel benchmark (Spmv) the worst.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import ExperimentContext, ExperimentTable
+from repro.sim.metrics import mean
+
+__all__ = ["fig14", "fig14_summary"]
+
+
+def fig14(ctx: ExperimentContext) -> ExperimentTable:
+    """Reproduce Figure 14: MPC overheads relative to Turbo Core."""
+    table = ExperimentTable(
+        experiment_id="Figure 14",
+        title="MPC energy and performance overheads vs Turbo Core "
+        "(adaptive horizon, alpha = 0.05)",
+        headers=[
+            "Benchmark",
+            "Energy overhead (%)",
+            "Performance overhead (%)",
+        ],
+    )
+    for name in ctx.benchmark_names:
+        turbo = ctx.turbo(name)
+        mpc = ctx.mpc(name)
+        table.add_row(
+            name,
+            round(100.0 * mpc.overhead_energy_j / turbo.energy_j, 3),
+            round(100.0 * mpc.overhead_time_s / turbo.total_time_s, 3),
+        )
+    return table
+
+
+def fig14_summary(ctx: ExperimentContext) -> Dict[str, float]:
+    """Mean and maximum overheads across the benchmarks."""
+    energy = []
+    perf = []
+    for name in ctx.benchmark_names:
+        turbo = ctx.turbo(name)
+        mpc = ctx.mpc(name)
+        energy.append(100.0 * mpc.overhead_energy_j / turbo.energy_j)
+        perf.append(100.0 * mpc.overhead_time_s / turbo.total_time_s)
+    return {
+        "mean_energy_overhead_pct": mean(energy),
+        "max_energy_overhead_pct": max(energy),
+        "mean_perf_overhead_pct": mean(perf),
+        "max_perf_overhead_pct": max(perf),
+    }

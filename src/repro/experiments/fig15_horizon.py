@@ -1,0 +1,44 @@
+"""Figure 15: average adaptive horizon length per benchmark.
+
+Reports MPC's mean horizon as a percentage of each application's total
+kernel count N.  Shape targets: long-kernel benchmarks (NBody, lbm,
+EigenValue, XSBench) afford large horizons; short-kernel benchmarks
+(Spmv and the graph workloads) shrink the horizon sharply to bound
+their overheads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import ExperimentContext, ExperimentTable
+
+__all__ = ["fig15", "fig15_summary"]
+
+
+def fig15(ctx: ExperimentContext) -> ExperimentTable:
+    """Reproduce Figure 15: mean horizon as a % of kernel count."""
+    table = ExperimentTable(
+        experiment_id="Figure 15",
+        title="Average MPC horizon length relative to the number of "
+        "kernels (adaptive horizon, alpha = 0.05)",
+        headers=["Benchmark", "N", "Mean horizon", "Horizon (% of N)"],
+    )
+    for name in ctx.benchmark_names:
+        mpc = ctx.mpc(name)
+        n = len(ctx.app(name))
+        table.add_row(
+            name,
+            n,
+            round(mpc.mean_horizon, 2),
+            round(100.0 * mpc.mean_horizon / n, 1),
+        )
+    return table
+
+
+def fig15_summary(ctx: ExperimentContext) -> Dict[str, float]:
+    """Mean horizon percentage per benchmark, keyed by name."""
+    return {
+        name: 100.0 * ctx.mpc(name).mean_horizon / len(ctx.app(name))
+        for name in ctx.benchmark_names
+    }

@@ -1,0 +1,87 @@
+"""Figure 2: kernel scaling behaviour across NB states and CU counts.
+
+For one representative kernel of each scaling class, sweep the NB state
+(NB3..NB0) and the CU count (2..8) at the fastest GPU DPM state, report
+the speedup over the smallest configuration, and mark the
+energy-optimal point of the full (NB x DPM x CU) sweep.
+
+Shape targets from the paper:
+
+* compute-bound speeds up ~4x with CUs and ignores the NB state; its
+  energy optimum sits at a *low* NB state;
+* memory-bound speeds up with the NB state but saturates from NB2
+  (same DRAM bus as NB1/NB0) and with CUs once the bus is saturated;
+* the "peak" kernel is fastest (and most efficient) below 8 CUs due to
+  shared-cache interference;
+* the unscalable kernel is flat everywhere and most efficient at the
+  smallest configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import ExperimentContext, ExperimentTable
+from repro.hardware.config import HardwareConfig
+from repro.workloads.kernel import KernelSpec, ScalingClass
+
+__all__ = ["REPRESENTATIVE_KERNELS", "fig2"]
+
+#: One representative kernel per scaling class (paper's exemplars:
+#: MaxFlops, readGlobalMemoryCoalesced, writeCandidates, astar).
+REPRESENTATIVE_KERNELS: Dict[str, KernelSpec] = {
+    "compute (MaxFlops)": KernelSpec(
+        "MaxFlops", ScalingClass.COMPUTE, 10.0, 0.02,
+        parallel_fraction=0.995, compute_efficiency=0.9,
+    ),
+    "memory (readGlobalMemoryCoalesced)": KernelSpec(
+        "readGlobalMemoryCoalesced", ScalingClass.MEMORY, 0.8, 1.5,
+        parallel_fraction=0.9, compute_efficiency=0.7,
+    ),
+    "peak (writeCandidates)": KernelSpec(
+        "writeCandidates", ScalingClass.PEAK, 4.0, 0.5,
+        cache_interference=0.5, cache_sweet_spot_cu=4,
+        parallel_fraction=0.95, compute_efficiency=0.75,
+    ),
+    "unscalable (astar)": KernelSpec(
+        "astar", ScalingClass.UNSCALABLE, 0.3, 0.08, serial_time_s=0.03,
+        parallel_fraction=0.7,
+    ),
+}
+
+_NB_STATES = ("NB3", "NB2", "NB1", "NB0")
+_CU_COUNTS = (2, 4, 6, 8)
+
+
+def fig2(ctx: ExperimentContext) -> ExperimentTable:
+    """Reproduce Figure 2's speedup grids and energy-optimal marks."""
+    table = ExperimentTable(
+        experiment_id="Figure 2",
+        title="Kernel speedup vs NB state x CU count (GPU at DPM4), with "
+        "the energy-optimal configuration of the full sweep",
+        headers=["Kernel class", "NB state"]
+        + [f"{cu} CUs" for cu in _CU_COUNTS]
+        + ["Energy-optimal config"],
+    )
+    apu = ctx.apu
+    for label, spec in REPRESENTATIVE_KERNELS.items():
+        reference = apu.execute(
+            spec, HardwareConfig(cpu="P5", nb="NB3", gpu="DPM4", cu=2)
+        ).time_s
+
+        optimal = min(
+            (c for c in ctx.space if c.cpu == "P7"),
+            key=lambda c: apu.kernel_energy(spec, c),
+        )
+        for nb in _NB_STATES:
+            speedups = []
+            for cu in _CU_COUNTS:
+                config = HardwareConfig(cpu="P5", nb=nb, gpu="DPM4", cu=cu)
+                speedups.append(reference / apu.execute(spec, config).time_s)
+            table.add_row(
+                label,
+                nb,
+                *[round(s, 3) for s in speedups],
+                str(optimal),
+            )
+    return table

@@ -1,0 +1,39 @@
+"""Figure 3: kernel throughput phases of Spmv, kmeans, hybridsort.
+
+Runs the three Table-II benchmarks under the Turbo Core baseline and
+reports each launch's instruction throughput normalized to the
+application's overall throughput.  Shape targets: Spmv steps from high
+to low throughput; kmeans opens low then jumps high; hybridsort bounces
+across kernels and across inputs of the same kernel.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentContext, ExperimentTable
+
+__all__ = ["FIG3_BENCHMARKS", "fig3", "throughput_series"]
+
+FIG3_BENCHMARKS = ("Spmv", "kmeans", "hybridsort")
+
+
+def throughput_series(ctx: ExperimentContext, name: str) -> list:
+    """Per-launch throughput normalized to the app's overall throughput."""
+    run = ctx.turbo(name)
+    overall = run.instructions / run.kernel_time_s
+    return [record.throughput / overall for record in run.launches]
+
+
+def fig3(ctx: ExperimentContext) -> ExperimentTable:
+    """Reproduce Figure 3's normalized-throughput series."""
+    table = ExperimentTable(
+        experiment_id="Figure 3",
+        title="Normalized kernel throughput over execution order "
+        "(y normalized to each app's overall throughput)",
+        headers=["Benchmark", "Launch", "Kernel", "Normalized throughput"],
+    )
+    for name in FIG3_BENCHMARKS:
+        series = throughput_series(ctx, name)
+        run = ctx.turbo(name)
+        for record, value in zip(run.launches, series):
+            table.add_row(name, record.index + 1, record.kernel_key, round(value, 3))
+    return table

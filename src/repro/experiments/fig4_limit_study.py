@@ -1,0 +1,43 @@
+"""Figure 4: the limit study — PPK vs Theoretically Optimal.
+
+Both schemes get *perfect* knowledge of every kernel's behaviour at
+every configuration and incur no overhead; TO additionally knows the
+exact future.  Shape targets: PPK matches TO on the regular benchmarks
+(single repeating kernel — future knowledge is worthless) and falls
+behind — in energy, performance, or both — on the irregular ones.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentContext, ExperimentTable
+from repro.sim.metrics import energy_savings_pct, speedup
+
+__all__ = ["fig4"]
+
+
+def fig4(ctx: ExperimentContext) -> ExperimentTable:
+    """Reproduce Figure 4: PPK / TO savings and speedup over Turbo Core."""
+    table = ExperimentTable(
+        experiment_id="Figure 4",
+        title="Limit study with perfect prediction: energy savings and "
+        "speedup over AMD Turbo Core",
+        headers=[
+            "Benchmark",
+            "PPK energy savings (%)",
+            "TO energy savings (%)",
+            "PPK speedup",
+            "TO speedup",
+        ],
+    )
+    for name in ctx.benchmark_names:
+        turbo = ctx.turbo(name)
+        ppk = ctx.ppk_oracle(name)
+        to = ctx.theoretically_optimal(name)
+        table.add_row(
+            name,
+            round(energy_savings_pct(ppk, turbo), 2),
+            round(energy_savings_pct(to, turbo), 2),
+            round(speedup(ppk, turbo), 3),
+            round(speedup(to, turbo), 3),
+        )
+    return table

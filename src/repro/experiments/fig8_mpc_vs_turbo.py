@@ -1,0 +1,66 @@
+"""Figure 8: PPK and MPC energy savings and speedup over Turbo Core.
+
+Both policies use the Random Forest predictor and are charged for their
+optimization overheads; MPC results are steady-state (after the
+profiling invocation).  Shape targets: MPC fares similarly to PPK on
+the regular benchmarks and pronouncedly better on the irregular ones;
+MPC's overall performance loss stays within a few percent (the adaptive
+horizon bounds it near alpha = 5%), with srad the worst case.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentContext, ExperimentTable
+from repro.sim.metrics import energy_savings_pct, geomean, mean, speedup
+
+__all__ = ["fig8", "fig8_summary"]
+
+
+def fig8(ctx: ExperimentContext) -> ExperimentTable:
+    """Reproduce Figure 8: per-benchmark PPK and MPC vs Turbo Core."""
+    table = ExperimentTable(
+        experiment_id="Figure 8",
+        title="PPK and MPC energy savings / speedup over AMD Turbo Core "
+        "(Random Forest predictions, overheads included)",
+        headers=[
+            "Benchmark",
+            "PPK energy savings (%)",
+            "MPC energy savings (%)",
+            "PPK speedup",
+            "MPC speedup",
+        ],
+    )
+    for name in ctx.benchmark_names:
+        turbo = ctx.turbo(name)
+        ppk = ctx.ppk(name)
+        mpc = ctx.mpc(name)
+        table.add_row(
+            name,
+            round(energy_savings_pct(ppk, turbo), 2),
+            round(energy_savings_pct(mpc, turbo), 2),
+            round(speedup(ppk, turbo), 3),
+            round(speedup(mpc, turbo), 3),
+        )
+    return table
+
+
+def fig8_summary(ctx: ExperimentContext) -> dict:
+    """Aggregate Figure-8 numbers (the paper's 24.8% / -1.8% headline).
+
+    Returns:
+        Dict with mean energy savings (%) and geomean speedups of MPC
+        and PPK over Turbo Core.
+    """
+    mpc_savings, ppk_savings, mpc_speed, ppk_speed = [], [], [], []
+    for name in ctx.benchmark_names:
+        turbo = ctx.turbo(name)
+        mpc_savings.append(energy_savings_pct(ctx.mpc(name), turbo))
+        ppk_savings.append(energy_savings_pct(ctx.ppk(name), turbo))
+        mpc_speed.append(speedup(ctx.mpc(name), turbo))
+        ppk_speed.append(speedup(ctx.ppk(name), turbo))
+    return {
+        "mpc_energy_savings_pct": mean(mpc_savings),
+        "ppk_energy_savings_pct": mean(ppk_savings),
+        "mpc_speedup": geomean(mpc_speed),
+        "ppk_speedup": geomean(ppk_speed),
+    }

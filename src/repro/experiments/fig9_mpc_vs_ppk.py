@@ -1,0 +1,60 @@
+"""Figure 9: MPC energy savings and speedup relative to PPK.
+
+Both schemes use the Random Forest predictor and include their
+optimization overheads.  Shape targets: near-zero deltas on the regular
+benchmarks; simultaneous energy savings *and* speedup for most of the
+12 irregular ones (the paper's aggregate: 6.6% energy, 9.6% speedup).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentContext, ExperimentTable
+from repro.sim.metrics import energy_savings_pct, geomean, mean, speedup
+
+__all__ = ["fig9", "fig9_summary"]
+
+
+def fig9(ctx: ExperimentContext) -> ExperimentTable:
+    """Reproduce Figure 9: MPC vs PPK per benchmark."""
+    table = ExperimentTable(
+        experiment_id="Figure 9",
+        title="MPC energy savings and speedup over PPK "
+        "(both with Random Forest, overheads included)",
+        headers=["Benchmark", "Energy savings vs PPK (%)", "Speedup vs PPK"],
+    )
+    for name in ctx.benchmark_names:
+        ppk = ctx.ppk(name)
+        mpc = ctx.mpc(name)
+        table.add_row(
+            name,
+            round(energy_savings_pct(mpc, ppk), 2),
+            round(speedup(mpc, ppk), 3),
+        )
+    return table
+
+
+def fig9_summary(ctx: ExperimentContext) -> dict:
+    """Aggregate MPC-vs-PPK numbers.
+
+    Returns:
+        Mean energy savings (%) and geomean speedup of MPC over PPK,
+        plus the same aggregates restricted to the irregular benchmarks.
+    """
+    savings, speeds = [], []
+    irr_savings, irr_speeds = [], []
+    for name in ctx.benchmark_names:
+        ppk = ctx.ppk(name)
+        mpc = ctx.mpc(name)
+        s = energy_savings_pct(mpc, ppk)
+        v = speedup(mpc, ppk)
+        savings.append(s)
+        speeds.append(v)
+        if not ctx.app(name).category.is_regular:
+            irr_savings.append(s)
+            irr_speeds.append(v)
+    return {
+        "energy_savings_pct": mean(savings),
+        "speedup": geomean(speeds),
+        "irregular_energy_savings_pct": mean(irr_savings),
+        "irregular_speedup": geomean(irr_speeds),
+    }

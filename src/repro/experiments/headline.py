@@ -1,0 +1,57 @@
+"""The paper's headline numbers (abstract / Section VI-A).
+
+* vs Turbo Core: 24.8% energy savings at 1.8% performance loss
+  (overheads included).
+* vs PPK: 6.6% chip-wide energy savings while improving performance by
+  9.6%; 5.1% GPU energy savings.
+* CPU/GPU split of the savings: 75% / 25%.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import ExperimentContext, ExperimentTable
+from repro.experiments.fig8_mpc_vs_turbo import fig8_summary
+from repro.experiments.fig9_mpc_vs_ppk import fig9_summary
+from repro.experiments.fig10_gpu_energy import fig10_summary
+
+__all__ = ["headline_numbers", "headline_table"]
+
+#: The paper's reported values, for side-by-side reporting.
+PAPER_VALUES: Dict[str, float] = {
+    "mpc_vs_turbo_energy_savings_pct": 24.8,
+    "mpc_vs_turbo_perf_loss_pct": 1.8,
+    "mpc_vs_ppk_energy_savings_pct": 6.6,
+    "mpc_vs_ppk_speedup_pct": 9.6,
+    "cpu_share_of_savings_pct": 75.0,
+    "gpu_share_of_savings_pct": 25.0,
+}
+
+
+def headline_numbers(ctx: ExperimentContext) -> Dict[str, float]:
+    """Compute the reproduction's headline aggregates."""
+    f8 = fig8_summary(ctx)
+    f9 = fig9_summary(ctx)
+    f10 = fig10_summary(ctx)
+    return {
+        "mpc_vs_turbo_energy_savings_pct": f8["mpc_energy_savings_pct"],
+        "mpc_vs_turbo_perf_loss_pct": 100.0 * (1.0 - f8["mpc_speedup"]),
+        "mpc_vs_ppk_energy_savings_pct": f9["energy_savings_pct"],
+        "mpc_vs_ppk_speedup_pct": 100.0 * (f9["speedup"] - 1.0),
+        "cpu_share_of_savings_pct": f10["cpu_share_of_savings_pct"],
+        "gpu_share_of_savings_pct": f10["gpu_share_of_savings_pct"],
+    }
+
+
+def headline_table(ctx: ExperimentContext) -> ExperimentTable:
+    """Paper-vs-measured table of the headline numbers."""
+    measured = headline_numbers(ctx)
+    table = ExperimentTable(
+        experiment_id="Headline",
+        title="Paper headline numbers vs this reproduction",
+        headers=["Metric", "Paper", "Reproduced"],
+    )
+    for key, paper_value in PAPER_VALUES.items():
+        table.add_row(key, paper_value, round(measured[key], 2))
+    return table

@@ -1,0 +1,96 @@
+"""Run every reproduced table and figure and print/collect the results.
+
+``python -m repro.experiments.runner`` regenerates all of the paper's
+tables and figures in one pass (sharing one context, so each policy run
+happens once) and prints them in order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments import (
+    ablation_design,
+    ablation_horizon,
+    fig2_scaling,
+    fig3_throughput,
+    fig4_limit_study,
+    fig7_search_order,
+    fig8_mpc_vs_turbo,
+    fig9_mpc_vs_ppk,
+    fig10_gpu_energy,
+    fig11_amortization,
+    fig12_theoretical_limit,
+    fig13_prediction_error,
+    fig14_overheads,
+    fig15_horizon,
+    headline,
+    tables,
+)
+from repro.experiments.common import ExperimentContext, ExperimentTable
+
+__all__ = ["ALL_EXPERIMENTS", "run_all"]
+
+#: Every experiment, in the paper's presentation order.
+ALL_EXPERIMENTS: Dict[str, Callable[[ExperimentContext], ExperimentTable]] = {
+    "table1": tables.table1,
+    "table2": tables.table2,
+    "fig2": fig2_scaling.fig2,
+    "fig3": fig3_throughput.fig3,
+    "fig4": fig4_limit_study.fig4,
+    "table3": tables.table3,
+    "table4": tables.table4,
+    "fig7": fig7_search_order.fig7,
+    "fig8": fig8_mpc_vs_turbo.fig8,
+    "fig9": fig9_mpc_vs_ppk.fig9,
+    "fig10": fig10_gpu_energy.fig10,
+    "fig11": fig11_amortization.fig11,
+    "fig12": fig12_theoretical_limit.fig12,
+    "fig13": fig13_prediction_error.fig13,
+    "fig14": fig14_overheads.fig14,
+    "fig15": fig15_horizon.fig15,
+    "headline": headline.headline_table,
+    "ablation": ablation_horizon.ablation,
+    "ablation_search_order": ablation_design.ablation_search_order,
+    "ablation_window_reserve": ablation_design.ablation_window_reserve,
+    "ablation_overhead_hiding": ablation_design.ablation_overhead_hiding,
+}
+
+
+def run_all(
+    ctx: Optional[ExperimentContext] = None,
+    only: Optional[Sequence[str]] = None,
+    echo: bool = True,
+) -> List[ExperimentTable]:
+    """Run the selected experiments and return their tables.
+
+    Args:
+        ctx: Shared context; a fresh one is created when omitted.
+        only: Experiment keys to run (defaults to all, in order).
+        echo: Whether to print each table as it completes.
+
+    Returns:
+        The produced tables, in run order.
+    """
+    ctx = ctx if ctx is not None else ExperimentContext()
+    keys = list(only) if only is not None else list(ALL_EXPERIMENTS)
+    results: List[ExperimentTable] = []
+    for key in keys:
+        try:
+            experiment = ALL_EXPERIMENTS[key]
+        except KeyError:
+            raise KeyError(
+                f"unknown experiment {key!r}; known: {', '.join(ALL_EXPERIMENTS)}"
+            ) from None
+        table = experiment(ctx)
+        results.append(table)
+        if echo:
+            print(table.format())
+            print()
+    return results
+
+
+if __name__ == "__main__":
+    import sys
+
+    run_all(only=sys.argv[1:] or None)

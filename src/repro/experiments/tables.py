@@ -1,0 +1,82 @@
+"""Tables I-IV of the paper: DVFS states, patterns, counters, benchmarks.
+
+These tables are definitional rather than measured; regenerating them
+checks that the reproduction's constants and workload definitions match
+what the paper states.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentContext, ExperimentTable
+from repro.hardware import dvfs
+from repro.workloads.counters import COUNTER_NAMES
+from repro.workloads.suites import TABLE_II_PATTERNS, all_benchmarks
+
+__all__ = ["table1", "table2", "table3", "table4"]
+
+_COUNTER_DESCRIPTIONS = {
+    "GlobalWorkSize": "Global work-item size of the kernel",
+    "MemUnitStalled": "Percentage of GPUTime the memory unit is stalled",
+    "CacheHit": "Percentage of instructions that hit the data cache",
+    "VFetchInsts": "Vector fetch instructions per work-item",
+    "ScratchRegs": "Number of scratch registers used",
+    "LDSBankConflict": "Percentage of GPUTime LDS is stalled by bank conflicts",
+    "VALUInsts": "Vector ALU instructions per work-item",
+    "FetchSize": "Total kB fetched from video memory",
+}
+
+
+def table1(ctx: ExperimentContext = None) -> ExperimentTable:
+    """Table I: software-visible CPU, NB, and GPU DVFS states."""
+    table = ExperimentTable(
+        experiment_id="Table I",
+        title="CPU, Northbridge and GPU DVFS states (AMD A10-7850K)",
+        headers=["Domain", "State", "Voltage (V)", "Freq (GHz)", "Mem freq (MHz)"],
+    )
+    for name, state in dvfs.CPU_PSTATES.items():
+        table.add_row("CPU", name, state.voltage, state.freq_ghz, "-")
+    for name, state in dvfs.NB_PSTATES.items():
+        table.add_row("NB", name, "-", state.freq_ghz, dvfs.NB_MEMORY_FREQ_MHZ[name])
+    for name, state in dvfs.GPU_DPM_STATES.items():
+        table.add_row("GPU", name, state.voltage, state.freq_ghz, "-")
+    return table
+
+
+def table2(ctx: ExperimentContext = None) -> ExperimentTable:
+    """Table II: execution patterns of three irregular benchmarks."""
+    table = ExperimentTable(
+        experiment_id="Table II",
+        title="Execution pattern of three irregular benchmarks",
+        headers=["Benchmark", "Pattern (paper)", "Pattern (reproduced)", "Match"],
+    )
+    by_name = {app.name: app for app in all_benchmarks()}
+    for name, expected in TABLE_II_PATTERNS.items():
+        app = by_name[name]
+        table.add_row(name, expected, app.pattern, app.pattern == expected)
+    return table
+
+
+def table3(ctx: ExperimentContext = None) -> ExperimentTable:
+    """Table III: the eight selected GPU performance counters."""
+    table = ExperimentTable(
+        experiment_id="Table III",
+        title="GPU performance counters used by the predictor",
+        headers=["Name", "Description"],
+    )
+    for name in COUNTER_NAMES:
+        table.add_row(name, _COUNTER_DESCRIPTIONS[name])
+    return table
+
+
+def table4(ctx: ExperimentContext = None) -> ExperimentTable:
+    """Table IV: the 15 evaluation benchmarks and their patterns."""
+    table = ExperimentTable(
+        experiment_id="Table IV",
+        title="Benchmarks with their execution pattern",
+        headers=["Category", "Benchmark", "Suite", "Pattern", "Launches"],
+    )
+    for app in all_benchmarks():
+        table.add_row(
+            app.category.value, app.name, app.suite, app.pattern, len(app)
+        )
+    return table

@@ -1,0 +1,143 @@
+"""The modelled APU: one facade over timing, power, and thermal models.
+
+:class:`APUModel` is the stand-in for the paper's AMD A10-7850K testbed.
+Executing a kernel on it returns a :class:`Measurement` — wall-clock
+time, GPU-rail power (GPU + NB, as the real power controller reports),
+and CPU power — exactly the telemetry the paper's framework captures
+with CodeXL and the power-management controller.
+
+The model is deterministic: the same (kernel, configuration) pair always
+produces the same measurement.  Policies that want realistic *estimates*
+must go through :mod:`repro.ml` predictors; the theoretically-optimal
+baseline queries this model directly (it is defined as having perfect
+knowledge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.hardware.config import HardwareConfig
+from repro.hardware.perf import KernelTiming, TimingModel
+from repro.hardware.power import PowerBreakdown, PowerModel, PowerModelParams
+from repro.hardware.thermal import ThermalModel
+
+if TYPE_CHECKING:  # imported lazily to avoid a hardware <-> workloads cycle
+    from repro.workloads.kernel import KernelSpec
+
+__all__ = ["Measurement", "APUModel"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Telemetry from one kernel launch (or one manager phase).
+
+    Attributes:
+        time_s: Wall-clock duration in seconds.
+        gpu_power_w: Average GPU-rail power (GPU cores + NB + DRAM
+            interface), matching how the testbed reports it.
+        cpu_power_w: Average CPU-plane power.
+        temperature_c: Steady-state die temperature.
+    """
+
+    time_s: float
+    gpu_power_w: float
+    cpu_power_w: float
+    temperature_c: float
+
+    @property
+    def total_power_w(self) -> float:
+        """Total chip power."""
+        return self.gpu_power_w + self.cpu_power_w
+
+    @property
+    def gpu_energy_j(self) -> float:
+        """GPU-rail energy for the measured interval."""
+        return self.gpu_power_w * self.time_s
+
+    @property
+    def cpu_energy_j(self) -> float:
+        """CPU-plane energy for the measured interval."""
+        return self.cpu_power_w * self.time_s
+
+    @property
+    def energy_j(self) -> float:
+        """Total chip energy for the measured interval."""
+        return self.total_power_w * self.time_s
+
+
+class APUModel:
+    """Ground-truth model of the heterogeneous processor.
+
+    Args:
+        timing: Kernel timing model; defaults to the calibrated
+            :class:`~repro.hardware.perf.TimingModel`.
+        power: Chip power model; defaults to the calibrated
+            :class:`~repro.hardware.power.PowerModel`.
+    """
+
+    def __init__(self, timing: Optional[TimingModel] = None,
+                 power: Optional[PowerModel] = None) -> None:
+        self.timing = timing if timing is not None else TimingModel()
+        self.power = power if power is not None else PowerModel()
+
+    @classmethod
+    def with_params(cls, params: PowerModelParams,
+                    thermal: Optional[ThermalModel] = None) -> "APUModel":
+        """Build an APU model with custom power calibration constants."""
+        return cls(power=PowerModel(params, thermal or ThermalModel()))
+
+    @property
+    def tdp_w(self) -> float:
+        """Chip thermal design power in watts."""
+        return self.power.params.tdp_w
+
+    # ----- kernel execution ------------------------------------------------
+
+    def kernel_timing(self, spec: KernelSpec, config: HardwareConfig) -> KernelTiming:
+        """Timing breakdown of one launch of ``spec`` at ``config``."""
+        return self.timing.kernel_timing(spec, config)
+
+    def kernel_power(self, spec: KernelSpec, config: HardwareConfig) -> PowerBreakdown:
+        """Average power while ``spec`` runs at ``config``."""
+        timing = self.timing.kernel_timing(spec, config)
+        return self.power.kernel_power(config, timing, spec.activity_factor)
+
+    def execute(self, spec: KernelSpec, config: HardwareConfig) -> Measurement:
+        """Run one kernel launch and return its telemetry."""
+        timing = self.timing.kernel_timing(spec, config)
+        breakdown = self.power.kernel_power(config, timing, spec.activity_factor)
+        return Measurement(
+            time_s=timing.total_time_s,
+            gpu_power_w=breakdown.gpu_w,
+            cpu_power_w=breakdown.cpu_w,
+            temperature_c=breakdown.temperature_c,
+        )
+
+    def kernel_energy(self, spec: KernelSpec, config: HardwareConfig) -> float:
+        """Total chip energy (J) for one launch of ``spec`` at ``config``."""
+        return self.execute(spec, config).energy_j
+
+    # ----- manager (between-kernel) phases ----------------------------------
+
+    def manager_measurement(self, time_s: float,
+                            config: HardwareConfig) -> Measurement:
+        """Telemetry for a power-management phase on the host CPU.
+
+        The GPU idles (leaking) while one CPU core runs the optimizer at
+        ``config``; this is how MPC/PPK overheads are charged.
+        """
+        if time_s < 0:
+            raise ValueError("time must be non-negative")
+        breakdown = self.power.manager_power(config)
+        return Measurement(
+            time_s=time_s,
+            gpu_power_w=breakdown.gpu_w,
+            cpu_power_w=breakdown.cpu_w,
+            temperature_c=breakdown.temperature_c,
+        )
+
+    def within_tdp(self, spec: KernelSpec, config: HardwareConfig) -> bool:
+        """Whether running ``spec`` at ``config`` respects the TDP."""
+        return self.kernel_power(spec, config).total_w <= self.tdp_w

@@ -1,0 +1,159 @@
+"""DVFS state tables for the modelled AMD A10-7850K APU.
+
+This module transcribes Table I of the paper: the software-visible CPU,
+northbridge (NB), and GPU DVFS states of the AMD A10-7850K.  Each state
+maps to a (voltage, frequency) operating point.  The NB states
+additionally map to a memory-bus frequency, because on this part the
+memory controller clock is tied to the NB clock domain.
+
+Two details of the real part matter for power management and are modelled
+here exactly as the paper describes them:
+
+* The GPU and the NB share a single voltage rail.  The rail must satisfy
+  the *maximum* of the two domains' voltage requirements, so a high NB
+  state can prevent the GPU voltage from dropping even when the GPU
+  frequency is reduced (see :func:`rail_voltage`).
+* NB2 through NB0 run the DRAM bus at the same 800 MHz, so memory-bound
+  kernels see no bandwidth benefit above NB2; only NB3 (333 MHz bus)
+  reduces available bandwidth.
+
+The NB per-state voltages are not published in the paper (the paper only
+gives NB frequencies); the values used here are interpolated so that the
+shared-rail effects described in Section II-A are reproduced: lowering
+the GPU DPM state below the NB requirement stops saving voltage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+__all__ = [
+    "DvfsState",
+    "CPU_PSTATES",
+    "NB_PSTATES",
+    "GPU_DPM_STATES",
+    "NB_MEMORY_FREQ_MHZ",
+    "NB_RAIL_VOLTAGE",
+    "CU_COUNTS",
+    "SEARCHED_GPU_STATES",
+    "rail_voltage",
+    "memory_bus_bandwidth_gbps",
+]
+
+
+@dataclass(frozen=True)
+class DvfsState:
+    """A single DVFS operating point.
+
+    Attributes:
+        name: Human-readable state label, e.g. ``"P1"`` or ``"DPM4"``.
+        voltage: Supply voltage in volts for this state.
+        freq_ghz: Clock frequency in GHz for this state.
+    """
+
+    name: str
+    voltage: float
+    freq_ghz: float
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.voltage:.4g} V, {self.freq_ghz:.4g} GHz)"
+
+
+def _table(rows) -> Mapping[str, DvfsState]:
+    return {name: DvfsState(name, volt, freq) for name, volt, freq in rows}
+
+
+#: CPU P-states from Table I.  P1 is the fastest software-visible state.
+CPU_PSTATES: Mapping[str, DvfsState] = _table(
+    [
+        ("P1", 1.3250, 3.9),
+        ("P2", 1.3125, 3.8),
+        ("P3", 1.2625, 3.7),
+        ("P4", 1.2250, 3.5),
+        ("P5", 1.0625, 3.0),
+        ("P6", 0.9750, 2.4),
+        ("P7", 0.8875, 1.7),
+    ]
+)
+
+#: Northbridge states from Table I (frequency only; voltages modelled).
+NB_PSTATES: Mapping[str, DvfsState] = _table(
+    [
+        ("NB0", 1.1500, 1.8),
+        ("NB1", 1.0875, 1.6),
+        ("NB2", 1.0250, 1.4),
+        ("NB3", 0.9125, 1.1),
+    ]
+)
+
+#: Memory bus frequency in MHz for each NB state (Table I).
+NB_MEMORY_FREQ_MHZ: Mapping[str, int] = {
+    "NB0": 800,
+    "NB1": 800,
+    "NB2": 800,
+    "NB3": 333,
+}
+
+#: Voltage the shared GPU/NB rail must provide for each NB state.
+NB_RAIL_VOLTAGE: Mapping[str, float] = {
+    name: state.voltage for name, state in NB_PSTATES.items()
+}
+
+#: GPU DPM states from Table I.  DPM4 is the fastest.
+GPU_DPM_STATES: Mapping[str, DvfsState] = _table(
+    [
+        ("DPM0", 0.9500, 0.351),
+        ("DPM1", 1.0500, 0.450),
+        ("DPM2", 1.1250, 0.553),
+        ("DPM3", 1.1875, 0.654),
+        ("DPM4", 1.2250, 0.720),
+    ]
+)
+
+#: The paper's characterization sweeps three of the five GPU DPM states
+#: (336 = 7 CPU x 4 NB x 3 GPU x 4 CU configurations); we use the same
+#: subset: the slowest, the middle, and the fastest DPM state.
+SEARCHED_GPU_STATES: Tuple[str, ...] = ("DPM0", "DPM2", "DPM4")
+
+#: Active GPU compute-unit counts explored by the paper (2 to 8, step 2).
+CU_COUNTS: Tuple[int, ...] = (2, 4, 6, 8)
+
+#: Peak DRAM bandwidth in GB/s per MHz of memory bus frequency.  A dual
+#: channel 128-bit DDR3 interface moves 32 bytes per bus cycle, i.e.
+#: 0.032 GB/s per MHz: 800 MHz -> 25.6 GB/s, 333 MHz -> 10.7 GB/s.
+_GBPS_PER_MHZ = 0.032
+
+
+def rail_voltage(gpu_state: str, nb_state: str) -> float:
+    """Voltage of the shared GPU/NB rail for a pair of domain states.
+
+    The rail must satisfy whichever domain asks for more, so the rail
+    voltage is the maximum of the GPU DPM voltage and the NB state's
+    rail requirement.  This reproduces the paper's observation that
+    "higher NB states can prevent reducing the GPU's voltage along with
+    the frequency".
+
+    Args:
+        gpu_state: GPU DPM state name, e.g. ``"DPM2"``.
+        nb_state: NB state name, e.g. ``"NB0"``.
+
+    Returns:
+        The rail voltage in volts.
+    """
+    return max(GPU_DPM_STATES[gpu_state].voltage, NB_RAIL_VOLTAGE[nb_state])
+
+
+def memory_bus_bandwidth_gbps(nb_state: str) -> float:
+    """Peak DRAM bandwidth in GB/s available at an NB state.
+
+    NB0 through NB2 share the same 800 MHz DRAM bus and therefore the
+    same peak bandwidth; NB3 drops the bus to 333 MHz.
+
+    Args:
+        nb_state: NB state name.
+
+    Returns:
+        Peak DRAM bandwidth in GB/s.
+    """
+    return NB_MEMORY_FREQ_MHZ[nb_state] * _GBPS_PER_MHZ

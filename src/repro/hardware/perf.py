@@ -1,0 +1,161 @@
+"""Ground-truth kernel timing model.
+
+This module computes how long a kernel launch takes at a given hardware
+configuration.  It stands in for the paper's physical measurements of
+336 (kernel, configuration) points on the AMD A10-7850K, using a
+roofline-style model that reproduces the four scaling behaviours of the
+paper's Figure 2:
+
+* compute time scales with active CUs (Amdahl-limited) and GPU clock;
+* memory time scales with achievable DRAM bandwidth, which the NB state
+  caps (NB0-NB2 share the same 800 MHz bus, NB3 drops to 333 MHz) and
+  which a small GPU configuration may be unable to saturate;
+* "peak" kernels generate *extra* memory traffic when too many CUs
+  thrash the shared cache, so their throughput peaks mid-axis;
+* unscalable kernels carry a fixed serial term no knob can shrink.
+
+All times are seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.hardware.config import HardwareConfig
+
+if TYPE_CHECKING:  # imported lazily to avoid a hardware <-> workloads cycle
+    from repro.workloads.kernel import KernelSpec
+
+__all__ = ["KernelTiming", "TimingModel"]
+
+#: Vector lanes per GPU compute unit (GCN-style SIMD width).
+LANES_PER_CU = 64
+
+#: GB/s of memory demand one CU can generate per GHz of GPU clock.
+#: Memory-level parallelism is limited per CU, so small or slow GPU
+#: configurations cannot saturate the DRAM bus: at [8 CU, DPM4] the cap
+#: (6 * 8 * 0.72 = 34.6 GB/s) clears the 25.6 GB/s bus, but half the
+#: CUs (or DPM0) leave bandwidth on the table.  Calibrated against the
+#: paper's Figure 2(b), where the memory-bound kernel speeds up ~2.4x
+#: from 2 to 8 CUs at NB0 before saturating.
+BW_DEMAND_PER_CU_GHZ = 6.0
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Timing breakdown of one kernel launch.
+
+    Attributes:
+        compute_time_s: Time the compute pipeline needs, in isolation.
+        memory_time_s: Time the memory system needs, in isolation.
+        serial_time_s: Fixed serial/launch time.
+        total_time_s: Wall-clock kernel time (serial + max of the two
+            overlapped components).
+        achieved_bandwidth_gbps: DRAM bandwidth actually consumed.
+        effective_memory_traffic_gb: Memory traffic after shared-cache
+            interference inflation.
+    """
+
+    compute_time_s: float
+    memory_time_s: float
+    serial_time_s: float
+    total_time_s: float
+    achieved_bandwidth_gbps: float
+    effective_memory_traffic_gb: float
+
+    @property
+    def compute_utilization(self) -> float:
+        """Fraction of the overlapped window the compute pipeline is busy."""
+        window = self.total_time_s - self.serial_time_s
+        if window <= 0:
+            return 0.0
+        return min(1.0, self.compute_time_s / window)
+
+    @property
+    def memory_utilization(self) -> float:
+        """Fraction of the overlapped window the memory system is busy."""
+        window = self.total_time_s - self.serial_time_s
+        if window <= 0:
+            return 0.0
+        return min(1.0, self.memory_time_s / window)
+
+
+class TimingModel:
+    """Roofline-style ground-truth timing for kernels on the APU.
+
+    Args:
+        lanes_per_cu: SIMD lanes per compute unit.
+        bw_demand_per_cu_ghz: Memory request-rate cap per CU per GHz.
+    """
+
+    def __init__(
+        self,
+        lanes_per_cu: int = LANES_PER_CU,
+        bw_demand_per_cu_ghz: float = BW_DEMAND_PER_CU_GHZ,
+    ) -> None:
+        if lanes_per_cu <= 0:
+            raise ValueError("lanes_per_cu must be positive")
+        if bw_demand_per_cu_ghz <= 0:
+            raise ValueError("bw_demand_per_cu_ghz must be positive")
+        self.lanes_per_cu = lanes_per_cu
+        self.bw_demand_per_cu_ghz = bw_demand_per_cu_ghz
+
+    def amdahl_speedup(self, spec: KernelSpec, cu: int) -> float:
+        """Compute-side speedup of ``cu`` CUs over a single CU."""
+        p = spec.parallel_fraction
+        return 1.0 / ((1.0 - p) + p / cu)
+
+    def effective_memory_traffic(self, spec: KernelSpec, cu: int) -> float:
+        """Memory traffic in GB including shared-cache interference.
+
+        Beyond ``cache_sweet_spot_cu`` active CUs, each extra CU inflates
+        off-chip traffic by ``cache_interference`` of the base amount —
+        the destructive interference that makes "peak" kernels fastest
+        at a mid-size configuration.
+        """
+        extra_cus = max(0, cu - spec.cache_sweet_spot_cu)
+        return spec.memory_traffic * (1.0 + spec.cache_interference * extra_cus)
+
+    def achievable_bandwidth(self, spec: KernelSpec, config: HardwareConfig) -> float:
+        """DRAM bandwidth in GB/s this kernel can pull at this config.
+
+        The bus bandwidth is set by the NB state; a small/slow GPU
+        configuration may additionally be request-rate limited.
+        """
+        bus = config.memory_bandwidth_gbps
+        demand = self.bw_demand_per_cu_ghz * config.cu * config.gpu_state.freq_ghz
+        return min(bus, demand)
+
+    def kernel_timing(self, spec: KernelSpec, config: HardwareConfig) -> KernelTiming:
+        """Full timing breakdown of one kernel launch at one config."""
+        f_gpu = config.gpu_state.freq_ghz
+        lane_rate = (
+            self.lanes_per_cu
+            * f_gpu
+            * spec.compute_efficiency
+            * self.amdahl_speedup(spec, config.cu)
+        )  # giga-lane-ops per second
+
+        compute_time = spec.compute_work / lane_rate if spec.compute_work else 0.0
+
+        traffic = self.effective_memory_traffic(spec, config.cu)
+        bandwidth = self.achievable_bandwidth(spec, config)
+        memory_time = traffic / bandwidth if traffic else 0.0
+
+        overlapped = max(compute_time, memory_time)
+        total = spec.serial_time_s + overlapped
+        achieved = traffic / overlapped if overlapped > 0 and traffic else 0.0
+
+        return KernelTiming(
+            compute_time_s=compute_time,
+            memory_time_s=memory_time,
+            serial_time_s=spec.serial_time_s,
+            total_time_s=total,
+            achieved_bandwidth_gbps=achieved,
+            effective_memory_traffic_gb=traffic,
+        )
+
+    def kernel_time(self, spec: KernelSpec, config: HardwareConfig) -> float:
+        """Wall-clock seconds for one launch of ``spec`` at ``config``."""
+        return self.kernel_timing(spec, config).total_time_s

@@ -1,0 +1,211 @@
+"""Ground-truth power model of the modelled APU.
+
+Power is split the way the paper's testbed reports it:
+
+* **GPU power** includes the northbridge, because GPU and NB share a
+  voltage rail on the A10-7850K and the power-management controller
+  reports them together ("The NB power is included in the GPU
+  measurement, since they share the same voltage rail", Section V).
+* **CPU power** covers all CPU cores on their own power plane.  During
+  GPU kernels the host CPU busy-waits: one core spins at full activity
+  while the remaining cores sit clock-gated, which is why dropping the
+  CPU P-state saves substantial energy at no kernel-performance cost —
+  the effect behind the paper's "75% of MPC's savings come from the
+  CPU".
+
+Dynamic power follows the classic ``C · V² · f`` form per domain, scaled
+by how busy the domain actually is during the kernel (from the timing
+model's utilization figures).  Leakage scales with voltage and die
+temperature through :class:`repro.hardware.thermal.ThermalModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.config import HardwareConfig
+from repro.hardware.perf import KernelTiming
+from repro.hardware.thermal import ThermalModel
+
+__all__ = ["PowerBreakdown", "PowerModel", "PowerModelParams"]
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Average power draw during one kernel launch, by component.
+
+    Attributes:
+        gpu_dynamic_w: GPU core switching power.
+        gpu_leakage_w: GPU leakage (active CUs only; gated CUs leak ~0).
+        nb_w: Northbridge + DRAM interface power (shares the GPU rail).
+        cpu_w: Total CPU-plane power (busy-wait or manager workload).
+        temperature_c: Steady-state die temperature.
+    """
+
+    gpu_dynamic_w: float
+    gpu_leakage_w: float
+    nb_w: float
+    cpu_w: float
+    temperature_c: float
+
+    @property
+    def gpu_w(self) -> float:
+        """GPU-rail power as the testbed reports it (GPU + NB)."""
+        return self.gpu_dynamic_w + self.gpu_leakage_w + self.nb_w
+
+    @property
+    def total_w(self) -> float:
+        """Total chip power."""
+        return self.gpu_w + self.cpu_w
+
+
+@dataclass(frozen=True)
+class PowerModelParams:
+    """Calibration constants of the power model.
+
+    The defaults are chosen so the modelled part lands in the envelope
+    of the real 95 W-TDP A10-7850K: ~25 W CPU plane at P1 busy-wait,
+    ~6 W at P7; ~35 W GPU rail flat-out, ~4 W at the smallest
+    configuration.
+
+    Attributes:
+        gpu_dyn_w_per_cu_v2ghz: GPU dynamic power per CU per V²·GHz.
+        gpu_leak_base_w_per_v: Voltage-proportional GPU leakage floor.
+        gpu_leak_w_per_cu_v: Additional leakage per *active* (ungated) CU.
+        nb_dyn_w_per_v2ghz: NB dynamic power per V²·GHz of NB clock.
+        nb_leak_w_per_v: NB leakage per volt of rail voltage.
+        dram_w_per_gbps: DRAM interface power per GB/s actually moved.
+        dram_base_w: DRAM interface standby power.
+        cpu_busy_w_per_v2ghz: Dynamic power of one spinning CPU core.
+        cpu_idle_w_per_v2ghz: Dynamic power of one clock-gated core.
+        cpu_leak_w_per_v: CPU-plane leakage per volt.
+        cpu_cores: Number of CPU cores on the plane.
+        gpu_idle_leak_w: GPU rail leakage when the GPU is idle (between
+            kernels, e.g. while the MPC optimizer runs on the CPU).
+        tdp_w: Chip thermal design power (used by Turbo Core).
+    """
+
+    gpu_dyn_w_per_cu_v2ghz: float = 3.2
+    gpu_leak_base_w_per_v: float = 1.2
+    gpu_leak_w_per_cu_v: float = 0.55
+    nb_dyn_w_per_v2ghz: float = 1.4
+    nb_leak_w_per_v: float = 0.8
+    dram_w_per_gbps: float = 0.12
+    dram_base_w: float = 1.5
+    cpu_busy_w_per_v2ghz: float = 2.2
+    cpu_idle_w_per_v2ghz: float = 0.3
+    cpu_leak_w_per_v: float = 3.0
+    cpu_cores: int = 4
+    gpu_idle_leak_w: float = 1.6
+    tdp_w: float = 95.0
+
+
+class PowerModel:
+    """Computes component powers for kernels and manager phases."""
+
+    def __init__(self, params: PowerModelParams = PowerModelParams(),
+                 thermal: ThermalModel = ThermalModel()) -> None:
+        self.params = params
+        self.thermal = thermal
+
+    # ----- component building blocks -------------------------------------
+
+    def cpu_power(self, config: HardwareConfig, busy_cores: int = 1,
+                  leak_factor: float = 1.0) -> float:
+        """CPU-plane power with ``busy_cores`` spinning, rest gated."""
+        p = self.params
+        if not 0 <= busy_cores <= p.cpu_cores:
+            raise ValueError("busy_cores out of range")
+        state = config.cpu_state
+        v2f = state.voltage**2 * state.freq_ghz
+        dynamic = (
+            busy_cores * p.cpu_busy_w_per_v2ghz
+            + (p.cpu_cores - busy_cores) * p.cpu_idle_w_per_v2ghz
+        ) * v2f
+        leakage = p.cpu_leak_w_per_v * state.voltage * leak_factor
+        return dynamic + leakage
+
+    def gpu_dynamic_power(self, config: HardwareConfig, compute_util: float,
+                          activity: float = 1.0) -> float:
+        """GPU core switching power at a utilization/activity level."""
+        p = self.params
+        v_rail = config.rail_voltage
+        return (
+            p.gpu_dyn_w_per_cu_v2ghz
+            * config.cu
+            * v_rail**2
+            * config.gpu_state.freq_ghz
+            * compute_util
+            * activity
+        )
+
+    def gpu_leakage_power(self, config: HardwareConfig,
+                          leak_factor: float = 1.0) -> float:
+        """GPU leakage: inactive CUs are power-gated and leak nothing."""
+        p = self.params
+        v_rail = config.rail_voltage
+        nominal = (p.gpu_leak_base_w_per_v + p.gpu_leak_w_per_cu_v * config.cu) * v_rail
+        return nominal * leak_factor
+
+    def nb_power(self, config: HardwareConfig, achieved_bw_gbps: float,
+                 leak_factor: float = 1.0) -> float:
+        """Northbridge + DRAM interface power."""
+        p = self.params
+        v_rail = config.rail_voltage
+        dynamic = p.nb_dyn_w_per_v2ghz * v_rail**2 * config.nb_state.freq_ghz
+        leakage = p.nb_leak_w_per_v * v_rail * leak_factor
+        dram = p.dram_base_w + p.dram_w_per_gbps * achieved_bw_gbps
+        return dynamic + leakage + dram
+
+    # ----- whole-chip scenarios -------------------------------------------
+
+    def kernel_power(self, config: HardwareConfig, timing: KernelTiming,
+                     activity: float = 1.0) -> PowerBreakdown:
+        """Average chip power while a kernel runs at ``config``.
+
+        The CPU busy-waits (one spinning core).  Leakage and temperature
+        are solved self-consistently through the thermal model.
+        """
+        gpu_dyn = self.gpu_dynamic_power(config, timing.compute_utilization, activity)
+        nb_base = self.nb_power(config, timing.achieved_bandwidth_gbps, leak_factor=1.0)
+        cpu_dyn_only = self.cpu_power(config, busy_cores=1, leak_factor=0.0)
+
+        nominal_leak = (
+            self.gpu_leakage_power(config, 1.0)
+            + self.params.cpu_leak_w_per_v * config.cpu_state.voltage
+        )
+        dynamic = gpu_dyn + nb_base + cpu_dyn_only
+        temp, factor = self.thermal.solve(dynamic, nominal_leak)
+
+        return PowerBreakdown(
+            gpu_dynamic_w=gpu_dyn,
+            gpu_leakage_w=self.gpu_leakage_power(config, factor),
+            nb_w=nb_base,
+            cpu_w=self.cpu_power(config, busy_cores=1, leak_factor=factor),
+            temperature_c=temp,
+        )
+
+    def manager_power(self, config: HardwareConfig) -> PowerBreakdown:
+        """Chip power while the power-management algorithm runs on the CPU.
+
+        The GPU is idle between kernels: no dynamic power, only the idle
+        rail leakage (charged to the GPU as the paper's "static energy
+        overhead of the GPU during MPC optimization").
+        """
+        cpu_dyn_only = self.cpu_power(config, busy_cores=1, leak_factor=0.0)
+        nominal_leak = (
+            self.params.gpu_idle_leak_w
+            + self.params.cpu_leak_w_per_v * config.cpu_state.voltage
+        )
+        temp, factor = self.thermal.solve(cpu_dyn_only, nominal_leak)
+        return PowerBreakdown(
+            gpu_dynamic_w=0.0,
+            gpu_leakage_w=self.params.gpu_idle_leak_w * factor,
+            nb_w=0.0,
+            cpu_w=self.cpu_power(config, busy_cores=1, leak_factor=factor),
+            temperature_c=temp,
+        )
+
+    def within_tdp(self, breakdown: PowerBreakdown) -> bool:
+        """Whether a power breakdown respects the chip TDP."""
+        return breakdown.total_w <= self.params.tdp_w

@@ -1,0 +1,54 @@
+"""Machine-learning substrate: trees, forests, and kernel predictors.
+
+Implements the paper's Random Forest performance/power model from
+scratch (:mod:`~repro.ml.tree`, :mod:`~repro.ml.forest`), the offline
+characterization pipeline (:mod:`~repro.ml.dataset`), the predictor
+facades policies consume (:mod:`~repro.ml.predictors`), and the
+synthetic-error models of the Figure-13 study (:mod:`~repro.ml.errors`).
+"""
+
+from repro.ml.dataset import (
+    FEATURE_NAMES,
+    CharacterizationDataset,
+    build_dataset,
+    build_features,
+)
+from repro.ml.errors import SyntheticErrorPredictor, half_normal_sigma
+from repro.ml.forest import RandomForestRegressor, mean_absolute_percentage_error
+from repro.ml.predictors import (
+    CpuPowerModel,
+    KernelEstimate,
+    OraclePredictor,
+    PerfPowerPredictor,
+    RandomForestPredictor,
+    evaluate_predictor,
+    train_predictor,
+)
+from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.validation import (
+    CrossValidationResult,
+    cross_validate_predictor,
+    group_kfold,
+)
+
+__all__ = [
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "mean_absolute_percentage_error",
+    "FEATURE_NAMES",
+    "CharacterizationDataset",
+    "build_dataset",
+    "build_features",
+    "KernelEstimate",
+    "CpuPowerModel",
+    "PerfPowerPredictor",
+    "RandomForestPredictor",
+    "OraclePredictor",
+    "train_predictor",
+    "evaluate_predictor",
+    "SyntheticErrorPredictor",
+    "half_normal_sigma",
+    "CrossValidationResult",
+    "cross_validate_predictor",
+    "group_kfold",
+]

@@ -1,0 +1,338 @@
+"""Performance/power predictors used by the runtime policies.
+
+Three predictors implement the same interface
+(:class:`PerfPowerPredictor`):
+
+* :class:`RandomForestPredictor` — the paper's offline-trained Random
+  Forest for kernel time and GPU power, plus a normalized V²f CPU-power
+  model ("the CPU usually busy waits while the kernel is executing").
+* :class:`OraclePredictor` — perfect prediction against the ground-truth
+  APU model, used by the limit studies (Figure 4, Figure 12).
+* :class:`~repro.ml.errors.SyntheticErrorPredictor` — an oracle
+  perturbed by half-normal errors of configurable mean, used to study
+  prediction-accuracy sensitivity (Figure 13).
+
+Estimates are (time, GPU power, CPU power); energy follows.
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+import os
+import pickle
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.hardware.apu import APUModel
+from repro.hardware.config import ConfigSpace, HardwareConfig
+from repro.hardware.dvfs import CPU_PSTATES
+from repro.ml.dataset import build_dataset, build_features
+from repro.ml.forest import RandomForestRegressor, mean_absolute_percentage_error
+from repro.workloads.counters import CounterSynthesizer, CounterVector
+from repro.workloads.generator import training_population
+from repro.workloads.kernel import KernelSpec
+
+__all__ = [
+    "KernelEstimate",
+    "CpuPowerModel",
+    "PerfPowerPredictor",
+    "RandomForestPredictor",
+    "OraclePredictor",
+    "train_predictor",
+    "evaluate_predictor",
+]
+
+
+@dataclass(frozen=True)
+class KernelEstimate:
+    """Predicted behaviour of one kernel launch at one configuration.
+
+    Attributes:
+        time_s: Predicted kernel execution time.
+        gpu_power_w: Predicted GPU-rail power (GPU + NB).
+        cpu_power_w: Predicted CPU-plane power (busy-wait).
+    """
+
+    time_s: float
+    gpu_power_w: float
+    cpu_power_w: float
+
+    @property
+    def energy_j(self) -> float:
+        """Predicted total chip energy of the launch."""
+        return (self.gpu_power_w + self.cpu_power_w) * self.time_s
+
+    @property
+    def gpu_energy_j(self) -> float:
+        """Predicted GPU-rail energy of the launch."""
+        return self.gpu_power_w * self.time_s
+
+
+class CpuPowerModel:
+    """Normalized V²f CPU power model (Section IV-A3 of the paper).
+
+    Busy-wait CPU power is well captured by ``a · V²f + b``; the two
+    coefficients are calibrated offline from per-P-state measurements.
+
+    Args:
+        coef_w_per_v2ghz: Dynamic coefficient ``a``.
+        static_w: Static term ``b``.
+    """
+
+    def __init__(self, coef_w_per_v2ghz: float, static_w: float) -> None:
+        self.coef_w_per_v2ghz = coef_w_per_v2ghz
+        self.static_w = static_w
+
+    @classmethod
+    def calibrate(cls, apu: APUModel) -> "CpuPowerModel":
+        """Least-squares fit of (a, b) to busy-wait power measurements.
+
+        One measurement per CPU P-state at a fixed GPU configuration —
+        the kind of one-time calibration a vendor ships with the part.
+        """
+        v2f = []
+        watts = []
+        base = HardwareConfig(cpu="P1", nb="NB0", gpu="DPM4", cu=8)
+        for name, state in CPU_PSTATES.items():
+            config = base.replace(cpu=name)
+            v2f.append(state.voltage**2 * state.freq_ghz)
+            watts.append(apu.power.cpu_power(config, busy_cores=1))
+        A = np.vstack([np.asarray(v2f), np.ones(len(v2f))]).T
+        coef, static = np.linalg.lstsq(A, np.asarray(watts), rcond=None)[0]
+        return cls(float(coef), float(static))
+
+    def predict(self, config: HardwareConfig) -> float:
+        """Busy-wait CPU power at a configuration, in watts."""
+        state = config.cpu_state
+        return self.coef_w_per_v2ghz * state.voltage**2 * state.freq_ghz + self.static_w
+
+
+class PerfPowerPredictor(abc.ABC):
+    """Interface of the performance and power predictor (Figure 6)."""
+
+    @abc.abstractmethod
+    def estimate(self, counters: CounterVector,
+                 config: HardwareConfig) -> KernelEstimate:
+        """Predict a kernel's behaviour at a candidate configuration.
+
+        Args:
+            counters: The kernel's Table-III counters (from the pattern
+                extractor's store).
+            config: Candidate hardware configuration.
+
+        Returns:
+            Predicted time and component powers.
+        """
+
+
+class RandomForestPredictor(PerfPowerPredictor):
+    """The paper's Random Forest kernel time / GPU power model.
+
+    Args:
+        time_forest: Forest trained on log kernel time.
+        power_forest: Forest trained on GPU-rail power.
+        cpu_model: Calibrated normalized-V²f CPU power model.
+    """
+
+    def __init__(self, time_forest: RandomForestRegressor,
+                 power_forest: RandomForestRegressor,
+                 cpu_model: CpuPowerModel) -> None:
+        self.time_forest = time_forest
+        self.power_forest = power_forest
+        self.cpu_model = cpu_model
+
+    def estimate(self, counters: CounterVector,
+                 config: HardwareConfig) -> KernelEstimate:
+        features = build_features(counters, config).reshape(1, -1)
+        log_time = float(self.time_forest.predict(features)[0])
+        power = float(self.power_forest.predict(features)[0])
+        return KernelEstimate(
+            time_s=float(np.exp(log_time)),
+            gpu_power_w=max(0.1, power),
+            cpu_power_w=self.cpu_model.predict(config),
+        )
+
+    def estimate_batch(self, counters: CounterVector,
+                       configs: Sequence[HardwareConfig]) -> List[KernelEstimate]:
+        """Vectorized estimates for one kernel over many configurations."""
+        if not configs:
+            return []
+        X = np.vstack([build_features(counters, c) for c in configs])
+        times = np.exp(self.time_forest.predict(X))
+        powers = np.maximum(0.1, self.power_forest.predict(X))
+        return [
+            KernelEstimate(
+                time_s=float(t),
+                gpu_power_w=float(p),
+                cpu_power_w=self.cpu_model.predict(c),
+            )
+            for t, p, c in zip(times, powers, configs)
+        ]
+
+
+class OraclePredictor(PerfPowerPredictor):
+    """Perfect predictor: looks the answer up in the ground-truth model.
+
+    The oracle maps a counter vector back to the kernel it belongs to by
+    nearest relative distance over the known kernel population's nominal
+    counters — counters identify kernels, which is exactly the
+    assumption the paper's pattern extractor makes.
+
+    Args:
+        apu: Ground-truth hardware model.
+        kernels: The kernels that may be queried (e.g. an application's
+            unique kernels).
+        synthesizer: Counter synthesizer used for the nominal
+            (noise-free) reference counters.
+    """
+
+    def __init__(self, apu: APUModel, kernels: Sequence[KernelSpec],
+                 synthesizer: Optional[CounterSynthesizer] = None) -> None:
+        if not kernels:
+            raise ValueError("oracle needs a kernel population")
+        self.apu = apu
+        synthesizer = synthesizer if synthesizer is not None else CounterSynthesizer(noise=0.0)
+        self._specs: List[KernelSpec] = list(kernels)
+        self._nominal = np.vstack(
+            [synthesizer.nominal(spec).as_array() for spec in self._specs]
+        )
+
+    def resolve(self, counters: CounterVector) -> KernelSpec:
+        """The known kernel whose nominal counters best match."""
+        observed = counters.as_array()
+        scale = np.maximum(np.abs(self._nominal), 1e-9)
+        distance = np.sum(((self._nominal - observed) / scale) ** 2, axis=1)
+        return self._specs[int(np.argmin(distance))]
+
+    def estimate(self, counters: CounterVector,
+                 config: HardwareConfig) -> KernelEstimate:
+        spec = self.resolve(counters)
+        measurement = self.apu.execute(spec, config)
+        return KernelEstimate(
+            time_s=measurement.time_s,
+            gpu_power_w=measurement.gpu_power_w,
+            cpu_power_w=measurement.cpu_power_w,
+        )
+
+
+# ----- training -------------------------------------------------------------
+
+
+def _cache_path(cache_dir: str, key: str) -> str:
+    return os.path.join(cache_dir, f"rf_predictor_{key}.pkl")
+
+
+def train_predictor(
+    apu: Optional[APUModel] = None,
+    kernels: Optional[Sequence[KernelSpec]] = None,
+    space: Optional[ConfigSpace] = None,
+    n_estimators: int = 16,
+    max_depth: int = 16,
+    max_features: Union[int, float, str] = 0.6,
+    seed: int = 5,
+    cache_dir: Optional[str] = None,
+) -> RandomForestPredictor:
+    """Offline-train the Random Forest performance/power predictor.
+
+    Args:
+        apu: Ground-truth hardware model to characterize on.
+        kernels: Training kernel population; defaults to the synthetic
+            population (the evaluation benchmarks stay out-of-sample).
+        space: Configurations to characterize; defaults to all 336.
+        n_estimators: Trees per forest.
+        max_depth: Depth limit per tree.
+        max_features: Features per split (see
+            :class:`~repro.ml.forest.RandomForestRegressor`).
+        seed: Seed for dataset noise and forest randomness.
+        cache_dir: If given, pickle the trained predictor there and
+            reuse it on identical parameters (training takes tens of
+            seconds; experiments share one model).
+
+    Returns:
+        The trained predictor.
+    """
+    apu = apu if apu is not None else APUModel()
+    kernels = list(kernels) if kernels is not None else training_population(192)
+    space = space if space is not None else ConfigSpace()
+
+    cache_file = None
+    if cache_dir:
+        digest = hashlib.sha256(
+            repr(
+                (
+                    sorted(k.key for k in kernels),
+                    len(space),
+                    n_estimators,
+                    max_depth,
+                    max_features,
+                    seed,
+                    "v6",
+                )
+            ).encode()
+        ).hexdigest()[:16]
+        cache_file = _cache_path(cache_dir, digest)
+        if os.path.exists(cache_file):
+            with open(cache_file, "rb") as handle:
+                return pickle.load(handle)
+
+    dataset = build_dataset(kernels, apu=apu, space=space, seed=seed)
+    time_forest = RandomForestRegressor(
+        n_estimators=n_estimators, max_depth=max_depth,
+        max_features=max_features, seed=seed,
+    ).fit(dataset.X, dataset.log_time)
+    power_forest = RandomForestRegressor(
+        n_estimators=n_estimators, max_depth=max_depth,
+        max_features=max_features, seed=seed + 1,
+    ).fit(dataset.X, dataset.gpu_power)
+    predictor = RandomForestPredictor(
+        time_forest, power_forest, CpuPowerModel.calibrate(apu)
+    )
+
+    if cache_file:
+        os.makedirs(cache_dir, exist_ok=True)
+        with open(cache_file, "wb") as handle:
+            pickle.dump(predictor, handle)
+    return predictor
+
+
+def evaluate_predictor(
+    predictor: RandomForestPredictor,
+    kernels: Sequence[KernelSpec],
+    apu: Optional[APUModel] = None,
+    space: Optional[ConfigSpace] = None,
+) -> Tuple[float, float]:
+    """Out-of-sample MAPE of a predictor on a kernel set.
+
+    Args:
+        predictor: The predictor to evaluate.
+        kernels: Evaluation kernels (e.g. the Table-IV benchmarks').
+        apu: Ground truth to compare against.
+        space: Configurations to sweep.
+
+    Returns:
+        ``(time_mape_pct, power_mape_pct)`` — the paper reports 25% and
+        12% respectively for its 15 benchmarks.
+    """
+    apu = apu if apu is not None else APUModel()
+    space = space if space is not None else ConfigSpace()
+    synthesizer = CounterSynthesizer(noise=0.0)
+
+    true_t, pred_t, true_p, pred_p = [], [], [], []
+    for spec in kernels:
+        counters = synthesizer.nominal(spec)
+        configs = space.all_configs()
+        estimates = predictor.estimate_batch(counters, configs)
+        for config, estimate in zip(configs, estimates):
+            measurement = apu.execute(spec, config)
+            true_t.append(measurement.time_s)
+            pred_t.append(estimate.time_s)
+            true_p.append(measurement.gpu_power_w)
+            pred_p.append(estimate.gpu_power_w)
+
+    return (
+        mean_absolute_percentage_error(np.asarray(true_t), np.asarray(pred_t)),
+        mean_absolute_percentage_error(np.asarray(true_p), np.asarray(pred_p)),
+    )

@@ -1,0 +1,226 @@
+"""CART regression trees, implemented from scratch on numpy.
+
+The building block of the paper's Random Forest performance/power model
+(Breiman 2001).  Trees greedily split on the (feature, threshold) pair
+with the largest sum-of-squared-error reduction, using sorted prefix
+sums for an exact O(n log n) per-feature split search, and store their
+nodes in flat arrays so batch prediction is a sequence of vectorized
+gathers instead of per-sample recursion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["DecisionTreeRegressor"]
+
+
+class DecisionTreeRegressor:
+    """A binary regression tree minimizing squared error.
+
+    Args:
+        max_depth: Maximum tree depth (root is depth 0).
+        min_samples_leaf: Minimum training samples in any leaf.
+        min_samples_split: Minimum samples required to attempt a split.
+        max_features: Number of features considered per split; ``None``
+            uses all features (random subsetting is what makes a forest
+            "random").
+        rng: Random generator used to draw feature subsets.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_samples_leaf: int = 2,
+        min_samples_split: int = 4,
+        max_features: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        if min_samples_leaf < 1 or min_samples_split < 2:
+            raise ValueError("invalid minimum sample constraints")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_samples_split = min_samples_split
+        self.max_features = max_features
+        self._rng = rng if rng is not None else np.random.default_rng()
+        # Flat node arrays, filled by fit():
+        self._feature: Optional[np.ndarray] = None  # -1 marks a leaf
+        self._threshold: Optional[np.ndarray] = None
+        self._left: Optional[np.ndarray] = None
+        self._right: Optional[np.ndarray] = None
+        self._value: Optional[np.ndarray] = None
+
+    # ----- training ---------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        """Fit the tree to a training set.
+
+        Args:
+            X: Feature matrix of shape (n_samples, n_features).
+            y: Target vector of shape (n_samples,).
+
+        Returns:
+            ``self``, for chaining.
+        """
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or y.ndim != 1 or X.shape[0] != y.shape[0]:
+            raise ValueError("X must be (n, d) and y (n,) with matching n")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+
+        features: list = []
+        thresholds: list = []
+        lefts: list = []
+        rights: list = []
+        values: list = []
+
+        def new_node() -> int:
+            features.append(-1)
+            thresholds.append(0.0)
+            lefts.append(-1)
+            rights.append(-1)
+            values.append(0.0)
+            return len(features) - 1
+
+        # Iterative depth-first build with an explicit stack.
+        root = new_node()
+        stack = [(root, np.arange(X.shape[0]), 0)]
+        while stack:
+            node, idx, depth = stack.pop()
+            y_node = y[idx]
+            values[node] = float(y_node.mean())
+            if (
+                depth >= self.max_depth
+                or idx.size < self.min_samples_split
+                or np.all(y_node == y_node[0])
+            ):
+                continue
+            split = self._best_split(X, y, idx)
+            if split is None:
+                continue
+            feat, thresh, left_mask = split
+            features[node] = feat
+            thresholds[node] = thresh
+            left_child = new_node()
+            right_child = new_node()
+            lefts[node] = left_child
+            rights[node] = right_child
+            stack.append((left_child, idx[left_mask], depth + 1))
+            stack.append((right_child, idx[~left_mask], depth + 1))
+
+        self._feature = np.asarray(features, dtype=np.int64)
+        self._threshold = np.asarray(thresholds, dtype=float)
+        self._left = np.asarray(lefts, dtype=np.int64)
+        self._right = np.asarray(rights, dtype=np.int64)
+        self._value = np.asarray(values, dtype=float)
+        return self
+
+    def _candidate_features(self, n_features: int) -> np.ndarray:
+        if self.max_features is None or self.max_features >= n_features:
+            return np.arange(n_features)
+        return self._rng.choice(n_features, size=self.max_features, replace=False)
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, idx: np.ndarray
+    ) -> Optional[Tuple[int, float, np.ndarray]]:
+        """Exact best (feature, threshold) split over a feature subset.
+
+        Returns ``(feature, threshold, left_mask)`` or ``None`` when no
+        split satisfies the leaf-size constraints or reduces the SSE.
+        """
+        best_gain = 1e-12
+        best: Optional[Tuple[int, float, np.ndarray]] = None
+        n = idx.size
+        y_sub = y[idx]
+        total_sum = y_sub.sum()
+        total_sq = total_sum * total_sum / n
+
+        for feat in self._candidate_features(X.shape[1]):
+            x = X[idx, feat]
+            order = np.argsort(x, kind="stable")
+            xs = x[order]
+            ys = y_sub[order]
+            prefix = np.cumsum(ys)
+
+            # Valid split positions: between distinct x values, with at
+            # least min_samples_leaf on each side.
+            k = np.arange(1, n)
+            distinct = xs[1:] > xs[:-1]
+            sized = (k >= self.min_samples_leaf) & (n - k >= self.min_samples_leaf)
+            valid = distinct & sized
+            if not np.any(valid):
+                continue
+
+            left_sum = prefix[:-1]
+            right_sum = total_sum - left_sum
+            score = left_sum**2 / k + right_sum**2 / (n - k)
+            score = np.where(valid, score, -np.inf)
+            pos = int(np.argmax(score))
+            gain = score[pos] - total_sq
+            if gain > best_gain:
+                threshold = 0.5 * (xs[pos] + xs[pos + 1])
+                left_mask = x <= threshold
+                # Guard against degenerate numerics on near-equal values.
+                n_left = int(left_mask.sum())
+                if self.min_samples_leaf <= n_left <= n - self.min_samples_leaf:
+                    best_gain = gain
+                    best = (int(feat), float(threshold), left_mask)
+        return best
+
+    # ----- prediction --------------------------------------------------------
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._feature is not None
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the fitted tree."""
+        if self._feature is None:
+            return 0
+        return int(self._feature.size)
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        if self._feature is None:
+            return 0
+
+        depths = np.zeros(self.node_count, dtype=np.int64)
+        for node in range(self.node_count):
+            if self._feature[node] >= 0:
+                depths[self._left[node]] = depths[node] + 1
+                depths[self._right[node]] = depths[node] + 1
+        return int(depths.max())
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict targets for a batch of samples.
+
+        Args:
+            X: Feature matrix of shape (n_samples, n_features).
+
+        Returns:
+            Predictions of shape (n_samples,).
+        """
+        if self._feature is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        nodes = np.zeros(X.shape[0], dtype=np.int64)
+        active = self._feature[nodes] >= 0
+        # Each iteration pushes every still-internal sample one level
+        # down; terminates after at most max_depth iterations.
+        while np.any(active):
+            current = nodes[active]
+            feats = self._feature[current]
+            go_left = X[active, feats] <= self._threshold[current]
+            nodes[active] = np.where(
+                go_left, self._left[current], self._right[current]
+            )
+            active = self._feature[nodes] >= 0
+        return self._value[nodes]

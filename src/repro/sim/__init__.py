@@ -1,0 +1,59 @@
+"""Execution simulation: policies, traces, metrics, and the simulator.
+
+The simulator replays an application's kernel launches on the modelled
+APU under a pluggable :class:`~repro.sim.policy.PowerPolicy`, charging
+software policies for their decision overheads, and produces
+:class:`~repro.sim.trace.RunResult` traces that
+:mod:`~repro.sim.metrics` compares the way the paper's figures do.
+"""
+
+from repro.sim.analysis import (
+    EnergyBreakdown,
+    KernelSummary,
+    compare_runs,
+    config_occupancy,
+    energy_breakdown,
+    kernel_summaries,
+    knob_occupancy,
+    throughput_phases,
+)
+from repro.sim.metrics import (
+    cpu_energy_savings_pct,
+    energy_savings_pct,
+    geomean,
+    gpu_energy_savings_pct,
+    mean,
+    performance_loss_pct,
+    speedup,
+)
+from repro.sim.policy import Decision, Observation, PowerPolicy
+from repro.sim.simulator import MANAGER_CONFIG, OverheadModel, Simulator
+from repro.sim.trace import LaunchRecord, RunResult
+from repro.sim.turbocore import TurboCorePolicy
+
+__all__ = [
+    "Decision",
+    "Observation",
+    "PowerPolicy",
+    "LaunchRecord",
+    "RunResult",
+    "Simulator",
+    "OverheadModel",
+    "MANAGER_CONFIG",
+    "TurboCorePolicy",
+    "energy_savings_pct",
+    "gpu_energy_savings_pct",
+    "cpu_energy_savings_pct",
+    "speedup",
+    "performance_loss_pct",
+    "geomean",
+    "mean",
+    "EnergyBreakdown",
+    "KernelSummary",
+    "compare_runs",
+    "config_occupancy",
+    "energy_breakdown",
+    "kernel_summaries",
+    "knob_occupancy",
+    "throughput_phases",
+]

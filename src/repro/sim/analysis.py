@@ -1,0 +1,230 @@
+"""Run-trace analysis utilities for downstream users.
+
+Aggregations one wants when studying a power-management run:
+configuration occupancy (how often each DVFS state was used), per-kernel
+summaries, energy decomposition, phase detection over the throughput
+series, and side-by-side policy comparisons.  Everything returns plain
+Python containers so results drop straight into tables or notebooks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.sim.trace import RunResult
+
+__all__ = [
+    "KernelSummary",
+    "EnergyBreakdown",
+    "config_occupancy",
+    "knob_occupancy",
+    "kernel_summaries",
+    "energy_breakdown",
+    "throughput_phases",
+    "compare_runs",
+]
+
+
+@dataclass(frozen=True)
+class KernelSummary:
+    """Aggregate statistics for one kernel identity within a run.
+
+    Attributes:
+        kernel_key: The kernel's identity.
+        launches: Number of launches.
+        total_time_s: Total kernel time across launches.
+        total_energy_j: Total chip energy across launches.
+        mean_throughput: Mean per-launch instruction throughput.
+        configs: Distinct configurations used, with launch counts.
+        fail_safe_launches: Launches that ran at the fail-safe.
+    """
+
+    kernel_key: str
+    launches: int
+    total_time_s: float
+    total_energy_j: float
+    mean_throughput: float
+    configs: Dict[str, int]
+    fail_safe_launches: int
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Where a run's energy went.
+
+    Attributes:
+        gpu_kernel_j: GPU-rail energy during kernels.
+        cpu_kernel_j: CPU-plane energy during kernels.
+        overhead_j: Optimizer energy (CPU compute + GPU idle leakage).
+    """
+
+    gpu_kernel_j: float
+    cpu_kernel_j: float
+    overhead_j: float
+
+    @property
+    def total_j(self) -> float:
+        """Total run energy."""
+        return self.gpu_kernel_j + self.cpu_kernel_j + self.overhead_j
+
+    def shares(self) -> Dict[str, float]:
+        """Fractions of total energy per component."""
+        total = self.total_j
+        if total == 0:
+            return {"gpu_kernel": 0.0, "cpu_kernel": 0.0, "overhead": 0.0}
+        return {
+            "gpu_kernel": self.gpu_kernel_j / total,
+            "cpu_kernel": self.cpu_kernel_j / total,
+            "overhead": self.overhead_j / total,
+        }
+
+
+def config_occupancy(run: RunResult, weight_by_time: bool = True) -> Dict[str, float]:
+    """Share of the run spent at each hardware configuration.
+
+    Args:
+        run: The run to analyse.
+        weight_by_time: Weight by kernel time (default) or launch count.
+
+    Returns:
+        Mapping from configuration string to its share (sums to 1).
+    """
+    weights: Counter = Counter()
+    for record in run.launches:
+        weights[str(record.config)] += record.time_s if weight_by_time else 1.0
+    total = sum(weights.values())
+    if total == 0:
+        return {}
+    return {config: w / total for config, w in weights.items()}
+
+
+def knob_occupancy(run: RunResult) -> Dict[str, Dict[str, float]]:
+    """Time-weighted occupancy of each knob's values.
+
+    Returns:
+        ``{"cpu": {"P7": 0.9, ...}, "nb": {...}, "gpu": {...}, "cu": {...}}``
+    """
+    knobs: Dict[str, Counter] = {
+        "cpu": Counter(), "nb": Counter(), "gpu": Counter(), "cu": Counter()
+    }
+    total = 0.0
+    for record in run.launches:
+        total += record.time_s
+        knobs["cpu"][record.config.cpu] += record.time_s
+        knobs["nb"][record.config.nb] += record.time_s
+        knobs["gpu"][record.config.gpu] += record.time_s
+        knobs["cu"][str(record.config.cu)] += record.time_s
+    if total == 0:
+        return {knob: {} for knob in knobs}
+    return {
+        knob: {value: w / total for value, w in counter.items()}
+        for knob, counter in knobs.items()
+    }
+
+
+def kernel_summaries(run: RunResult) -> List[KernelSummary]:
+    """Per-kernel-identity aggregates, ordered by total energy."""
+    grouped: Dict[str, List] = {}
+    for record in run.launches:
+        grouped.setdefault(record.kernel_key, []).append(record)
+    out = []
+    for key, records in grouped.items():
+        configs: Counter = Counter(str(r.config) for r in records)
+        out.append(
+            KernelSummary(
+                kernel_key=key,
+                launches=len(records),
+                total_time_s=sum(r.time_s for r in records),
+                total_energy_j=sum(r.energy_j for r in records),
+                mean_throughput=sum(r.throughput for r in records) / len(records),
+                configs=dict(configs),
+                fail_safe_launches=sum(1 for r in records if r.fail_safe),
+            )
+        )
+    out.sort(key=lambda s: -s.total_energy_j)
+    return out
+
+
+def energy_breakdown(run: RunResult) -> EnergyBreakdown:
+    """Decompose a run's energy into GPU / CPU / overhead."""
+    return EnergyBreakdown(
+        gpu_kernel_j=sum(r.gpu_energy_j for r in run.launches),
+        cpu_kernel_j=sum(r.cpu_energy_j for r in run.launches),
+        overhead_j=run.overhead_energy_j,
+    )
+
+
+def throughput_phases(run: RunResult, threshold: float = 1.3) -> List[Tuple[int, int, str]]:
+    """Segment a run into high/low-throughput phases.
+
+    A launch is "high" when its throughput exceeds the run's overall
+    throughput by ``threshold`` (and symmetrically "low" below
+    ``1/threshold``); consecutive launches of the same class form a
+    phase.  This is the Figure-3 view of a run.
+
+    Args:
+        run: The run to segment.
+        threshold: Ratio defining high/low relative to overall.
+
+    Returns:
+        ``(start_index, end_index_exclusive, label)`` triples with
+        labels in {"high", "mid", "low"}.
+    """
+    if threshold <= 1.0:
+        raise ValueError("threshold must exceed 1")
+    if not run.launches:
+        return []
+    overall = run.instructions / run.kernel_time_s
+
+    def classify(record) -> str:
+        ratio = record.throughput / overall
+        if ratio >= threshold:
+            return "high"
+        if ratio <= 1.0 / threshold:
+            return "low"
+        return "mid"
+
+    phases: List[Tuple[int, int, str]] = []
+    start = 0
+    label = classify(run.launches[0])
+    for i, record in enumerate(run.launches[1:], start=1):
+        current = classify(record)
+        if current != label:
+            phases.append((start, i, label))
+            start, label = i, current
+    phases.append((start, len(run.launches), label))
+    return phases
+
+
+def compare_runs(runs: Sequence[RunResult]) -> List[Dict[str, object]]:
+    """Side-by-side comparison rows for several runs of one application.
+
+    Args:
+        runs: Runs of the *same* application under different policies;
+            the first is treated as the reference.
+
+    Returns:
+        One dict per run with absolute and reference-relative metrics.
+    """
+    if not runs:
+        raise ValueError("need at least one run")
+    reference = runs[0]
+    rows = []
+    for run in runs:
+        if run.app_name != reference.app_name:
+            raise ValueError("runs must be of the same application")
+        rows.append(
+            {
+                "policy": run.policy_name,
+                "time_s": run.total_time_s,
+                "energy_j": run.energy_j,
+                "gpu_energy_j": run.gpu_energy_j,
+                "cpu_energy_j": run.cpu_energy_j,
+                "overhead_time_s": run.overhead_time_s,
+                "speedup_vs_ref": reference.total_time_s / run.total_time_s,
+                "energy_savings_vs_ref_pct": 100.0 * (1 - run.energy_j / reference.energy_j),
+            }
+        )
+    return rows

@@ -1,0 +1,94 @@
+"""The interface between the simulator and power-management policies.
+
+A policy is asked, before each kernel launch, which hardware
+configuration to run it at (:meth:`PowerPolicy.decide`).  After the
+launch it receives an :class:`Observation` — the telemetry the real
+framework would see: the kernel's performance counters, the measured
+time and power, and the hardware instruction count.  Policies never see
+:class:`~repro.workloads.kernel.KernelSpec` ground truth.
+
+A decision also reports how many predictor evaluations the policy spent
+making it; the simulator converts that to wall-clock time and energy on
+the host CPU (the paper's "MPC overheads", charged at the framework's
+own hardware configuration).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.hardware.apu import Measurement
+from repro.hardware.config import HardwareConfig
+from repro.workloads.counters import CounterVector
+
+__all__ = ["Decision", "Observation", "PowerPolicy"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """A policy's choice for the next kernel launch.
+
+    Attributes:
+        config: Hardware configuration to apply.
+        model_evaluations: Number of performance/power-model queries the
+            policy made; the simulator charges optimizer overhead
+            proportional to this count.
+        horizon: Prediction-horizon length used (for reporting; 0 for
+            policies without a horizon).
+        fail_safe: Whether the policy fell back to the fail-safe
+            configuration because no configuration met the target.
+    """
+
+    config: HardwareConfig
+    model_evaluations: int = 0
+    horizon: int = 0
+    fail_safe: bool = False
+
+
+@dataclass(frozen=True)
+class Observation:
+    """Post-launch telemetry delivered to the policy.
+
+    Attributes:
+        index: Zero-based launch index within the application run.
+        config: Configuration the kernel actually ran at.
+        counters: The kernel's Table-III performance counters, as
+            sampled this launch (with measurement noise).
+        measurement: Wall-clock time and component powers.
+        instructions: Hardware-counted instructions executed.
+    """
+
+    index: int
+    config: HardwareConfig
+    counters: CounterVector
+    measurement: Measurement
+    instructions: float
+
+    @property
+    def throughput(self) -> float:
+        """Instructions per second achieved by this launch."""
+        return self.instructions / self.measurement.time_s
+
+
+class PowerPolicy(abc.ABC):
+    """Base class for kernel-granularity power-management policies."""
+
+    #: Human-readable policy name for traces and reports.
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def decide(self, index: int) -> Decision:
+        """Choose the configuration for the ``index``-th kernel launch."""
+
+    @abc.abstractmethod
+    def observe(self, observation: Observation) -> None:
+        """Receive telemetry for the launch just completed."""
+
+    def begin_run(self) -> None:
+        """Hook called when a new run (application invocation) starts.
+
+        Policies carry state *across* runs of the same application (the
+        paper's framework keeps its pattern store between invocations);
+        this hook only resets per-run cursors.
+        """

@@ -1,0 +1,49 @@
+"""Workloads: kernels, counters, applications, and benchmark suites.
+
+Provides the ground-truth kernel descriptions
+(:mod:`~repro.workloads.kernel`), the synthetic Table-III performance
+counters (:mod:`~repro.workloads.counters`), application launch
+sequences (:mod:`~repro.workloads.app`), the 15 Table-IV evaluation
+benchmarks (:mod:`~repro.workloads.suites`), and the synthetic training
+population (:mod:`~repro.workloads.generator`).
+"""
+
+from repro.workloads.app import Application, Category
+from repro.workloads.counters import COUNTER_NAMES, CounterSynthesizer, CounterVector
+from repro.workloads.extended import (
+    EXTENDED_BENCHMARK_NAMES,
+    extended_benchmark,
+    extended_benchmarks,
+)
+from repro.workloads.generator import KernelPopulationGenerator, training_population
+from repro.workloads.kernel import KernelSpec, ScalingClass
+from repro.workloads.stats import CorpusStats, corpus_stats
+from repro.workloads.suites import (
+    BENCHMARK_NAMES,
+    TABLE_II_PATTERNS,
+    all_benchmarks,
+    benchmark,
+    benchmarks_by_category,
+)
+
+__all__ = [
+    "Application",
+    "Category",
+    "COUNTER_NAMES",
+    "CounterSynthesizer",
+    "CounterVector",
+    "KernelPopulationGenerator",
+    "training_population",
+    "KernelSpec",
+    "ScalingClass",
+    "BENCHMARK_NAMES",
+    "TABLE_II_PATTERNS",
+    "all_benchmarks",
+    "benchmark",
+    "benchmarks_by_category",
+    "EXTENDED_BENCHMARK_NAMES",
+    "extended_benchmark",
+    "extended_benchmarks",
+    "CorpusStats",
+    "corpus_stats",
+]

@@ -1,0 +1,263 @@
+"""Extended benchmark collection beyond the 15 evaluated in the paper.
+
+The paper samples its 15 evaluation benchmarks from a corpus of 73
+across 9 suites ("75% are irregular and 44% of the kernels varied
+significantly with input").  This module rebuilds a further slice of
+that corpus — well-known kernels from the same suites, assigned
+plausible scaling classes — for two uses:
+
+* **robustness testing**: the manager must behave sanely (energy
+  savings ≥ 0-ish, bounded performance loss) on workloads it was never
+  tuned against;
+* **an optional richer training corpus** when synthetic kernels alone
+  are not wanted.
+
+These are *not* the paper's evaluation set and are never used by the
+figure reproductions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.workloads.app import Application, Category, expand_pattern
+from repro.workloads.kernel import KernelSpec, ScalingClass
+
+__all__ = ["EXTENDED_BENCHMARK_NAMES", "extended_benchmark", "extended_benchmarks"]
+
+
+def _k(name: str, cls: ScalingClass, wc: float, wm: float, **kw) -> KernelSpec:
+    return KernelSpec(name=name, scaling_class=cls, compute_work=wc,
+                      memory_traffic=wm, **kw)
+
+
+def _regular(name: str, suite: str, kernel: KernelSpec, repeats: int) -> Application:
+    return Application(
+        name=name, suite=suite, category=Category.REGULAR,
+        kernels=expand_pattern([(kernel, repeats)]), pattern=f"A{repeats}",
+    )
+
+
+def _triad() -> Application:
+    # SHOC Triad: streaming bandwidth, swept over working-set sizes
+    # (the benchmark's own size sweep makes it input-varying).
+    base = _k("triad", ScalingClass.MEMORY, 0.4, 1.8,
+              parallel_fraction=0.92, compute_efficiency=0.7)
+    scales = [0.25, 0.5, 1.0, 2.0, 0.25, 0.5, 1.0, 2.0, 1.5, 0.75]
+    kernels = [base.with_input(i + 1, work_scale=s) for i, s in enumerate(scales)]
+    return Application(
+        name="Triad", suite="SHOC", category=Category.IRREGULAR_INPUT_VARYING,
+        kernels=tuple(kernels), pattern="A1..A10 size sweep",
+    )
+
+
+def _fft() -> Application:
+    # SHOC FFT: butterfly passes alternate with transposes.
+    fft = _k("fft_radix4", ScalingClass.COMPUTE, 6.0, 0.8,
+             parallel_fraction=0.97, compute_efficiency=0.75)
+    transpose = _k("fft_transpose", ScalingClass.MEMORY, 0.3, 1.1,
+                   parallel_fraction=0.9, compute_efficiency=0.7)
+    return Application(
+        name="FFT", suite="SHOC", category=Category.IRREGULAR_REPEATING,
+        kernels=expand_pattern([(fft, 1), (transpose, 1)] * 5), pattern="(AB)5",
+    )
+
+
+def _md() -> Application:
+    # SHOC MD (Lennard-Jones): compute-bound with neighbour-list reads.
+    kernel = _k("lj_force", ScalingClass.COMPUTE, 14.0, 0.4,
+                parallel_fraction=0.99, compute_efficiency=0.85)
+    return _regular("MD", "SHOC", kernel, 8)
+
+
+def _backprop() -> Application:
+    # Rodinia backprop: alternating forward/weight-update kernels.
+    fwd = _k("bpnn_layerforward", ScalingClass.COMPUTE, 3.5, 0.4,
+             parallel_fraction=0.96, compute_efficiency=0.8)
+    adj = _k("bpnn_adjust_weights", ScalingClass.MEMORY, 0.8, 1.0,
+             parallel_fraction=0.9, compute_efficiency=0.7)
+    return Application(
+        name="backprop", suite="Rodinia", category=Category.IRREGULAR_REPEATING,
+        kernels=expand_pattern([(fwd, 1), (adj, 1)] * 6), pattern="(AB)6",
+    )
+
+
+def _hotspot() -> Application:
+    # Rodinia hotspot: pyramidal time-stepping — the processed block
+    # shrinks with the pyramid height, so iterations vary with input.
+    base = _k("hotspot_stencil", ScalingClass.PEAK, 4.5, 0.6,
+              cache_interference=0.35, cache_sweet_spot_cu=6,
+              parallel_fraction=0.95, compute_efficiency=0.75)
+    scales = [1.0, 0.85, 0.7, 0.6, 1.0, 0.85, 0.7, 0.6, 1.0, 0.85, 0.7, 0.6]
+    kernels = [base.with_input(i + 1, work_scale=s) for i, s in enumerate(scales)]
+    return Application(
+        name="hotspot", suite="Rodinia",
+        category=Category.IRREGULAR_INPUT_VARYING,
+        kernels=tuple(kernels), pattern="(A1A2A3A4)3 pyramid",
+    )
+
+
+def _nw() -> Application:
+    # Rodinia Needleman-Wunsch: diagonal wavefront, small-large-small.
+    base = _k("nw_diagonal", ScalingClass.COMPUTE, 1.4, 0.3,
+              parallel_fraction=0.88, compute_efficiency=0.7)
+    scales = [0.2, 0.45, 0.8, 1.3, 1.8, 2.0, 1.8, 1.3, 0.8, 0.45, 0.2]
+    kernels = [base.with_input(i + 1, work_scale=s) for i, s in enumerate(scales)]
+    return Application(
+        name="nw", suite="Rodinia", category=Category.IRREGULAR_INPUT_VARYING,
+        kernels=tuple(kernels), pattern="A1..A11 wavefront",
+    )
+
+
+def _pathfinder() -> Application:
+    # Rodinia pathfinder: short row-sweep kernels, launch-latency bound.
+    kernel = _k("dynproc_kernel", ScalingClass.UNSCALABLE, 0.25, 0.12,
+                serial_time_s=0.003, parallel_fraction=0.75)
+    return _regular("pathfinder", "Rodinia", kernel, 18)
+
+
+def _stencil() -> Application:
+    # Parboil stencil: Jacobi sweeps alternate with halo packing.
+    sweep = _k("stencil7pt", ScalingClass.MEMORY, 1.0, 1.4,
+               parallel_fraction=0.93, compute_efficiency=0.72)
+    halo = _k("halo_pack", ScalingClass.UNSCALABLE, 0.1, 0.08,
+              serial_time_s=0.004, parallel_fraction=0.7)
+    return Application(
+        name="stencil", suite="Parboil", category=Category.IRREGULAR_REPEATING,
+        kernels=expand_pattern([(sweep, 1), (halo, 1)] * 6), pattern="(AB)6",
+    )
+
+
+def _sgemm() -> Application:
+    # Parboil SGEMM: the classic compute-bound tile kernel.
+    kernel = _k("sgemm_tile", ScalingClass.COMPUTE, 24.0, 0.5,
+                parallel_fraction=0.995, compute_efficiency=0.9)
+    return _regular("sgemm", "Parboil", kernel, 6)
+
+
+def _histo() -> Application:
+    # Parboil histo: scatter with atomic contention; contention (and so
+    # behaviour) depends on each input image's value distribution.
+    base = _k("histo_main", ScalingClass.UNSCALABLE, 0.9, 0.5,
+              serial_time_s=0.012, parallel_fraction=0.7,
+              compute_efficiency=0.65)
+    scales = [1.0, 0.4, 1.6, 0.7, 1.2, 0.5, 1.8, 0.9]
+    kernels = [base.with_input(i + 1, work_scale=s) for i, s in enumerate(scales)]
+    return Application(
+        name="histo", suite="Parboil",
+        category=Category.IRREGULAR_INPUT_VARYING,
+        kernels=tuple(kernels), pattern="A1..A8 per-image",
+    )
+
+
+def _blackscholes() -> Application:
+    # AMD APP SDK BlackScholes: embarrassingly parallel math.
+    kernel = _k("blackscholes", ScalingClass.COMPUTE, 9.0, 0.3,
+                parallel_fraction=0.995, compute_efficiency=0.88)
+    return _regular("BlackScholes", "AMD APP SDK", kernel, 12)
+
+
+def _dct() -> Application:
+    # AMD APP SDK DCT: blocked transform with LDS reuse.
+    kernel = _k("dct8x8", ScalingClass.PEAK, 5.0, 0.7,
+                cache_interference=0.3, cache_sweet_spot_cu=6,
+                parallel_fraction=0.96, compute_efficiency=0.8)
+    return _regular("DCT", "AMD APP SDK", kernel, 9)
+
+
+def _reduction() -> Application:
+    # AMD APP SDK Reduction: tree reduction, shrinking work per pass.
+    base = _k("reduce_pass", ScalingClass.MEMORY, 0.5, 0.9,
+              parallel_fraction=0.85, compute_efficiency=0.7,
+              serial_time_s=0.001)
+    scales = [2.0, 1.0, 0.5, 0.25, 0.12, 0.06]
+    kernels = [base.with_input(i + 1, work_scale=s) for i, s in enumerate(scales)]
+    return Application(
+        name="Reduction", suite="AMD APP SDK",
+        category=Category.IRREGULAR_INPUT_VARYING,
+        kernels=tuple(kernels), pattern="A1..A6 halving",
+    )
+
+
+def _sssp() -> Application:
+    # Pannotia SSSP: frontier relaxation, jagged frontier sizes.
+    base = _k("sssp_relax", ScalingClass.MEMORY, 0.7, 0.5,
+              parallel_fraction=0.87, serial_time_s=0.002,
+              compute_efficiency=0.68)
+    scales = [0.1, 0.6, 0.25, 1.4, 0.5, 2.2, 1.0, 1.9, 0.8, 0.4]
+    kernels = [base.with_input(i + 1, work_scale=s) for i, s in enumerate(scales)]
+    return Application(
+        name="sssp", suite="Pannotia",
+        category=Category.IRREGULAR_INPUT_VARYING,
+        kernels=tuple(kernels), pattern="A1..A10 frontier",
+    )
+
+
+def _nqueens() -> Application:
+    # OpenDwarfs N-Queens: branch-and-bound, deepening then pruning.
+    base = _k("nqueens_expand", ScalingClass.COMPUTE, 2.2, 0.15,
+              parallel_fraction=0.9, compute_efficiency=0.7)
+    scales = [0.3, 0.9, 2.0, 2.6, 1.6, 0.7, 0.25]
+    kernels = [base.with_input(i + 1, work_scale=s) for i, s in enumerate(scales)]
+    return Application(
+        name="nqueens", suite="OpenDwarfs",
+        category=Category.IRREGULAR_INPUT_VARYING,
+        kernels=tuple(kernels), pattern="A1..A7",
+    )
+
+
+def _crc() -> Application:
+    # OpenDwarfs CRC: streaming checksums over variable message sizes.
+    base = _k("crc32_slice", ScalingClass.MEMORY, 0.6, 1.6,
+              parallel_fraction=0.9, compute_efficiency=0.72)
+    scales = [0.3, 1.5, 0.6, 2.0, 0.4, 1.1, 0.8, 1.7, 0.5, 1.3]
+    kernels = [base.with_input(i + 1, work_scale=s) for i, s in enumerate(scales)]
+    return Application(
+        name="crc", suite="OpenDwarfs",
+        category=Category.IRREGULAR_INPUT_VARYING,
+        kernels=tuple(kernels), pattern="A1..A10 messages",
+    )
+
+
+_BUILDERS: Dict[str, Callable[[], Application]] = {
+    "Triad": _triad,
+    "FFT": _fft,
+    "MD": _md,
+    "backprop": _backprop,
+    "hotspot": _hotspot,
+    "nw": _nw,
+    "pathfinder": _pathfinder,
+    "stencil": _stencil,
+    "sgemm": _sgemm,
+    "histo": _histo,
+    "BlackScholes": _blackscholes,
+    "DCT": _dct,
+    "Reduction": _reduction,
+    "sssp": _sssp,
+    "nqueens": _nqueens,
+    "crc": _crc,
+}
+
+#: Names of the extended (non-evaluation) benchmarks.
+EXTENDED_BENCHMARK_NAMES: Tuple[str, ...] = tuple(_BUILDERS)
+
+
+def extended_benchmark(name: str) -> Application:
+    """Build one extended benchmark by name.
+
+    Raises:
+        KeyError: If the name is not in the extended collection.
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown extended benchmark {name!r}; available: "
+            f"{', '.join(EXTENDED_BENCHMARK_NAMES)}"
+        ) from None
+    return builder()
+
+
+def extended_benchmarks() -> List[Application]:
+    """All extended benchmarks."""
+    return [extended_benchmark(name) for name in EXTENDED_BENCHMARK_NAMES]

@@ -1,0 +1,121 @@
+"""End-to-end integration tests of the full power-management pipeline.
+
+Uses the oracle predictor (no slow forest training) over real Table-IV
+benchmarks, driving the full architecture: Turbo Core reference, PPK,
+MPC profiling + steady state, and the theoretically-optimal plan.
+"""
+
+import pytest
+
+from repro.core.manager import MPCPowerManager
+from repro.core.oracle import solve_theoretically_optimal
+from repro.core.policies import PlannedPolicy, PPKPolicy
+from repro.ml.predictors import OraclePredictor
+from repro.sim.metrics import energy_savings_pct, speedup
+from repro.sim.simulator import Simulator
+from repro.sim.turbocore import TurboCorePolicy
+from repro.workloads.suites import benchmark
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return Simulator()
+
+
+def _setup(sim, name):
+    app = benchmark(name)
+    turbo = sim.run(app, TurboCorePolicy(tdp_w=sim.apu.tdp_w))
+    target = turbo.instructions / turbo.kernel_time_s
+    oracle = OraclePredictor(sim.apu, app.unique_kernels)
+    return app, turbo, target, oracle
+
+
+class TestRegularBenchmark:
+    NAME = "mandelbulbGPU"
+
+    def test_all_policies_save_energy(self, sim):
+        app, turbo, target, oracle = _setup(sim, self.NAME)
+        ppk = sim.run(app, PPKPolicy(target, oracle))
+        manager = MPCPowerManager(target, oracle, overhead_model=sim.overhead)
+        sim.run(app, manager)
+        mpc = sim.run(app, manager)
+        plan = solve_theoretically_optimal(app, sim.apu, target)
+        to = sim.run(app, PlannedPolicy(plan.configs), charge_overhead=False)
+        for run in (ppk, mpc, to):
+            assert energy_savings_pct(run, turbo) > 10.0
+
+    def test_mpc_matches_ppk_on_regular_apps(self, sim):
+        # The paper: future knowledge is worthless for single-kernel apps.
+        app, turbo, target, oracle = _setup(sim, self.NAME)
+        ppk = sim.run(app, PPKPolicy(target, oracle))
+        manager = MPCPowerManager(target, oracle, overhead_model=sim.overhead)
+        sim.run(app, manager)
+        mpc = sim.run(app, manager)
+        assert abs(
+            energy_savings_pct(mpc, turbo) - energy_savings_pct(ppk, turbo)
+        ) < 5.0
+
+    def test_to_dominates_in_energy(self, sim):
+        app, turbo, target, oracle = _setup(sim, self.NAME)
+        manager = MPCPowerManager(target, oracle, overhead_model=sim.overhead)
+        sim.run(app, manager)
+        mpc = sim.run(app, manager)
+        plan = solve_theoretically_optimal(app, sim.apu, target)
+        to = sim.run(app, PlannedPolicy(plan.configs), charge_overhead=False)
+        assert to.energy_j <= mpc.energy_j * 1.02
+
+
+class TestIrregularBenchmark:
+    NAME = "EigenValue"
+
+    def test_mpc_beats_ppk(self, sim):
+        app, turbo, target, oracle = _setup(sim, self.NAME)
+        ppk = sim.run(app, PPKPolicy(target, oracle))
+        manager = MPCPowerManager(target, oracle, overhead_model=sim.overhead)
+        sim.run(app, manager)
+        mpc = sim.run(app, manager)
+        # MPC must not lose on both axes, and must win on at least one.
+        d_energy = mpc.energy_j <= ppk.energy_j * 1.01
+        d_speed = mpc.total_time_s <= ppk.total_time_s * 1.01
+        assert d_energy and d_speed
+        assert (mpc.energy_j < ppk.energy_j * 0.995) or (
+            mpc.total_time_s < ppk.total_time_s * 0.995
+        )
+
+    def test_mpc_near_target_throughput(self, sim):
+        app, turbo, target, oracle = _setup(sim, self.NAME)
+        manager = MPCPowerManager(target, oracle, overhead_model=sim.overhead)
+        sim.run(app, manager)
+        mpc = sim.run(app, manager)
+        achieved = mpc.instructions / mpc.kernel_time_s
+        assert achieved >= 0.90 * target
+
+
+class TestOverheadAccounting:
+    def test_mpc_overheads_bounded_by_alpha(self, sim):
+        app, turbo, target, oracle = _setup(sim, "kmeans")
+        manager = MPCPowerManager(
+            target, oracle, alpha=0.05, overhead_model=sim.overhead
+        )
+        sim.run(app, manager)
+        mpc = sim.run(app, manager)
+        assert mpc.overhead_time_s <= 0.05 * turbo.total_time_s
+
+    def test_profiling_run_is_ppk_like(self, sim):
+        app, turbo, target, oracle = _setup(sim, "kmeans")
+        manager = MPCPowerManager(target, oracle, overhead_model=sim.overhead)
+        first = sim.run(app, manager)
+        ppk = sim.run(app, PPKPolicy(target, oracle))
+        # Same policy logic on the first invocation: identical configs.
+        assert [r.config for r in first.launches] == [r.config for r in ppk.launches]
+
+
+class TestTheoreticalOptimalAcrossSuite:
+    @pytest.mark.parametrize("name", ["Spmv", "kmeans", "lbm", "hybridsort"])
+    def test_to_feasible_and_saves_energy(self, sim, name):
+        app, turbo, target, oracle = _setup(sim, name)
+        plan = solve_theoretically_optimal(app, sim.apu, target)
+        to = sim.run(app, PlannedPolicy(plan.configs), charge_overhead=False)
+        assert plan.feasible
+        assert speedup(to, turbo) >= 0.999
+        assert energy_savings_pct(to, turbo) > 15.0

@@ -1,0 +1,74 @@
+"""Robustness: the manager on workloads it was never calibrated against.
+
+The extended collection (repro.workloads.extended) rebuilds benchmarks
+from the paper's wider 73-app corpus.  None of them informed any tuning
+in this repository, so they act as a held-out sanity sweep: on every
+one, MPC must save energy against Turbo Core without pathological
+performance loss, honour its overhead bound, and never crash.
+"""
+
+import pytest
+
+from repro.core.manager import MPCPowerManager
+from repro.core.policies import PPKPolicy
+from repro.ml.predictors import OraclePredictor
+from repro.sim.metrics import energy_savings_pct, speedup
+from repro.sim.simulator import Simulator
+from repro.sim.turbocore import TurboCorePolicy
+from repro.workloads.extended import EXTENDED_BENCHMARK_NAMES, extended_benchmark
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return Simulator()
+
+
+def _mpc_steady(sim, app, target):
+    manager = MPCPowerManager(
+        target, OraclePredictor(sim.apu, app.unique_kernels),
+        overhead_model=sim.overhead,
+    )
+    sim.run(app, manager)
+    return sim.run(app, manager)
+
+
+class TestExtendedCollection:
+    def test_collection_size_and_shape(self):
+        assert len(EXTENDED_BENCHMARK_NAMES) >= 15
+        for name in EXTENDED_BENCHMARK_NAMES:
+            app = extended_benchmark(name)
+            assert len(app) >= 6
+            assert app.total_instructions > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            extended_benchmark("doom3")
+
+    def test_no_overlap_with_evaluation_suite(self):
+        from repro.workloads.suites import BENCHMARK_NAMES
+
+        assert not set(EXTENDED_BENCHMARK_NAMES) & set(BENCHMARK_NAMES)
+
+
+@pytest.mark.parametrize("name", EXTENDED_BENCHMARK_NAMES)
+class TestRobustSweep:
+    def test_mpc_saves_energy_with_bounded_loss(self, sim, name):
+        app = extended_benchmark(name)
+        turbo = sim.run(app, TurboCorePolicy(tdp_w=sim.apu.tdp_w))
+        target = turbo.instructions / turbo.kernel_time_s
+        steady = _mpc_steady(sim, app, target)
+        assert energy_savings_pct(steady, turbo) > 5.0
+        assert speedup(steady, turbo) > 0.85
+        assert steady.overhead_time_s < 0.05 * turbo.total_time_s
+
+    def test_mpc_not_worse_than_ppk_everywhere(self, sim, name):
+        app = extended_benchmark(name)
+        turbo = sim.run(app, TurboCorePolicy(tdp_w=sim.apu.tdp_w))
+        target = turbo.instructions / turbo.kernel_time_s
+        ppk = sim.run(app, PPKPolicy(target, OraclePredictor(sim.apu, app.unique_kernels)))
+        steady = _mpc_steady(sim, app, target)
+        # MPC may trade a little energy for performance or vice versa,
+        # but must not lose clearly on both axes at once.
+        loses_energy = steady.energy_j > ppk.energy_j * 1.03
+        loses_time = steady.total_time_s > ppk.total_time_s * 1.03
+        assert not (loses_energy and loses_time)

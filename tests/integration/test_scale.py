@@ -1,0 +1,68 @@
+"""Scale test: the manager on a long application.
+
+The paper's applications top out around 30 launches; a resident runtime
+must also handle long-running services that launch hundreds of kernels
+without its per-decision cost or memory growing out of control.
+"""
+
+import time
+
+import pytest
+
+from repro.core.manager import MPCPowerManager
+from repro.ml.predictors import OraclePredictor
+from repro.sim.simulator import Simulator
+from repro.sim.turbocore import TurboCorePolicy
+from repro.workloads.app import Application, Category
+from repro.workloads.generator import KernelPopulationGenerator
+
+
+@pytest.fixture(scope="module")
+def long_app():
+    generator = KernelPopulationGenerator(seed=17)
+    population = generator.population(12)
+    # A 150-launch irregular mix cycling through 12 distinct kernels.
+    kernels = tuple(population[i % len(population)] for i in range(150))
+    return Application(
+        "long-service", "scale-test", Category.IRREGULAR_NON_REPEATING,
+        kernels=kernels, pattern="mix150",
+    )
+
+
+class TestScale:
+    def test_long_run_completes_and_behaves(self, long_app):
+        sim = Simulator()
+        turbo = sim.run(long_app, TurboCorePolicy(tdp_w=sim.apu.tdp_w))
+        target = turbo.instructions / turbo.kernel_time_s
+        manager = MPCPowerManager(
+            target, OraclePredictor(sim.apu, long_app.unique_kernels),
+            overhead_model=sim.overhead,
+        )
+
+        start = time.time()
+        sim.run(long_app, manager)            # profiling
+        steady = sim.run(long_app, manager)   # MPC
+        elapsed = time.time() - start
+
+        assert len(steady) == 150
+        assert steady.energy_j < turbo.energy_j
+        assert steady.total_time_s < 1.25 * turbo.total_time_s
+        # The adaptive horizon keeps the optimizer overhead bounded.
+        assert steady.overhead_time_s < 0.06 * turbo.total_time_s
+        # And the whole simulation stays interactive.
+        assert elapsed < 120.0
+
+    def test_pattern_store_stays_compact(self, long_app):
+        sim = Simulator()
+        turbo = sim.run(long_app, TurboCorePolicy(tdp_w=sim.apu.tdp_w))
+        target = turbo.instructions / turbo.kernel_time_s
+        manager = MPCPowerManager(
+            target, OraclePredictor(sim.apu, long_app.unique_kernels),
+            overhead_model=sim.overhead,
+        )
+        sim.run(long_app, manager)
+        sim.run(long_app, manager)
+        # One record per dissimilar kernel, not per launch: the paper's
+        # 80-byte-per-kernel store stays tiny.
+        assert manager.extractor.num_records <= 2 * len(long_app.unique_kernels)
+        assert manager.extractor.storage_bytes <= 2 * 80 * len(long_app.unique_kernels)

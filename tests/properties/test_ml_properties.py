@@ -1,0 +1,72 @@
+"""Property-based tests for the ML substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.pattern import detect_period
+from repro.ml.tree import DecisionTreeRegressor
+
+dataset_st = st.integers(10, 120).flatmap(
+    lambda n: st.tuples(
+        arrays(np.float64, (n, 3), elements=st.floats(-10, 10)),
+        arrays(np.float64, (n,), elements=st.floats(-100, 100)),
+    )
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dataset_st)
+def test_tree_predictions_within_target_range(data):
+    X, y = data
+    tree = DecisionTreeRegressor(max_depth=6).fit(X, y)
+    preds = tree.predict(X)
+    assert np.all(preds >= y.min() - 1e-9)
+    assert np.all(preds <= y.max() + 1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dataset_st)
+def test_tree_fit_predict_deterministic(data):
+    X, y = data
+    rng_a = np.random.default_rng(0)
+    rng_b = np.random.default_rng(0)
+    a = DecisionTreeRegressor(max_depth=5, rng=rng_a).fit(X, y).predict(X)
+    b = DecisionTreeRegressor(max_depth=5, rng=rng_b).fit(X, y).predict(X)
+    assert np.allclose(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(dataset_st, st.integers(1, 4))
+def test_tree_depth_never_exceeds_limit(data, depth):
+    X, y = data
+    tree = DecisionTreeRegressor(max_depth=depth).fit(X, y)
+    assert tree.depth <= depth
+
+
+period_st = st.tuples(
+    st.lists(st.sampled_from("abc"), min_size=1, max_size=4),
+    st.integers(2, 5),
+)
+
+
+@given(period_st)
+def test_detect_period_finds_constructed_period(case):
+    motif, repeats = case
+    sequence = motif * repeats
+    period = detect_period(sequence, min_repeats=2)
+    assert period is not None
+    # The detected period must actually tile the tail of the sequence,
+    # and be no longer than the constructed motif.
+    assert period <= len(motif)
+    tail = sequence[-period:]
+    assert sequence[-2 * period:-period] == tail
+
+
+@given(st.lists(st.sampled_from("abcdef"), min_size=0, max_size=12))
+def test_detect_period_consistency(sequence):
+    period = detect_period(sequence)
+    if period is not None:
+        assert 1 <= period <= len(sequence) // 2
+        assert sequence[-period:] == sequence[-2 * period:-period]

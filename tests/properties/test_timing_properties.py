@@ -1,0 +1,80 @@
+"""Property-based tests for the ground-truth timing and power models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.apu import APUModel
+from repro.hardware.config import ConfigSpace
+from repro.workloads.kernel import KernelSpec, ScalingClass
+
+APU = APUModel()
+SPACE = ConfigSpace()
+CONFIGS = SPACE.all_configs()
+
+kernel_st = st.builds(
+    KernelSpec,
+    name=st.just("prop"),
+    scaling_class=st.sampled_from(ScalingClass),
+    compute_work=st.floats(0.05, 30.0),
+    memory_traffic=st.floats(0.01, 3.0),
+    parallel_fraction=st.floats(0.5, 0.999),
+    serial_time_s=st.floats(0.0, 0.05),
+    cache_interference=st.floats(0.0, 0.6),
+    cache_sweet_spot_cu=st.sampled_from([2, 4, 6, 8]),
+    compute_efficiency=st.floats(0.5, 1.0),
+)
+
+config_st = st.sampled_from(CONFIGS)
+
+
+@settings(max_examples=60)
+@given(kernel_st, config_st)
+def test_measurements_are_physical(spec, config):
+    m = APU.execute(spec, config)
+    assert m.time_s > 0
+    assert m.gpu_power_w > 0
+    assert m.cpu_power_w > 0
+    assert m.energy_j > 0
+    assert m.temperature_c >= 45.0
+
+
+@settings(max_examples=60)
+@given(kernel_st, config_st)
+def test_time_at_least_serial_floor(spec, config):
+    assert APU.execute(spec, config).time_s >= spec.serial_time_s
+
+
+@settings(max_examples=40)
+@given(kernel_st)
+def test_fastest_config_dominates_interference_free_kernels(spec):
+    if spec.cache_interference > 0:
+        return  # peak kernels may be faster below 8 CUs by design
+    fastest = APU.execute(spec, SPACE.fastest()).time_s
+    slowest = APU.execute(spec, SPACE.slowest()).time_s
+    assert fastest <= slowest * (1 + 1e-9)
+
+
+@settings(max_examples=40)
+@given(kernel_st, config_st)
+def test_gpu_frequency_monotonicity(spec, config):
+    if spec.cache_interference > 0:
+        return
+    faster = SPACE.step(config, "gpu", +1)
+    if faster is None:
+        return
+    assert APU.execute(spec, faster).time_s <= APU.execute(spec, config).time_s * (1 + 1e-9)
+
+
+@settings(max_examples=40)
+@given(kernel_st, config_st)
+def test_cpu_state_never_affects_kernel_time(spec, config):
+    other = config.replace(cpu="P1" if config.cpu != "P1" else "P7")
+    a = APU.execute(spec, config).time_s
+    b = APU.execute(spec, other).time_s
+    assert abs(a - b) < 1e-12
+
+
+@settings(max_examples=40)
+@given(kernel_st, config_st)
+def test_determinism(spec, config):
+    assert APU.execute(spec, config) == APU.execute(spec, config)

@@ -1,0 +1,128 @@
+"""Unit tests for the run-trace analysis utilities."""
+
+import pytest
+
+from repro.hardware.config import ConfigSpace, HardwareConfig
+from repro.sim.analysis import (
+    compare_runs,
+    config_occupancy,
+    energy_breakdown,
+    kernel_summaries,
+    knob_occupancy,
+    throughput_phases,
+)
+from repro.sim.trace import LaunchRecord, RunResult
+
+FAST = ConfigSpace().fastest()
+SLOW = HardwareConfig(cpu="P7", nb="NB2", gpu="DPM0", cu=2)
+
+
+def _run(records, name="app", policy="p"):
+    run = RunResult(app_name=name, policy_name=policy)
+    for record in records:
+        run.append(record)
+    return run
+
+
+def _record(index, key="k", config=FAST, time_s=1.0, gpu=10.0, cpu=5.0,
+            insts=1e9, **kw):
+    return LaunchRecord(
+        index=index, kernel_key=key, config=config, time_s=time_s,
+        gpu_energy_j=gpu, cpu_energy_j=cpu, instructions=insts, **kw,
+    )
+
+
+@pytest.fixture
+def mixed_run():
+    return _run([
+        _record(0, "a", FAST, time_s=1.0, insts=4e9),
+        _record(1, "b", SLOW, time_s=3.0, insts=1e9, fail_safe=True,
+                overhead_time_s=0.1, overhead_cpu_energy_j=1.0),
+        _record(2, "a", FAST, time_s=1.0, insts=4e9),
+    ])
+
+
+class TestOccupancy:
+    def test_config_occupancy_time_weighted(self, mixed_run):
+        occupancy = config_occupancy(mixed_run)
+        assert occupancy[str(FAST)] == pytest.approx(2 / 5)
+        assert occupancy[str(SLOW)] == pytest.approx(3 / 5)
+        assert sum(occupancy.values()) == pytest.approx(1.0)
+
+    def test_config_occupancy_count_weighted(self, mixed_run):
+        occupancy = config_occupancy(mixed_run, weight_by_time=False)
+        assert occupancy[str(FAST)] == pytest.approx(2 / 3)
+
+    def test_knob_occupancy(self, mixed_run):
+        knobs = knob_occupancy(mixed_run)
+        assert knobs["cpu"]["P1"] == pytest.approx(2 / 5)
+        assert knobs["cpu"]["P7"] == pytest.approx(3 / 5)
+        assert knobs["cu"]["8"] == pytest.approx(2 / 5)
+        for shares in knobs.values():
+            assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_empty_run(self):
+        run = RunResult(app_name="a", policy_name="p")
+        assert config_occupancy(run) == {}
+
+
+class TestSummaries:
+    def test_kernel_summaries(self, mixed_run):
+        summaries = {s.kernel_key: s for s in kernel_summaries(mixed_run)}
+        assert summaries["a"].launches == 2
+        assert summaries["a"].total_time_s == pytest.approx(2.0)
+        assert summaries["b"].fail_safe_launches == 1
+        assert summaries["b"].configs == {str(SLOW): 1}
+
+    def test_ordered_by_energy(self, mixed_run):
+        summaries = kernel_summaries(mixed_run)
+        energies = [s.total_energy_j for s in summaries]
+        assert energies == sorted(energies, reverse=True)
+
+
+class TestEnergyBreakdown:
+    def test_components(self, mixed_run):
+        breakdown = energy_breakdown(mixed_run)
+        assert breakdown.gpu_kernel_j == pytest.approx(30.0)
+        assert breakdown.cpu_kernel_j == pytest.approx(15.0)
+        assert breakdown.overhead_j == pytest.approx(1.0)
+        assert breakdown.total_j == pytest.approx(mixed_run.energy_j)
+
+    def test_shares_sum_to_one(self, mixed_run):
+        assert sum(energy_breakdown(mixed_run).shares().values()) == pytest.approx(1.0)
+
+
+class TestPhases:
+    def test_high_low_segmentation(self, mixed_run):
+        # a-kernels: 4e9/1s; b: 1e9/3s; overall: 9e9/5s = 1.8e9.
+        phases = throughput_phases(mixed_run, threshold=1.3)
+        assert phases == [(0, 1, "high"), (1, 2, "low"), (2, 3, "high")]
+
+    def test_threshold_validation(self, mixed_run):
+        with pytest.raises(ValueError):
+            throughput_phases(mixed_run, threshold=1.0)
+
+    def test_empty_run(self):
+        assert throughput_phases(RunResult(app_name="a", policy_name="p")) == []
+
+
+class TestCompareRuns:
+    def test_reference_relative_metrics(self, mixed_run):
+        other = _run([
+            _record(0, "a", FAST, time_s=0.5, gpu=5.0, cpu=2.5, insts=4e9),
+            _record(1, "b", FAST, time_s=1.5, gpu=15.0, cpu=7.5, insts=1e9),
+            _record(2, "a", FAST, time_s=0.5, gpu=5.0, cpu=2.5, insts=4e9),
+        ], policy="q")
+        rows = compare_runs([mixed_run, other])
+        assert rows[0]["speedup_vs_ref"] == pytest.approx(1.0)
+        assert rows[1]["speedup_vs_ref"] == pytest.approx(5.1 / 2.5)
+        assert rows[1]["policy"] == "q"
+
+    def test_mismatched_apps_rejected(self, mixed_run):
+        other = _run([_record(0)], name="different")
+        with pytest.raises(ValueError):
+            compare_runs([mixed_run, other])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compare_runs([])

@@ -1,0 +1,121 @@
+"""Unit tests for applications and the Table-IV benchmark suite."""
+
+import pytest
+
+from repro.workloads.app import Application, Category, expand_pattern
+from repro.workloads.kernel import KernelSpec, ScalingClass
+from repro.workloads.suites import (
+    BENCHMARK_NAMES,
+    TABLE_II_PATTERNS,
+    all_benchmarks,
+    benchmark,
+    benchmarks_by_category,
+)
+
+K1 = KernelSpec("a", ScalingClass.COMPUTE, 1.0, 0.1)
+K2 = KernelSpec("b", ScalingClass.MEMORY, 0.5, 0.8)
+
+
+class TestApplication:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Application("x", "s", Category.REGULAR, kernels=())
+
+    def test_len_and_iter(self):
+        app = Application("x", "s", Category.REGULAR, kernels=(K1, K2, K1))
+        assert len(app) == 3
+        assert list(app) == [K1, K2, K1]
+
+    def test_unique_kernels_order(self):
+        app = Application("x", "s", Category.REGULAR, kernels=(K1, K2, K1))
+        assert [k.key for k in app.unique_kernels] == ["a", "b"]
+
+    def test_total_instructions(self):
+        app = Application("x", "s", Category.REGULAR, kernels=(K1, K1))
+        assert app.total_instructions == pytest.approx(2 * K1.instructions)
+
+    def test_letter_sequence(self):
+        app = Application("x", "s", Category.REGULAR, kernels=(K1, K2, K1, K2))
+        assert app.letter_sequence() == ["A", "B", "A", "B"]
+
+    def test_expand_pattern(self):
+        assert expand_pattern([(K1, 2), (K2, 1)]) == [K1, K1, K2]
+
+    def test_expand_pattern_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            expand_pattern([(K1, 0)])
+
+    def test_conflicting_kernels_with_same_key_rejected(self):
+        impostor = KernelSpec("a", ScalingClass.MEMORY, 9.0, 2.0)
+        with pytest.raises(ValueError, match="key 'a' differ"):
+            Application("x", "s", Category.REGULAR, kernels=(K1, impostor))
+
+    def test_repeated_identical_kernels_allowed(self):
+        app = Application("x", "s", Category.REGULAR, kernels=(K1, K1, K1))
+        assert len(app) == 3
+
+
+class TestSuite:
+    def test_fifteen_benchmarks(self):
+        assert len(BENCHMARK_NAMES) == 15
+        assert len(all_benchmarks()) == 15
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            benchmark("doom")
+
+    def test_table2_patterns_match(self):
+        for name, pattern in TABLE_II_PATTERNS.items():
+            assert benchmark(name).pattern == pattern
+
+    def test_spmv_sequence(self):
+        app = benchmark("Spmv")
+        letters = app.letter_sequence()
+        assert letters == ["A"] * 10 + ["B"] * 10 + ["C"] * 10
+
+    def test_kmeans_sequence(self):
+        letters = benchmark("kmeans").letter_sequence()
+        assert letters == ["A"] + ["B"] * 20
+
+    def test_eigenvalue_alternates(self):
+        letters = benchmark("EigenValue").letter_sequence()
+        assert letters == ["A", "B"] * 5
+
+    def test_hybridsort_structure(self):
+        app = benchmark("hybridsort")
+        assert len(app) == 15
+        merge = [k for k in app.kernels if k.name == "mergeSortPass"]
+        assert len(merge) == 9
+        assert len({k.key for k in merge}) == 9  # distinct inputs
+
+    def test_regular_benchmarks_single_kernel(self):
+        for name in ("mandelbulbGPU", "NBody", "lbm"):
+            app = benchmark(name)
+            assert app.category is Category.REGULAR
+            assert len(app.unique_kernels) == 1
+
+    def test_category_partition(self):
+        grouped = benchmarks_by_category()
+        assert sum(len(v) for v in grouped.values()) == 15
+        assert len(grouped[Category.REGULAR]) == 3
+        assert len(grouped[Category.IRREGULAR_REPEATING]) == 2
+        assert len(grouped[Category.IRREGULAR_NON_REPEATING]) == 2
+        assert len(grouped[Category.IRREGULAR_INPUT_VARYING]) == 8
+
+    def test_lbm_is_peak_class(self):
+        assert all(
+            k.scaling_class is ScalingClass.PEAK for k in benchmark("lbm").kernels
+        )
+
+    def test_benchmarks_are_rebuilt_fresh(self):
+        assert benchmark("Spmv") is not benchmark("Spmv")
+
+    def test_all_kernels_have_positive_work(self):
+        for app in all_benchmarks():
+            for kernel in app.kernels:
+                assert kernel.instructions > 0
+                assert (
+                    kernel.compute_work > 0
+                    or kernel.memory_traffic > 0
+                    or kernel.serial_time_s > 0
+                )

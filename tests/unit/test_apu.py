@@ -1,0 +1,83 @@
+"""Unit tests for the APU facade and Measurement telemetry."""
+
+import pytest
+
+from repro.hardware.apu import APUModel, Measurement
+from repro.hardware.config import HardwareConfig
+from repro.hardware.power import PowerModel, PowerModelParams
+from repro.workloads.kernel import KernelSpec, ScalingClass
+
+KERNEL = KernelSpec("k", ScalingClass.COMPUTE, 5.0, 0.2, parallel_fraction=0.98)
+BASE = HardwareConfig(cpu="P1", nb="NB0", gpu="DPM4", cu=8)
+
+
+@pytest.fixture
+def apu():
+    return APUModel()
+
+
+class TestMeasurement:
+    def test_energy_decomposition(self):
+        m = Measurement(time_s=2.0, gpu_power_w=30.0, cpu_power_w=20.0, temperature_c=70.0)
+        assert m.total_power_w == 50.0
+        assert m.gpu_energy_j == 60.0
+        assert m.cpu_energy_j == 40.0
+        assert m.energy_j == 100.0
+
+
+class TestExecute:
+    def test_deterministic(self, apu):
+        first = apu.execute(KERNEL, BASE)
+        second = apu.execute(KERNEL, BASE)
+        assert first == second
+
+    def test_slower_config_longer_time(self, apu):
+        slow = apu.execute(KERNEL, HardwareConfig(cpu="P1", nb="NB0", gpu="DPM0", cu=2))
+        assert slow.time_s > apu.execute(KERNEL, BASE).time_s
+
+    def test_kernel_energy_matches_measurement(self, apu):
+        m = apu.execute(KERNEL, BASE)
+        assert apu.kernel_energy(KERNEL, BASE) == pytest.approx(m.energy_j)
+
+    def test_energy_vs_time_tradeoff_exists(self, apu):
+        # Some slower configuration must save energy, else DVFS is moot.
+        base = apu.execute(KERNEL, BASE)
+        cheaper = apu.execute(
+            KERNEL, HardwareConfig(cpu="P7", nb="NB3", gpu="DPM2", cu=8)
+        )
+        assert cheaper.energy_j < base.energy_j
+
+    def test_cpu_state_does_not_affect_kernel_time(self, apu):
+        fast_cpu = apu.execute(KERNEL, BASE)
+        slow_cpu = apu.execute(KERNEL, BASE.replace(cpu="P7"))
+        assert fast_cpu.time_s == pytest.approx(slow_cpu.time_s)
+        assert slow_cpu.cpu_power_w < fast_cpu.cpu_power_w
+
+
+class TestManagerMeasurement:
+    def test_charges_requested_time(self, apu):
+        m = apu.manager_measurement(0.01, BASE)
+        assert m.time_s == 0.01
+        assert m.cpu_power_w > 0
+        assert m.gpu_power_w > 0  # idle leakage
+
+    def test_rejects_negative_time(self, apu):
+        with pytest.raises(ValueError):
+            apu.manager_measurement(-1.0, BASE)
+
+    def test_manager_power_below_kernel_power(self, apu):
+        kernel = apu.execute(KERNEL, BASE)
+        manager = apu.manager_measurement(0.01, BASE)
+        assert manager.total_power_w < kernel.total_power_w
+
+
+class TestConstruction:
+    def test_with_params(self):
+        params = PowerModelParams(tdp_w=65.0)
+        apu = APUModel.with_params(params)
+        assert apu.tdp_w == 65.0
+
+    def test_within_tdp(self, apu):
+        assert apu.within_tdp(KERNEL, BASE)
+        tiny = APUModel(power=PowerModel(PowerModelParams(tdp_w=10.0)))
+        assert not tiny.within_tdp(KERNEL, BASE)

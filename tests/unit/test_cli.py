@@ -1,0 +1,70 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.workloads.suites import BENCHMARK_NAMES
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "kmeans"])
+        assert args.policy == "all"
+        assert args.alpha == 0.05
+        assert not args.full_horizon
+
+    def test_run_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "doom"])
+
+    def test_run_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "kmeans", "--policy", "magic"])
+
+    def test_experiments_keys(self):
+        args = build_parser().parse_args(["experiments", "fig8", "fig9"])
+        assert args.keys == ["fig8", "fig9"]
+
+    def test_report_output(self):
+        args = build_parser().parse_args(["report", "-o", "out.md"])
+        assert args.output == "out.md"
+
+
+class TestCommands:
+    def test_list_prints_all_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in BENCHMARK_NAMES:
+            assert name in out
+
+    def test_run_turbo_only(self, capsys):
+        assert main(["run", "NBody", "--policy", "turbo"]) == 0
+        out = capsys.readouterr().out
+        assert "turbo" in out
+        assert "NBody" in out
+
+    def test_run_theoretically_optimal(self, capsys):
+        assert main(["run", "NBody", "--policy", "to"]) == 0
+        out = capsys.readouterr().out
+        assert "to" in out
+
+    def test_experiments_static_tables(self, capsys):
+        assert main(["experiments", "table1", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "Figure 7" in out
+
+    def test_analyze_with_oracle(self, capsys):
+        assert main(["analyze", "NBody", "--oracle"]) == 0
+        out = capsys.readouterr().out
+        assert "energy split" in out
+        assert "configuration occupancy" in out
+        assert "throughput phases" in out

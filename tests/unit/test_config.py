@@ -1,0 +1,140 @@
+"""Unit tests for hardware configurations and the config space."""
+
+import pytest
+
+from repro.hardware.config import FAILSAFE_CONFIG, ConfigSpace, HardwareConfig, Knob
+
+
+@pytest.fixture
+def space():
+    return ConfigSpace()
+
+
+class TestHardwareConfig:
+    def test_valid_construction(self):
+        config = HardwareConfig(cpu="P3", nb="NB1", gpu="DPM2", cu=4)
+        assert config.cpu == "P3"
+        assert config.cu == 4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(cpu="P0", nb="NB0", gpu="DPM4", cu=8),
+            dict(cpu="P1", nb="NB9", gpu="DPM4", cu=8),
+            dict(cpu="P1", nb="NB0", gpu="DPM7", cu=8),
+            dict(cpu="P1", nb="NB0", gpu="DPM4", cu=3),
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            HardwareConfig(**kwargs)
+
+    def test_replace(self):
+        config = FAILSAFE_CONFIG.replace(cpu="P1")
+        assert config.cpu == "P1"
+        assert config.nb == FAILSAFE_CONFIG.nb
+        assert FAILSAFE_CONFIG.cpu == "P7"  # original untouched
+
+    def test_knob_accessor(self):
+        config = HardwareConfig(cpu="P2", nb="NB3", gpu="DPM0", cu=6)
+        assert config.knob(Knob.CPU) == "P2"
+        assert config.knob(Knob.NB) == "NB3"
+        assert config.knob(Knob.GPU) == "DPM0"
+        assert config.knob(Knob.CU) == 6
+
+    def test_knob_accessor_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            FAILSAFE_CONFIG.knob("voltage")
+
+    def test_rail_voltage_property(self):
+        config = HardwareConfig(cpu="P7", nb="NB0", gpu="DPM0", cu=2)
+        assert config.rail_voltage == pytest.approx(1.15)
+
+    def test_failsafe_is_papers(self):
+        assert FAILSAFE_CONFIG == HardwareConfig(cpu="P7", nb="NB2", gpu="DPM4", cu=8)
+
+    def test_str(self):
+        assert str(FAILSAFE_CONFIG) == "[P7, NB2, DPM4, 8 CUs]"
+
+    def test_hashable_and_ordered(self):
+        a = HardwareConfig(cpu="P1", nb="NB0", gpu="DPM4", cu=8)
+        b = HardwareConfig(cpu="P1", nb="NB0", gpu="DPM4", cu=8)
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestConfigSpace:
+    def test_default_size_is_336(self, space):
+        assert len(space) == 336
+        assert len(space.all_configs()) == 336
+
+    def test_knob_cardinality_sum(self, space):
+        # 7 CPU + 4 NB + 3 GPU + 4 CU = 18, the paper's ~19x reduction.
+        assert space.knob_cardinality_sum() == 18
+
+    def test_axes_run_slow_to_fast(self, space):
+        assert space.cpu_axis[0] == "P7" and space.cpu_axis[-1] == "P1"
+        assert space.nb_axis[0] == "NB3" and space.nb_axis[-1] == "NB0"
+        assert space.gpu_axis == ("DPM0", "DPM2", "DPM4")
+        assert space.cu_axis == (2, 4, 6, 8)
+
+    def test_contains(self, space):
+        assert FAILSAFE_CONFIG in space
+        outside = HardwareConfig(cpu="P1", nb="NB0", gpu="DPM1", cu=8)
+        assert outside not in space
+
+    def test_iteration_yields_unique_members(self, space):
+        configs = list(space)
+        assert len(set(configs)) == 336
+
+    def test_step_up_and_down(self, space):
+        config = HardwareConfig(cpu="P5", nb="NB2", gpu="DPM2", cu=4)
+        up = space.step(config, Knob.CU, +1)
+        down = space.step(config, Knob.CU, -1)
+        assert up.cu == 6
+        assert down.cu == 2
+
+    def test_step_off_axis_returns_none(self, space):
+        fastest = space.fastest()
+        for knob in Knob.ALL:
+            assert space.step(fastest, knob, +1) is None
+        slowest = space.slowest()
+        for knob in Knob.ALL:
+            assert space.step(slowest, knob, -1) is None
+
+    def test_step_rejects_bad_direction(self, space):
+        with pytest.raises(ValueError):
+            space.step(FAILSAFE_CONFIG, Knob.CPU, 2)
+
+    def test_fastest_slowest(self, space):
+        assert space.fastest() == HardwareConfig(cpu="P1", nb="NB0", gpu="DPM4", cu=8)
+        assert space.slowest() == HardwareConfig(cpu="P7", nb="NB3", gpu="DPM0", cu=2)
+
+    def test_reduced_space(self):
+        reduced = ConfigSpace(
+            cpu_states=("P7", "P1"), nb_states=("NB2",),
+            gpu_states=("DPM0", "DPM4"), cu_counts=(2, 8),
+        )
+        assert len(reduced) == 8
+        assert reduced.knob_cardinality_sum() == 7
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigSpace(cpu_states=())
+
+    def test_duplicate_axis_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigSpace(cu_counts=(2, 2, 4))
+
+    def test_clamp_noop_for_member(self, space):
+        assert space.clamp(FAILSAFE_CONFIG) == FAILSAFE_CONFIG
+
+    def test_clamp_snaps_off_axis_values(self):
+        reduced = ConfigSpace(gpu_states=("DPM0", "DPM4"))
+        clamped = reduced.clamp(HardwareConfig(cpu="P7", nb="NB2", gpu="DPM2", cu=8))
+        assert clamped.gpu == "DPM4"
+        assert clamped in reduced
+
+    def test_index_of_unknown_value(self, space):
+        with pytest.raises(ValueError):
+            space.index_of(Knob.GPU, "DPM1")

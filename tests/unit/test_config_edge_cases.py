@@ -1,0 +1,65 @@
+"""Edge-case coverage for configuration-space corners."""
+
+import pytest
+
+from repro.hardware.config import ConfigSpace, HardwareConfig
+from repro.sim.policy import Decision, Observation
+from repro.sim.trace import LaunchRecord
+
+
+class TestClampFallback:
+    def test_clamp_falls_back_to_fastest_axis_value(self):
+        # P1-only CPU axis: clamping P7 (slower than anything on the
+        # axis) has no at-or-above candidate ordering issue; clamping a
+        # value *above* every axis member must fall back to the top.
+        reduced = ConfigSpace(cpu_states=("P7", "P6"))
+        clamped = reduced.clamp(HardwareConfig(cpu="P1", nb="NB2", gpu="DPM4", cu=8))
+        assert clamped.cpu == "P6"  # fastest available
+        assert clamped in reduced
+
+    def test_clamp_prefers_next_faster_value(self):
+        reduced = ConfigSpace(cu_counts=(2, 8))
+        clamped = reduced.clamp(HardwareConfig(cpu="P7", nb="NB2", gpu="DPM4", cu=4))
+        assert clamped.cu == 8  # nearest at-or-above in performance
+
+    def test_clamp_multiple_knobs(self):
+        reduced = ConfigSpace(cpu_states=("P7",), gpu_states=("DPM0",),
+                              cu_counts=(2,), nb_states=("NB3",))
+        clamped = reduced.clamp(HardwareConfig(cpu="P1", nb="NB0", gpu="DPM4", cu=8))
+        assert clamped == HardwareConfig(cpu="P7", nb="NB3", gpu="DPM0", cu=2)
+
+
+class TestDecisionDefaults:
+    def test_defaults(self):
+        decision = Decision(config=ConfigSpace().fastest())
+        assert decision.model_evaluations == 0
+        assert decision.horizon == 0
+        assert not decision.fail_safe
+
+
+class TestObservationThroughput:
+    def test_throughput(self):
+        from repro.hardware.apu import Measurement
+        from repro.workloads.counters import CounterVector
+        import numpy as np
+
+        obs = Observation(
+            index=0,
+            config=ConfigSpace().fastest(),
+            counters=CounterVector.from_array(np.ones(8)),
+            measurement=Measurement(2.0, 10.0, 5.0, 60.0),
+            instructions=4e9,
+        )
+        assert obs.throughput == pytest.approx(2e9)
+
+
+class TestLaunchRecordEdges:
+    def test_overhead_free_record(self):
+        record = LaunchRecord(
+            index=0, kernel_key="k", config=ConfigSpace().fastest(),
+            time_s=1.0, gpu_energy_j=10.0, cpu_energy_j=5.0,
+            instructions=1e9,
+        )
+        assert record.overhead_energy_j == 0.0
+        assert record.energy_j == 15.0
+        assert record.throughput == pytest.approx(1e9)

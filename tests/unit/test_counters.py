@@ -1,0 +1,112 @@
+"""Unit tests for Table-III counter synthesis and signatures."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.counters import COUNTER_NAMES, CounterSynthesizer, CounterVector
+from repro.workloads.kernel import KernelSpec, ScalingClass
+
+COMPUTE = KernelSpec("c", ScalingClass.COMPUTE, 10.0, 0.05, parallel_fraction=0.99)
+MEMORY = KernelSpec("m", ScalingClass.MEMORY, 0.5, 1.5, parallel_fraction=0.9)
+UNSCALABLE = KernelSpec("u", ScalingClass.UNSCALABLE, 0.2, 0.05,
+                        serial_time_s=0.02, parallel_fraction=0.7)
+
+
+@pytest.fixture
+def synth():
+    return CounterSynthesizer(noise=0.0)
+
+
+class TestCounterVector:
+    def test_roundtrip(self):
+        values = np.arange(1.0, 9.0)
+        vector = CounterVector.from_array(values)
+        assert np.allclose(vector.as_array(), values)
+
+    def test_as_dict_keys(self):
+        vector = CounterVector.from_array(np.ones(8))
+        assert tuple(vector.as_dict()) == COUNTER_NAMES
+
+    def test_from_array_wrong_length(self):
+        with pytest.raises(ValueError):
+            CounterVector.from_array([1.0, 2.0])
+
+    def test_signature_log_binning(self):
+        vector = CounterVector.from_array([1.0, 2.0, 3.0, 8.0, 20.0, 55.0, 150.0, 0.0])
+        # floor(ln(u)); zero maps to the sentinel bin -1.
+        assert vector.signature() == (0, 0, 1, 2, 2, 4, 5, -1)
+
+    def test_values_in_same_bin_share_signature(self):
+        a = CounterVector.from_array([10.0] * 8)
+        b = CounterVector.from_array([12.0] * 8)  # ln in [2.30, 2.48]
+        assert a.signature() == b.signature()
+
+    def test_blending(self):
+        a = CounterVector.from_array(np.zeros(8) + 2.0)
+        b = CounterVector.from_array(np.zeros(8) + 4.0)
+        blended = a.blended_with(b, weight=0.5)
+        assert np.allclose(blended.as_array(), 3.0)
+
+    def test_blending_weight_bounds(self):
+        a = CounterVector.from_array(np.ones(8))
+        with pytest.raises(ValueError):
+            a.blended_with(a, weight=1.5)
+
+
+class TestSynthesis:
+    def test_nominal_deterministic(self, synth):
+        assert np.allclose(
+            synth.nominal(COMPUTE).as_array(), synth.nominal(COMPUTE).as_array()
+        )
+
+    def test_memory_kernel_stalls_more(self, synth):
+        assert (
+            synth.nominal(MEMORY).mem_unit_stalled
+            > synth.nominal(COMPUTE).mem_unit_stalled
+        )
+
+    def test_compute_kernel_hits_cache_more(self, synth):
+        assert synth.nominal(COMPUTE).cache_hit > synth.nominal(MEMORY).cache_hit
+
+    def test_serialized_kernel_has_lds_conflicts(self, synth):
+        assert (
+            synth.nominal(UNSCALABLE).lds_bank_conflict
+            > synth.nominal(COMPUTE).lds_bank_conflict
+        )
+
+    def test_fetch_size_tracks_memory_traffic(self, synth):
+        assert synth.nominal(MEMORY).fetch_size == pytest.approx(1.5e6)
+
+    def test_percent_counters_bounded(self, synth):
+        for spec in (COMPUTE, MEMORY, UNSCALABLE):
+            counters = synth.nominal(spec)
+            for value in (counters.mem_unit_stalled, counters.cache_hit,
+                          counters.lds_bank_conflict):
+                assert 0.0 <= value <= 100.0
+
+    def test_observation_noise(self):
+        noisy = CounterSynthesizer(noise=0.05, seed=1)
+        clean = noisy.nominal(COMPUTE).as_array()
+        observed = noisy.observe(COMPUTE).as_array()
+        assert not np.allclose(observed, clean)
+        assert np.all(observed >= 0.0)
+
+    def test_observation_deterministic_per_launch(self):
+        noisy = CounterSynthesizer(noise=0.05, seed=1)
+        a = noisy.observe(COMPUTE, sequence=3).as_array()
+        b = noisy.observe(COMPUTE, sequence=3).as_array()
+        c = noisy.observe(COMPUTE, sequence=4).as_array()
+        assert np.allclose(a, b)
+        assert not np.allclose(a, c)
+
+    def test_zero_noise_observation_equals_nominal(self, synth):
+        assert np.allclose(
+            synth.observe(COMPUTE).as_array(), synth.nominal(COMPUTE).as_array()
+        )
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            CounterSynthesizer(noise=-0.1)
+
+    def test_different_kernels_different_signatures(self, synth):
+        assert synth.nominal(COMPUTE).signature() != synth.nominal(MEMORY).signature()

@@ -1,0 +1,90 @@
+"""Unit tests for the Table-I DVFS state tables."""
+
+import pytest
+
+from repro.hardware import dvfs
+
+
+class TestStateTables:
+    def test_cpu_pstate_count(self):
+        assert len(dvfs.CPU_PSTATES) == 7
+
+    def test_nb_state_count(self):
+        assert len(dvfs.NB_PSTATES) == 4
+
+    def test_gpu_dpm_count(self):
+        assert len(dvfs.GPU_DPM_STATES) == 5
+
+    def test_cpu_p1_matches_table1(self):
+        state = dvfs.CPU_PSTATES["P1"]
+        assert state.voltage == pytest.approx(1.325)
+        assert state.freq_ghz == pytest.approx(3.9)
+
+    def test_cpu_p7_matches_table1(self):
+        state = dvfs.CPU_PSTATES["P7"]
+        assert state.voltage == pytest.approx(0.8875)
+        assert state.freq_ghz == pytest.approx(1.7)
+
+    def test_gpu_dpm0_matches_table1(self):
+        state = dvfs.GPU_DPM_STATES["DPM0"]
+        assert state.voltage == pytest.approx(0.95)
+        assert state.freq_ghz == pytest.approx(0.351)
+
+    def test_gpu_dpm4_matches_table1(self):
+        state = dvfs.GPU_DPM_STATES["DPM4"]
+        assert state.voltage == pytest.approx(1.225)
+        assert state.freq_ghz == pytest.approx(0.720)
+
+    def test_nb_frequencies_match_table1(self):
+        freqs = [dvfs.NB_PSTATES[n].freq_ghz for n in ("NB0", "NB1", "NB2", "NB3")]
+        assert freqs == pytest.approx([1.8, 1.6, 1.4, 1.1])
+
+    def test_cpu_voltage_decreases_with_state(self):
+        states = list(dvfs.CPU_PSTATES.values())
+        voltages = [s.voltage for s in states]
+        assert voltages == sorted(voltages, reverse=True)
+
+    def test_gpu_voltage_increases_with_dpm(self):
+        voltages = [s.voltage for s in dvfs.GPU_DPM_STATES.values()]
+        assert voltages == sorted(voltages)
+
+    def test_searched_gpu_subset(self):
+        assert dvfs.SEARCHED_GPU_STATES == ("DPM0", "DPM2", "DPM4")
+
+    def test_cu_counts(self):
+        assert dvfs.CU_COUNTS == (2, 4, 6, 8)
+
+    def test_state_str(self):
+        assert "P1" in str(dvfs.CPU_PSTATES["P1"])
+
+
+class TestMemoryBandwidth:
+    def test_nb0_through_nb2_share_dram_bus(self):
+        bw = {n: dvfs.memory_bus_bandwidth_gbps(n) for n in ("NB0", "NB1", "NB2")}
+        assert len(set(bw.values())) == 1
+
+    def test_nb3_reduces_bandwidth(self):
+        assert dvfs.memory_bus_bandwidth_gbps("NB3") < dvfs.memory_bus_bandwidth_gbps("NB2")
+
+    def test_nb0_bandwidth_value(self):
+        # 800 MHz dual-channel DDR3: 25.6 GB/s.
+        assert dvfs.memory_bus_bandwidth_gbps("NB0") == pytest.approx(25.6)
+
+
+class TestRailVoltage:
+    def test_rail_is_max_of_domains(self):
+        for gpu in dvfs.GPU_DPM_STATES:
+            for nb in dvfs.NB_PSTATES:
+                rail = dvfs.rail_voltage(gpu, nb)
+                assert rail == max(
+                    dvfs.GPU_DPM_STATES[gpu].voltage, dvfs.NB_RAIL_VOLTAGE[nb]
+                )
+
+    def test_high_nb_state_blocks_gpu_voltage_reduction(self):
+        # Dropping the GPU from DPM2 to DPM0 at NB0 cannot drop the rail
+        # below the NB requirement.
+        assert dvfs.rail_voltage("DPM0", "NB0") == dvfs.NB_RAIL_VOLTAGE["NB0"]
+        assert dvfs.rail_voltage("DPM0", "NB0") > dvfs.GPU_DPM_STATES["DPM0"].voltage
+
+    def test_fast_gpu_dominates_rail(self):
+        assert dvfs.rail_voltage("DPM4", "NB3") == dvfs.GPU_DPM_STATES["DPM4"].voltage

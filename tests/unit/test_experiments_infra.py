@@ -1,0 +1,101 @@
+"""Unit tests for the experiments infrastructure (tables, runner, report)."""
+
+import pytest
+
+from repro.experiments.common import ExperimentContext, ExperimentTable
+from repro.experiments.report import PAPER_NOTES
+from repro.experiments.runner import ALL_EXPERIMENTS, run_all
+from repro.experiments.tables import table1, table2, table3, table4
+
+
+class TestExperimentTable:
+    def _table(self):
+        return ExperimentTable("Fig X", "demo", headers=["a", "b"])
+
+    def test_add_row_checks_width(self):
+        table = self._table()
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column(self):
+        table = self._table()
+        table.add_row("x", 1)
+        table.add_row("y", 2)
+        assert table.column("b") == [1, 2]
+
+    def test_column_unknown(self):
+        with pytest.raises(ValueError):
+            self._table().column("zz")
+
+    def test_row_for(self):
+        table = self._table()
+        table.add_row("x", 1)
+        assert table.row_for("x") == ["x", 1]
+        with pytest.raises(KeyError):
+            table.row_for("nope")
+
+    def test_format_contains_everything(self):
+        table = self._table()
+        table.add_row("hello", 3.14159)
+        rendered = table.format()
+        assert "Fig X" in rendered
+        assert "hello" in rendered
+        assert "3.142" in rendered  # floats at 3 decimals
+
+
+class TestStaticTables:
+    def test_table1_counts(self):
+        assert len(table1().rows) == 16
+
+    def test_table2_matches(self):
+        assert all(table2().column("Match"))
+
+    def test_table3_has_eight_counters(self):
+        assert len(table3().rows) == 8
+
+    def test_table4_lists_fifteen(self):
+        assert len(table4().rows) == 15
+
+
+class TestRunner:
+    def test_every_experiment_registered(self):
+        expected = {
+            "table1", "table2", "table3", "table4",
+            "fig2", "fig3", "fig4", "fig7", "fig8", "fig9", "fig10",
+            "fig11", "fig12", "fig13", "fig14", "fig15",
+            "headline", "ablation",
+            "ablation_search_order", "ablation_window_reserve",
+            "ablation_overhead_hiding",
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+
+    def test_every_experiment_has_a_paper_note(self):
+        for key in ALL_EXPERIMENTS:
+            assert key in PAPER_NOTES, f"missing paper note for {key}"
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(KeyError):
+            run_all(only=["figZZ"], echo=False)
+
+    def test_static_subset_runs(self, capsys):
+        tables = run_all(only=["table1", "fig7"], echo=True)
+        assert [t.experiment_id for t in tables] == ["Table I", "Figure 7"]
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+
+class TestContext:
+    def test_restricted_benchmark_set(self):
+        ctx = ExperimentContext(benchmark_names=["NBody"])
+        assert ctx.benchmark_names == ["NBody"]
+        run = ctx.turbo("NBody")
+        assert run.app_name == "NBody"
+        # Cached: the same object comes back.
+        assert ctx.turbo("NBody") is run
+
+    def test_target_matches_turbo_run(self):
+        ctx = ExperimentContext(benchmark_names=["NBody"])
+        turbo = ctx.turbo("NBody")
+        assert ctx.target_throughput("NBody") == pytest.approx(
+            turbo.instructions / turbo.kernel_time_s
+        )

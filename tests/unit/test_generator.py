@@ -1,0 +1,59 @@
+"""Unit tests for the synthetic training-population generator."""
+
+import pytest
+
+from repro.workloads.generator import KernelPopulationGenerator, training_population
+from repro.workloads.kernel import ScalingClass
+
+
+class TestSampling:
+    def test_population_size(self):
+        assert len(training_population(32)) == 32
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            KernelPopulationGenerator().population(0)
+
+    def test_bad_mix_rejected(self):
+        with pytest.raises(ValueError):
+            KernelPopulationGenerator().population(4, class_mix=[1.0, 0.5, 0.0, 0.0])
+
+    def test_deterministic_per_seed(self):
+        a = training_population(16, seed=3)
+        b = training_population(16, seed=3)
+        assert [k.key for k in a] == [k.key for k in b]
+        assert [k.compute_work for k in a] == [k.compute_work for k in b]
+
+    def test_seed_changes_population(self):
+        a = training_population(16, seed=3)
+        b = training_population(16, seed=4)
+        assert [k.compute_work for k in a] != [k.compute_work for k in b]
+
+    def test_all_classes_represented(self):
+        population = training_population(64, seed=0)
+        classes = {k.scaling_class for k in population}
+        assert classes == set(ScalingClass)
+
+    def test_class_specific_sampling(self):
+        gen = KernelPopulationGenerator(seed=1)
+        spec = gen.sample(ScalingClass.PEAK, index=7)
+        assert spec.scaling_class is ScalingClass.PEAK
+        assert spec.cache_interference > 0
+        assert "peak" in spec.name
+
+    def test_unscalable_kernels_have_serial_time(self):
+        gen = KernelPopulationGenerator(seed=2)
+        for i in range(10):
+            spec = gen.sample(ScalingClass.UNSCALABLE, index=i)
+            assert spec.serial_time_s > 0
+
+    def test_parameter_ranges_are_valid(self):
+        for spec in training_population(128, seed=5):
+            assert 0.0 < spec.parallel_fraction <= 1.0
+            assert 0.0 < spec.compute_efficiency <= 1.0
+            assert spec.compute_work > 0
+            assert spec.memory_traffic > 0
+
+    def test_unique_names(self):
+        population = training_population(64, seed=0)
+        assert len({k.key for k in population}) == 64

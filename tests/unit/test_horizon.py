@@ -1,0 +1,109 @@
+"""Unit tests for the adaptive horizon generator (Section IV-A4)."""
+
+import pytest
+
+from repro.core.horizon import AdaptiveHorizonGenerator
+
+
+def _generator(**kw):
+    defaults = dict(
+        num_kernels=10,
+        mean_prefix_length=5.0,
+        ppk_overhead_s=0.001,
+        baseline_total_time_s=1.0,
+        alpha=0.05,
+    )
+    defaults.update(kw)
+    return AdaptiveHorizonGenerator(**defaults)
+
+
+class TestValidation:
+    def test_zero_kernels(self):
+        with pytest.raises(ValueError):
+            _generator(num_kernels=0)
+
+    def test_bad_prefix(self):
+        with pytest.raises(ValueError):
+            _generator(mean_prefix_length=0.0)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ValueError):
+            _generator(alpha=-0.1)
+
+    def test_profile_length_mismatch(self):
+        with pytest.raises(ValueError):
+            _generator(time_profile=[1.0] * 3)
+
+    def test_profile_zero_total(self):
+        with pytest.raises(ValueError):
+            _generator(time_profile=[0.0] * 10)
+
+    def test_negative_record(self):
+        gen = _generator()
+        with pytest.raises(ValueError):
+            gen.record(-1.0, 0.0)
+
+
+class TestUniformFormula:
+    def test_paper_formula_first_kernel(self):
+        # H_1 <= (N/N̄) * alpha * (T_total/N) / T_PPK
+        gen = _generator()
+        expected = (10 / 5.0) * 0.05 * 0.1 / 0.001
+        assert gen.horizon(0) == int(expected)
+
+    def test_clamped_to_n(self):
+        gen = _generator(ppk_overhead_s=1e-9)
+        assert gen.horizon(0) == 10
+
+    def test_clamped_to_zero(self):
+        gen = _generator()
+        gen.record(5.0, 0.0)  # way over baseline pace
+        assert gen.horizon(1) == 0
+
+    def test_zero_overhead_gives_full_horizon(self):
+        gen = _generator(ppk_overhead_s=0.0)
+        assert gen.horizon(0) == 10
+        assert gen.horizon(7) == 10
+
+    def test_budget_grows_when_on_pace(self):
+        gen = _generator(ppk_overhead_s=0.01)  # costly enough not to clamp at N
+        horizons = []
+        for i in range(10):
+            horizons.append(gen.horizon(i))
+            gen.record(0.1, 0.0)  # exactly baseline pace
+        assert horizons == sorted(horizons)
+        assert horizons[-1] > horizons[0]
+
+    def test_reset(self):
+        gen = _generator()
+        gen.record(0.5, 0.001)
+        gen.reset()
+        assert gen.elapsed_s == 0.0
+
+
+class TestLaunchWeighted:
+    def test_uniform_profile_matches_uniform_formula_at_start(self):
+        uniform = _generator()
+        weighted = _generator(time_profile=[1.0] * 10)
+        assert weighted.horizon(0) == uniform.horizon(0)
+
+    def test_long_kernel_earns_budget(self):
+        # Launch 0 carries half the baseline time: spending that long
+        # on it must not read as overhead debt.
+        gen = _generator(time_profile=[9.0] + [1.0] * 9)
+        gen.record(0.5, 0.0)  # kernel 0 took half the app's baseline time
+        assert gen.horizon(1) > 0
+
+    def test_uniform_formula_would_choke_on_same_history(self):
+        gen = _generator()  # uniform baseline
+        gen.record(0.5, 0.0)
+        assert gen.horizon(1) == 0
+
+    def test_index_beyond_profile_falls_back(self):
+        gen = _generator(time_profile=[1.0] * 10)
+        assert gen.horizon(15) >= 0  # no crash
+
+    def test_record_accumulates_overheads(self):
+        gen = _generator()
+        gen.record(0.1, 0.002)
+        assert gen.elapsed_s == pytest.approx(0.102)

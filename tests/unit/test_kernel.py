@@ -1,0 +1,86 @@
+"""Unit tests for KernelSpec."""
+
+import math
+
+import pytest
+
+from repro.workloads.kernel import KernelSpec, ScalingClass
+
+
+def _spec(**kw):
+    defaults = dict(
+        name="k", scaling_class=ScalingClass.COMPUTE,
+        compute_work=2.0, memory_traffic=0.5,
+    )
+    defaults.update(kw)
+    return KernelSpec(**defaults)
+
+
+class TestValidation:
+    def test_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            _spec(compute_work=-1.0)
+
+    def test_parallel_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            _spec(parallel_fraction=1.5)
+
+    def test_efficiency_bounds(self):
+        with pytest.raises(ValueError):
+            _spec(compute_efficiency=0.0)
+
+    def test_zero_work_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            _spec(compute_work=0.0, memory_traffic=0.0, serial_time_s=0.0)
+
+    def test_serial_only_kernel_allowed(self):
+        spec = KernelSpec(
+            "s", ScalingClass.UNSCALABLE, 0.0, 0.0, serial_time_s=0.01,
+            instructions=1e6,
+        )
+        assert spec.serial_time_s == 0.01
+
+    def test_negative_interference_rejected(self):
+        with pytest.raises(ValueError):
+            _spec(cache_interference=-0.1)
+
+
+class TestDerivedFields:
+    def test_instructions_default(self):
+        spec = _spec(compute_work=2.0, memory_traffic=0.4)
+        assert spec.instructions == pytest.approx(1e9 * (2.0 + 0.1))
+
+    def test_instructions_override(self):
+        spec = _spec(instructions=123.0)
+        assert spec.instructions == 123.0
+
+    def test_arithmetic_intensity(self):
+        assert _spec(compute_work=4.0, memory_traffic=2.0).arithmetic_intensity == 2.0
+
+    def test_arithmetic_intensity_infinite_without_memory(self):
+        assert math.isinf(_spec(memory_traffic=0.0).arithmetic_intensity)
+
+
+class TestIdentity:
+    def test_key_without_input(self):
+        assert _spec(name="foo").key == "foo"
+
+    def test_key_with_input(self):
+        assert _spec(name="foo", input_id=3).key == "foo#3"
+
+    def test_with_input_scales_work(self):
+        base = _spec(compute_work=2.0, memory_traffic=1.0)
+        variant = base.with_input(2, work_scale=2.0)
+        assert variant.compute_work == pytest.approx(4.0)
+        assert variant.memory_traffic == pytest.approx(2.0)
+        assert variant.instructions == pytest.approx(base.instructions * 2.0)
+        assert variant.name == base.name
+        assert variant.key != base.key
+
+    def test_with_input_separate_memory_scale(self):
+        base = _spec(compute_work=2.0, memory_traffic=1.0)
+        variant = base.with_input(1, work_scale=2.0, memory_scale=1.5)
+        assert variant.memory_traffic == pytest.approx(1.5)
+
+    def test_str_mentions_class(self):
+        assert "compute" in str(_spec())

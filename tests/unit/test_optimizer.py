@@ -1,0 +1,158 @@
+"""Unit tests for greedy hill climbing and the MPC window optimization."""
+
+import pytest
+
+from repro.core.optimizer import GreedyHillClimbOptimizer
+from repro.core.pattern import KernelRecord
+from repro.core.tracker import PerformanceTracker
+from repro.hardware.apu import APUModel
+from repro.hardware.config import ConfigSpace
+from repro.ml.predictors import OraclePredictor
+from repro.workloads.counters import CounterSynthesizer
+from repro.workloads.kernel import KernelSpec, ScalingClass
+
+COMPUTE = KernelSpec("c", ScalingClass.COMPUTE, 5.0, 0.1, parallel_fraction=0.99)
+MEMORY = KernelSpec("m", ScalingClass.MEMORY, 0.5, 1.0, parallel_fraction=0.9)
+SYNTH = CounterSynthesizer(noise=0.0)
+
+
+@pytest.fixture(scope="module")
+def apu():
+    return APUModel()
+
+
+@pytest.fixture(scope="module")
+def space():
+    return ConfigSpace()
+
+
+def _record(spec) -> KernelRecord:
+    counters = SYNTH.nominal(spec)
+    return KernelRecord(
+        signature=counters.signature(),
+        counters=counters,
+        instructions=spec.instructions,
+    )
+
+
+def _optimizer(apu, space, kernels):
+    return GreedyHillClimbOptimizer(space, OraclePredictor(apu, kernels))
+
+
+def _baseline_time(apu, spec, space):
+    return apu.execute(spec, space.fastest()).time_s
+
+
+class TestHillClimb:
+    def test_saves_energy_with_generous_headroom(self, apu, space):
+        optimizer = _optimizer(apu, space, [COMPUTE])
+        baseline = _baseline_time(apu, COMPUTE, space)
+        # Target set so the kernel may run 2x slower than baseline.
+        target = COMPUTE.instructions / (2 * baseline)
+        result = optimizer.optimize_kernel(_record(COMPUTE), PerformanceTracker(target))
+        assert not result.fail_safe
+        baseline_energy = apu.kernel_energy(COMPUTE, space.fastest())
+        assert apu.kernel_energy(COMPUTE, result.config) < 0.8 * baseline_energy
+
+    def test_respects_tight_target(self, apu, space):
+        optimizer = _optimizer(apu, space, [COMPUTE])
+        baseline = _baseline_time(apu, COMPUTE, space)
+        target = COMPUTE.instructions / (1.02 * baseline)
+        result = optimizer.optimize_kernel(_record(COMPUTE), PerformanceTracker(target))
+        actual = apu.execute(COMPUTE, result.config).time_s
+        assert actual <= 1.02 * baseline * 1.0001
+
+    def test_fail_safe_when_infeasible(self, apu, space):
+        optimizer = _optimizer(apu, space, [COMPUTE])
+        baseline = _baseline_time(apu, COMPUTE, space)
+        # Demand twice the best achievable throughput.
+        target = 2 * COMPUTE.instructions / baseline
+        result = optimizer.optimize_kernel(_record(COMPUTE), PerformanceTracker(target))
+        assert result.fail_safe
+        assert result.config == optimizer.fail_safe
+
+    def test_evaluation_count_far_below_exhaustive(self, apu, space):
+        optimizer = _optimizer(apu, space, [COMPUTE])
+        baseline = _baseline_time(apu, COMPUTE, space)
+        target = COMPUTE.instructions / (2 * baseline)
+        result = optimizer.optimize_kernel(_record(COMPUTE), PerformanceTracker(target))
+        # The paper's point: ~|cpu|+|nb|+|gpu|+|cu| evaluations, not 336.
+        assert result.evaluations < 60
+
+    def test_memory_kernel_keeps_bandwidth(self, apu, space):
+        optimizer = _optimizer(apu, space, [MEMORY])
+        baseline = _baseline_time(apu, MEMORY, space)
+        target = MEMORY.instructions / (1.05 * baseline)
+        result = optimizer.optimize_kernel(_record(MEMORY), PerformanceTracker(target))
+        assert not result.fail_safe
+        assert result.config.nb != "NB3"  # NB3 would halve the bandwidth
+
+    def test_cpu_knob_always_lowered(self, apu, space):
+        # Kernel time ignores the CPU state, so the CPU should end at P7.
+        optimizer = _optimizer(apu, space, [COMPUTE])
+        baseline = _baseline_time(apu, COMPUTE, space)
+        target = COMPUTE.instructions / (1.5 * baseline)
+        result = optimizer.optimize_kernel(_record(COMPUTE), PerformanceTracker(target))
+        assert result.config.cpu == "P7"
+
+    def test_estimate_matches_chosen_config(self, apu, space):
+        optimizer = _optimizer(apu, space, [COMPUTE])
+        baseline = _baseline_time(apu, COMPUTE, space)
+        target = COMPUTE.instructions / (1.5 * baseline)
+        result = optimizer.optimize_kernel(_record(COMPUTE), PerformanceTracker(target))
+        truth = apu.execute(COMPUTE, result.config)
+        assert result.estimate.time_s == pytest.approx(truth.time_s)
+
+
+class TestWindow:
+    def test_empty_window_rejected(self, apu, space):
+        optimizer = _optimizer(apu, space, [COMPUTE])
+        with pytest.raises(ValueError):
+            optimizer.optimize_window([], PerformanceTracker(1.0))
+
+    def test_window_returns_last_kernel_choice(self, apu, space):
+        optimizer = _optimizer(apu, space, [COMPUTE, MEMORY])
+        baseline = (
+            _baseline_time(apu, COMPUTE, space) + _baseline_time(apu, MEMORY, space)
+        )
+        target = (COMPUTE.instructions + MEMORY.instructions) / (1.3 * baseline)
+        window = [_record(MEMORY), _record(COMPUTE)]
+        result = optimizer.optimize_window(window, PerformanceTracker(target))
+        # The result must be a sensible configuration for the *compute*
+        # kernel (last in window): it needs CUs, not NB bandwidth.
+        truth = apu.execute(COMPUTE, result.config)
+        assert truth.time_s <= 1.5 * _baseline_time(apu, COMPUTE, space)
+
+    def test_window_does_not_mutate_tracker(self, apu, space):
+        optimizer = _optimizer(apu, space, [COMPUTE])
+        tracker = PerformanceTracker(1.0)
+        optimizer.optimize_window([_record(COMPUTE)], tracker)
+        assert tracker.instructions == 0.0
+
+    def test_window_evaluations_accumulate(self, apu, space):
+        optimizer = _optimizer(apu, space, [COMPUTE, MEMORY])
+        tracker = PerformanceTracker(1.0)  # trivially satisfied target
+        single = optimizer.optimize_window([_record(COMPUTE)], tracker)
+        double = optimizer.optimize_window(
+            [_record(MEMORY), _record(COMPUTE)], tracker
+        )
+        assert double.evaluations > single.evaluations
+
+    def test_earlier_window_kernels_consume_headroom(self, apu, space):
+        optimizer = _optimizer(apu, space, [COMPUTE, MEMORY])
+        base_c = _baseline_time(apu, COMPUTE, space)
+        base_m = _baseline_time(apu, MEMORY, space)
+        total_insts = COMPUTE.instructions + MEMORY.instructions
+        # Budget fits both kernels at baseline pace plus 10%.
+        target = total_insts / (1.1 * (base_c + base_m))
+        alone = optimizer.optimize_window(
+            [_record(COMPUTE)], PerformanceTracker(target)
+        )
+        with_memory_first = optimizer.optimize_window(
+            [_record(MEMORY), _record(COMPUTE)], PerformanceTracker(target)
+        )
+        # Committing the memory kernel first leaves less headroom, so
+        # the compute kernel's chosen config cannot be slower.
+        t_alone = apu.execute(COMPUTE, alone.config).time_s
+        t_with = apu.execute(COMPUTE, with_memory_first.config).time_s
+        assert t_with <= t_alone + 1e-9

@@ -1,0 +1,116 @@
+"""Unit tests for the Theoretically Optimal solver."""
+
+import itertools
+
+import pytest
+
+from repro.core.oracle import solve_theoretically_optimal
+from repro.hardware.apu import APUModel
+from repro.hardware.config import ConfigSpace
+from repro.workloads.app import Application, Category
+from repro.workloads.kernel import KernelSpec, ScalingClass
+
+COMPUTE = KernelSpec("c", ScalingClass.COMPUTE, 3.0, 0.1, parallel_fraction=0.99)
+MEMORY = KernelSpec("m", ScalingClass.MEMORY, 0.4, 0.8, parallel_fraction=0.9)
+UNSCAL = KernelSpec("u", ScalingClass.UNSCALABLE, 0.2, 0.05, serial_time_s=0.01,
+                    parallel_fraction=0.7)
+
+SMALL_SPACE = ConfigSpace(
+    cpu_states=("P7", "P4", "P1"), nb_states=("NB3", "NB2"),
+    gpu_states=("DPM0", "DPM4"), cu_counts=(2, 8),
+)
+
+
+@pytest.fixture(scope="module")
+def apu():
+    return APUModel()
+
+
+def _app(*kernels):
+    return Application("tiny", "unit", Category.IRREGULAR_NON_REPEATING,
+                       kernels=tuple(kernels), pattern="")
+
+
+def _baseline_target(apu, app, space):
+    fastest = space.fastest()
+    total_time = sum(apu.execute(k, fastest).time_s for k in app.kernels)
+    return app.total_instructions / total_time
+
+
+def _exhaustive_optimum(apu, app, space, budget):
+    """Brute-force reference: all config assignments per unique kernel."""
+    configs = space.all_configs()
+    unique = app.unique_kernels
+    counts = {k.key: sum(1 for s in app.kernels if s.key == k.key) for k in unique}
+    best = None
+    for assignment in itertools.product(configs, repeat=len(unique)):
+        time_s = energy = 0.0
+        for spec, config in zip(unique, assignment):
+            m = apu.execute(spec, config)
+            time_s += m.time_s * counts[spec.key]
+            energy += m.energy_j * counts[spec.key]
+        if time_s <= budget and (best is None or energy < best):
+            best = energy
+    return best
+
+
+class TestSolver:
+    def test_plan_covers_all_launches(self, apu):
+        app = _app(COMPUTE, MEMORY, COMPUTE)
+        target = _baseline_target(apu, app, SMALL_SPACE)
+        plan = solve_theoretically_optimal(app, apu, target, SMALL_SPACE)
+        assert len(plan.configs) == 3
+        assert plan.feasible
+
+    def test_identical_launches_share_config(self, apu):
+        app = _app(COMPUTE, MEMORY, COMPUTE)
+        target = _baseline_target(apu, app, SMALL_SPACE)
+        plan = solve_theoretically_optimal(app, apu, target, SMALL_SPACE)
+        assert plan.configs[0] == plan.configs[2]
+
+    def test_matches_exhaustive_on_tiny_instance(self, apu):
+        app = _app(COMPUTE, MEMORY, UNSCAL, COMPUTE)
+        target = _baseline_target(apu, app, SMALL_SPACE)
+        plan = solve_theoretically_optimal(app, apu, target, SMALL_SPACE)
+        budget = app.total_instructions / target
+        reference = _exhaustive_optimum(apu, app, SMALL_SPACE, budget)
+        assert plan.total_energy_j == pytest.approx(reference, rel=0.02)
+
+    def test_beats_all_fastest_energy(self, apu):
+        app = _app(COMPUTE, MEMORY)
+        target = _baseline_target(apu, app, SMALL_SPACE)
+        plan = solve_theoretically_optimal(app, apu, target, SMALL_SPACE)
+        fastest = SMALL_SPACE.fastest()
+        baseline_energy = sum(apu.execute(k, fastest).energy_j for k in app.kernels)
+        assert plan.total_energy_j < baseline_energy
+
+    def test_relaxed_target_saves_more_energy(self, apu):
+        app = _app(COMPUTE, MEMORY)
+        tight = _baseline_target(apu, app, SMALL_SPACE)
+        tight_plan = solve_theoretically_optimal(app, apu, tight, SMALL_SPACE)
+        relaxed_plan = solve_theoretically_optimal(app, apu, tight / 2, SMALL_SPACE)
+        assert relaxed_plan.total_energy_j <= tight_plan.total_energy_j + 1e-9
+
+    def test_plan_totals_consistent(self, apu):
+        app = _app(COMPUTE, MEMORY, UNSCAL)
+        target = _baseline_target(apu, app, SMALL_SPACE)
+        plan = solve_theoretically_optimal(app, apu, target, SMALL_SPACE)
+        time_s = sum(
+            apu.execute(k, c).time_s for k, c in zip(app.kernels, plan.configs)
+        )
+        energy = sum(
+            apu.execute(k, c).energy_j for k, c in zip(app.kernels, plan.configs)
+        )
+        assert plan.total_time_s == pytest.approx(time_s)
+        assert plan.total_energy_j == pytest.approx(energy)
+
+    def test_unreachable_budget_falls_back_to_fastest(self, apu):
+        app = _app(UNSCAL)
+        # Demand 10x the best achievable throughput.
+        best_time = min(
+            apu.execute(UNSCAL, c).time_s for c in SMALL_SPACE.all_configs()
+        )
+        target = 10 * UNSCAL.instructions / best_time
+        plan = solve_theoretically_optimal(app, apu, target, SMALL_SPACE)
+        assert plan.total_time_s == pytest.approx(best_time, rel=0.01)
+        assert not plan.feasible

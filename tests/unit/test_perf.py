@@ -1,0 +1,123 @@
+"""Unit tests for the ground-truth timing model (Figure 2 behaviours)."""
+
+import pytest
+
+from repro.hardware.config import HardwareConfig
+from repro.hardware.perf import TimingModel
+from repro.workloads.kernel import KernelSpec, ScalingClass
+
+
+@pytest.fixture
+def model():
+    return TimingModel()
+
+
+def _config(nb="NB0", gpu="DPM4", cu=8, cpu="P1"):
+    return HardwareConfig(cpu=cpu, nb=nb, gpu=gpu, cu=cu)
+
+
+COMPUTE = KernelSpec("c", ScalingClass.COMPUTE, 10.0, 0.02,
+                     parallel_fraction=0.995, compute_efficiency=0.9)
+MEMORY = KernelSpec("m", ScalingClass.MEMORY, 0.8, 1.5,
+                    parallel_fraction=0.9, compute_efficiency=0.7)
+PEAK = KernelSpec("p", ScalingClass.PEAK, 4.0, 0.5, cache_interference=0.5,
+                  cache_sweet_spot_cu=4, parallel_fraction=0.95)
+UNSCALABLE = KernelSpec("u", ScalingClass.UNSCALABLE, 0.3, 0.08,
+                        serial_time_s=0.03, parallel_fraction=0.7)
+
+
+class TestConstruction:
+    def test_invalid_lanes(self):
+        with pytest.raises(ValueError):
+            TimingModel(lanes_per_cu=0)
+
+    def test_invalid_bw_demand(self):
+        with pytest.raises(ValueError):
+            TimingModel(bw_demand_per_cu_ghz=-1.0)
+
+
+class TestComputeKernels:
+    def test_scales_with_cu(self, model):
+        t2 = model.kernel_time(COMPUTE, _config(cu=2))
+        t8 = model.kernel_time(COMPUTE, _config(cu=8))
+        assert 3.0 < t2 / t8 < 4.5  # near-linear CU scaling
+
+    def test_scales_with_gpu_frequency(self, model):
+        slow = model.kernel_time(COMPUTE, _config(gpu="DPM0"))
+        fast = model.kernel_time(COMPUTE, _config(gpu="DPM4"))
+        assert slow / fast == pytest.approx(0.720 / 0.351, rel=0.01)
+
+    def test_nb_state_irrelevant(self, model):
+        t_nb0 = model.kernel_time(COMPUTE, _config(nb="NB0"))
+        t_nb3 = model.kernel_time(COMPUTE, _config(nb="NB3"))
+        assert t_nb0 == pytest.approx(t_nb3, rel=1e-9)
+
+
+class TestMemoryKernels:
+    def test_nb3_hurts(self, model):
+        t_nb2 = model.kernel_time(MEMORY, _config(nb="NB2"))
+        t_nb3 = model.kernel_time(MEMORY, _config(nb="NB3"))
+        assert t_nb3 > 1.5 * t_nb2
+
+    def test_saturates_from_nb2(self, model):
+        times = [model.kernel_time(MEMORY, _config(nb=nb)) for nb in ("NB2", "NB1", "NB0")]
+        assert max(times) == pytest.approx(min(times), rel=1e-9)
+
+    def test_small_gpu_cannot_saturate_bus(self, model):
+        t2 = model.kernel_time(MEMORY, _config(cu=2))
+        t8 = model.kernel_time(MEMORY, _config(cu=8))
+        assert t2 / t8 > 2.0  # Fig 2(b): ~2.4x from 2 to 8 CUs
+
+    def test_achieved_bandwidth_capped_by_bus(self, model):
+        timing = model.kernel_timing(MEMORY, _config())
+        assert timing.achieved_bandwidth_gbps <= _config().memory_bandwidth_gbps + 1e-9
+
+
+class TestPeakKernels:
+    def test_fastest_below_max_cu(self, model):
+        times = {cu: model.kernel_time(PEAK, _config(cu=cu)) for cu in (2, 4, 6, 8)}
+        best_cu = min(times, key=times.get)
+        assert best_cu < 8
+
+    def test_interference_inflates_traffic(self, model):
+        t4 = model.effective_memory_traffic(PEAK, 4)
+        t8 = model.effective_memory_traffic(PEAK, 8)
+        assert t8 == pytest.approx(t4 * (1 + 0.5 * 4))
+
+    def test_no_interference_below_sweet_spot(self, model):
+        assert model.effective_memory_traffic(PEAK, 2) == PEAK.memory_traffic
+
+
+class TestUnscalableKernels:
+    def test_insensitive_to_configuration(self, model):
+        # Figure 2(d): the unscalable kernel gains well under 1.5x over
+        # the whole configuration sweep (vs ~4x for compute kernels).
+        t_small = model.kernel_time(UNSCALABLE, _config(nb="NB2", gpu="DPM0", cu=2))
+        t_big = model.kernel_time(UNSCALABLE, _config(nb="NB0", gpu="DPM4", cu=8))
+        assert t_big <= t_small <= 1.5 * t_big
+
+    def test_serial_floor(self, model):
+        assert model.kernel_time(UNSCALABLE, _config()) >= UNSCALABLE.serial_time_s
+
+
+class TestTimingBreakdown:
+    def test_total_is_serial_plus_overlap(self, model):
+        timing = model.kernel_timing(MEMORY, _config())
+        assert timing.total_time_s == pytest.approx(
+            timing.serial_time_s + max(timing.compute_time_s, timing.memory_time_s)
+        )
+
+    def test_utilizations_bounded(self, model):
+        for spec in (COMPUTE, MEMORY, PEAK, UNSCALABLE):
+            timing = model.kernel_timing(spec, _config())
+            assert 0.0 <= timing.compute_utilization <= 1.0
+            assert 0.0 <= timing.memory_utilization <= 1.0
+
+    def test_compute_bound_has_full_compute_utilization(self, model):
+        timing = model.kernel_timing(COMPUTE, _config())
+        assert timing.compute_utilization == pytest.approx(1.0)
+
+    def test_amdahl_speedup_monotone(self, model):
+        speedups = [model.amdahl_speedup(COMPUTE, cu) for cu in (2, 4, 6, 8)]
+        assert speedups == sorted(speedups)
+        assert speedups[0] > 1.0

@@ -1,0 +1,119 @@
+"""Unit tests for baseline policies and Turbo Core."""
+
+import pytest
+
+from repro.core.policies import FixedConfigPolicy, PlannedPolicy, PPKPolicy
+from repro.hardware.apu import APUModel, Measurement
+from repro.hardware.config import ConfigSpace, HardwareConfig
+from repro.hardware.power import PowerModel, PowerModelParams
+from repro.ml.predictors import OraclePredictor
+from repro.sim.policy import Observation
+from repro.sim.simulator import Simulator
+from repro.sim.turbocore import TurboCorePolicy
+from repro.workloads.app import Application, Category
+from repro.workloads.counters import CounterSynthesizer
+from repro.workloads.kernel import KernelSpec, ScalingClass
+
+COMPUTE = KernelSpec("c", ScalingClass.COMPUTE, 5.0, 0.1, parallel_fraction=0.99)
+APP = Application(
+    "test", "unit", Category.REGULAR, kernels=(COMPUTE,) * 6, pattern="A6"
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestFixedConfigPolicy:
+    def test_always_same_config(self, sim):
+        config = HardwareConfig(cpu="P5", nb="NB1", gpu="DPM2", cu=4)
+        result = sim.run(APP, FixedConfigPolicy(config))
+        assert all(r.config == config for r in result.launches)
+        assert result.overhead_time_s == 0.0
+
+
+class TestPlannedPolicy:
+    def test_replays_plan(self, sim):
+        space = ConfigSpace()
+        plan = space.all_configs()[: len(APP)]
+        result = sim.run(APP, PlannedPolicy(plan))
+        assert [r.config for r in result.launches] == plan
+
+    def test_short_plan_raises(self, sim):
+        with pytest.raises(IndexError):
+            sim.run(APP, PlannedPolicy([ConfigSpace().fastest()]))
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ValueError):
+            PlannedPolicy([])
+
+
+class TestPPKPolicy:
+    def _target(self, sim):
+        turbo = sim.run(APP, TurboCorePolicy())
+        return turbo, turbo.instructions / turbo.kernel_time_s
+
+    def test_first_kernel_fail_safe(self, sim):
+        _, target = self._target(sim)
+        policy = PPKPolicy(target, OraclePredictor(sim.apu, [COMPUTE]))
+        result = sim.run(APP, policy)
+        assert result.launches[0].fail_safe
+        assert result.launches[0].config == policy.optimizer.fail_safe
+
+    def test_saves_energy_on_regular_app(self, sim):
+        turbo, target = self._target(sim)
+        policy = PPKPolicy(target, OraclePredictor(sim.apu, [COMPUTE]))
+        result = sim.run(APP, policy)
+        assert result.energy_j < turbo.energy_j
+
+    def test_meets_throughput_target_on_regular_app(self, sim):
+        turbo, target = self._target(sim)
+        policy = PPKPolicy(target, OraclePredictor(sim.apu, [COMPUTE]))
+        result = sim.run(APP, policy)
+        assert result.instructions / result.kernel_time_s >= 0.99 * target
+
+    def test_charges_overhead_after_first_kernel(self, sim):
+        _, target = self._target(sim)
+        policy = PPKPolicy(target, OraclePredictor(sim.apu, [COMPUTE]))
+        result = sim.run(APP, policy)
+        assert result.launches[0].overhead_time_s == 0.0
+        assert all(r.overhead_time_s > 0 for r in result.launches[1:])
+
+    def test_begin_run_resets_tracker(self, sim):
+        _, target = self._target(sim)
+        policy = PPKPolicy(target, OraclePredictor(sim.apu, [COMPUTE]))
+        sim.run(APP, policy)
+        assert policy.tracker.instructions > 0
+        policy.begin_run()
+        assert policy.tracker.instructions == 0.0
+
+
+class TestTurboCore:
+    def test_boosts_when_within_tdp(self, sim):
+        result = sim.run(APP, TurboCorePolicy(tdp_w=95.0))
+        assert all(
+            r.config == ConfigSpace().fastest() for r in result.launches
+        )
+
+    def test_backs_off_cpu_when_over_tdp(self):
+        # A 40 W TDP part cannot hold the full boost configuration.
+        params = PowerModelParams(tdp_w=40.0)
+        apu = APUModel(power=PowerModel(params))
+        sim = Simulator(apu=apu)
+        policy = TurboCorePolicy(tdp_w=40.0)
+        result = sim.run(APP, policy)
+        late = result.launches[-1].config
+        assert late.cpu != "P1"  # CPU states shed first
+
+    def test_no_optimizer_overhead(self, sim):
+        result = sim.run(APP, TurboCorePolicy())
+        assert result.overhead_time_s == 0.0
+
+    def test_observe_tracks_power(self):
+        policy = TurboCorePolicy()
+        m = Measurement(time_s=0.01, gpu_power_w=30.0, cpu_power_w=20.0,
+                        temperature_c=70.0)
+        counters = CounterSynthesizer(noise=0.0).nominal(COMPUTE)
+        policy.observe(Observation(0, ConfigSpace().fastest(), counters, m, 1e9))
+        assert policy._last_power_w == pytest.approx(50.0)

@@ -1,0 +1,62 @@
+"""The public API surface: everything advertised must resolve."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.hardware",
+            "repro.workloads",
+            "repro.ml",
+            "repro.core",
+            "repro.sim",
+            "repro.experiments",
+            "repro.cli",
+        ],
+    )
+    def test_subpackage_alls_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name} missing"
+
+    def test_headline_types_constructible(self):
+        # The objects a user touches first must build with defaults.
+        assert repro.APUModel() is not None
+        assert repro.Simulator() is not None
+        assert len(repro.ConfigSpace()) == 336
+        assert repro.benchmark("kmeans").name == "kmeans"
+
+    def test_quickstart_docstring_flow(self):
+        # The package docstring's flow, with an oracle standing in for
+        # the trained forest (keeps the test fast).
+        from repro import (
+            MPCPowerManager,
+            OraclePredictor,
+            Simulator,
+            TurboCorePolicy,
+            benchmark,
+        )
+
+        sim = Simulator()
+        app = benchmark("kmeans")
+        turbo = sim.run(app, TurboCorePolicy())
+        mpc = MPCPowerManager(
+            turbo.instructions / turbo.kernel_time_s,
+            OraclePredictor(sim.apu, app.unique_kernels),
+        )
+        sim.run(app, mpc)
+        result = sim.run(app, mpc)
+        assert result.energy_j < turbo.energy_j

@@ -1,0 +1,90 @@
+"""Unit tests for the performance tracker (Equations 4-5)."""
+
+import math
+
+import pytest
+
+from repro.core.tracker import PerformanceTracker
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            PerformanceTracker(0.0)
+
+    def test_rejects_infinite_target(self):
+        with pytest.raises(ValueError):
+            PerformanceTracker(math.inf)
+
+
+class TestAccumulation:
+    def test_initial_state(self):
+        tracker = PerformanceTracker(100.0)
+        assert tracker.instructions == 0.0
+        assert tracker.time_s == 0.0
+        assert math.isinf(tracker.throughput)
+        assert tracker.above_target()
+
+    def test_update(self):
+        tracker = PerformanceTracker(100.0)
+        tracker.update(500.0, 4.0)
+        assert tracker.throughput == pytest.approx(125.0)
+        assert tracker.above_target()
+        tracker.update(100.0, 4.0)
+        assert tracker.throughput == pytest.approx(75.0)
+        assert not tracker.above_target()
+
+    def test_negative_update_rejected(self):
+        tracker = PerformanceTracker(100.0)
+        with pytest.raises(ValueError):
+            tracker.update(-1.0, 1.0)
+
+    def test_reset(self):
+        tracker = PerformanceTracker(100.0)
+        tracker.update(500.0, 4.0)
+        tracker.reset()
+        assert tracker.instructions == 0.0
+
+
+class TestHeadroom:
+    def test_equation5_form(self):
+        # headroom = (ΣI + E[I]) / target - ΣT
+        tracker = PerformanceTracker(100.0)
+        tracker.update(1000.0, 8.0)
+        assert tracker.headroom_s(200.0) == pytest.approx((1000 + 200) / 100 - 8)
+
+    def test_headroom_without_history(self):
+        tracker = PerformanceTracker(50.0)
+        assert tracker.headroom_s(100.0) == pytest.approx(2.0)
+
+    def test_headroom_can_go_negative(self):
+        tracker = PerformanceTracker(100.0)
+        tracker.update(100.0, 10.0)  # way behind target
+        assert tracker.headroom_s(10.0) < 0.0
+
+    def test_admits_matches_headroom(self):
+        tracker = PerformanceTracker(100.0)
+        tracker.update(1000.0, 8.0)
+        headroom = tracker.headroom_s(200.0)
+        assert tracker.admits(200.0, headroom - 1e-9)
+        assert not tracker.admits(200.0, headroom + 1e-6)
+
+    def test_negative_expected_instructions_rejected(self):
+        with pytest.raises(ValueError):
+            PerformanceTracker(1.0).headroom_s(-5.0)
+
+    def test_slack_accumulates(self):
+        tracker = PerformanceTracker(100.0)
+        tracker.update(1000.0, 5.0)  # 5 s of slack earned
+        assert tracker.headroom_s(100.0) == pytest.approx(6.0)
+
+
+class TestCopy:
+    def test_copy_is_independent(self):
+        tracker = PerformanceTracker(100.0)
+        tracker.update(100.0, 1.0)
+        clone = tracker.copy()
+        clone.update(900.0, 1.0)
+        assert tracker.instructions == 100.0
+        assert clone.instructions == 1000.0
+        assert clone.target_throughput == tracker.target_throughput

@@ -1,0 +1,98 @@
+"""Unit tests for the from-scratch CART regression tree."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeRegressor
+
+
+def _xor_like(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(0, 1, size=(n, 2))
+    y = np.where((X[:, 0] > 0.5) ^ (X[:, 1] > 0.5), 1.0, 0.0)
+    return X, y
+
+
+class TestValidation:
+    def test_bad_depth(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0)
+
+    def test_bad_leaf_size(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.ones((3, 2)), np.ones(4))
+
+    def test_empty_dataset(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.ones((0, 2)), np.ones(0))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict(np.ones((1, 2)))
+
+
+class TestFitting:
+    def test_constant_target_single_leaf(self):
+        X = np.arange(20.0).reshape(-1, 1)
+        y = np.full(20, 7.0)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.node_count == 1
+        assert np.allclose(tree.predict(X), 7.0)
+
+    def test_step_function_exact(self):
+        X = np.arange(100.0).reshape(-1, 1)
+        y = np.where(X[:, 0] < 50, 1.0, 5.0)
+        tree = DecisionTreeRegressor(max_depth=2, min_samples_leaf=1).fit(X, y)
+        assert np.allclose(tree.predict(X), y)
+
+    def test_xor_needs_depth_two(self):
+        X, y = _xor_like()
+        shallow = DecisionTreeRegressor(max_depth=1, min_samples_leaf=1).fit(X, y)
+        deep = DecisionTreeRegressor(max_depth=4, min_samples_leaf=1).fit(X, y)
+        mse_shallow = np.mean((shallow.predict(X) - y) ** 2)
+        mse_deep = np.mean((deep.predict(X) - y) ** 2)
+        assert mse_deep < 0.05 < mse_shallow
+
+    def test_max_depth_respected(self):
+        X, y = _xor_like()
+        tree = DecisionTreeRegressor(max_depth=3, min_samples_leaf=1).fit(X, y)
+        assert tree.depth <= 3
+
+    def test_min_samples_leaf_respected(self):
+        X = np.arange(10.0).reshape(-1, 1)
+        y = X[:, 0]
+        tree = DecisionTreeRegressor(max_depth=10, min_samples_leaf=4).fit(X, y)
+        # With a 4-sample minimum there can be at most 2 leaves.
+        assert tree.node_count <= 3
+
+    def test_deep_tree_memorizes(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(0, 1, size=(64, 3))
+        y = rng.uniform(0, 1, size=64)
+        tree = DecisionTreeRegressor(max_depth=30, min_samples_leaf=1,
+                                     min_samples_split=2).fit(X, y)
+        assert np.allclose(tree.predict(X), y)
+
+    def test_prediction_is_leaf_mean(self):
+        X = np.array([[0.0], [0.0], [1.0], [1.0]])
+        y = np.array([1.0, 3.0, 10.0, 20.0])
+        tree = DecisionTreeRegressor(max_depth=1, min_samples_leaf=2).fit(X, y)
+        preds = tree.predict(np.array([[0.0], [1.0]]))
+        assert preds[0] == pytest.approx(2.0)
+        assert preds[1] == pytest.approx(15.0)
+
+    def test_feature_subset_limits_candidates(self):
+        X, y = _xor_like()
+        rng = np.random.default_rng(0)
+        tree = DecisionTreeRegressor(max_features=1, rng=rng).fit(X, y)
+        assert tree.is_fitted
+
+    def test_single_sample_prediction_shape(self):
+        X, y = _xor_like(50)
+        tree = DecisionTreeRegressor().fit(X, y)
+        out = tree.predict(X[0])
+        assert out.shape == (1,)

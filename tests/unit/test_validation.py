@@ -1,0 +1,69 @@
+"""Unit tests for group k-fold and predictor cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.config import ConfigSpace
+from repro.ml.validation import cross_validate_predictor, group_kfold
+from repro.workloads.generator import training_population
+
+SMALL_SPACE = ConfigSpace(
+    cpu_states=("P7", "P1"), nb_states=("NB3", "NB0"),
+    gpu_states=("DPM0", "DPM4"), cu_counts=(2, 8),
+)
+
+
+class TestGroupKFold:
+    GROUPS = ["a", "a", "b", "b", "c", "c", "d", "d"]
+
+    def test_every_row_tested_once(self):
+        seen = []
+        for _, test in group_kfold(self.GROUPS, 2, seed=0):
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(len(self.GROUPS)))
+
+    def test_groups_never_straddle(self):
+        groups = np.asarray(self.GROUPS)
+        for train, test in group_kfold(self.GROUPS, 4, seed=1):
+            assert not set(groups[train]) & set(groups[test])
+
+    def test_train_test_disjoint(self):
+        for train, test in group_kfold(self.GROUPS, 2, seed=0):
+            assert not set(train.tolist()) & set(test.tolist())
+
+    def test_too_many_folds_rejected(self):
+        with pytest.raises(ValueError):
+            list(group_kfold(self.GROUPS, 5))
+
+    def test_single_fold_rejected(self):
+        with pytest.raises(ValueError):
+            list(group_kfold(self.GROUPS, 1))
+
+    def test_seed_changes_assignment(self):
+        a = [t.tolist() for _, t in group_kfold(self.GROUPS, 2, seed=0)]
+        b = [t.tolist() for _, t in group_kfold(self.GROUPS, 2, seed=5)]
+        assert a != b or True  # assignments may coincide; just no crash
+
+
+class TestCrossValidation:
+    def test_small_pipeline(self):
+        kernels = training_population(12, seed=3)
+        result = cross_validate_predictor(
+            kernels, space=SMALL_SPACE, n_splits=3,
+            n_estimators=4, max_depth=8, seed=0,
+        )
+        assert len(result.time_mape_pct) == 3
+        assert len(result.power_mape_pct) == 3
+        assert all(m > 0 for m in result.time_mape_pct)
+        # Power is the easier target on the modelled APU.
+        assert result.mean_power_mape_pct < result.mean_time_mape_pct
+
+    def test_mape_magnitudes_reasonable(self):
+        kernels = training_population(16, seed=4)
+        result = cross_validate_predictor(
+            kernels, space=SMALL_SPACE, n_splits=4,
+            n_estimators=4, max_depth=8, seed=0,
+        )
+        # Out-of-group errors are substantial but not absurd.
+        assert 3.0 < result.mean_time_mape_pct < 120.0
+        assert result.mean_power_mape_pct < 40.0
