@@ -1,19 +1,28 @@
 """Shared fixtures for the reproduction benchmarks.
 
-All benches share one :class:`~repro.experiments.common.ExperimentContext`
-so each (benchmark, policy) run — and the one-off Random Forest training
-— happens once per session.  The trained forest is also cached on disk
-under ``.cache/`` and reused across sessions.
+All benches share one engine-backed
+:class:`~repro.experiments.common.ExperimentContext`, so each
+(benchmark, policy) run — and the one-off Random Forest training —
+happens once per session.  Both the trained forest and every policy run
+are cached on disk under ``.cache/`` and reused across sessions: a warm
+rerun of the bench suite replays runs from the engine cache instead of
+re-simulating them.
 """
 
 import pytest
 
+from repro.engine import ExperimentEngine
 from repro.experiments.common import ExperimentContext
 
 
 @pytest.fixture(scope="session")
-def ctx():
-    return ExperimentContext(cache_dir=".cache")
+def engine():
+    return ExperimentEngine(jobs=1, cache_dir=".cache")
+
+
+@pytest.fixture(scope="session")
+def ctx(engine):
+    return ExperimentContext(cache_dir=".cache", engine=engine)
 
 
 def run_once(benchmark, func, *args):

@@ -7,6 +7,7 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli run Spmv --policy all        # compare every policy
     python -m repro.cli train                        # (re)train the forest
     python -m repro.cli experiments fig8 fig9        # regenerate figures
+    python -m repro.cli experiments --jobs 4         # parallel + cached
     python -m repro.cli report -o EXPERIMENTS.md     # full markdown report
 """
 
@@ -67,11 +68,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument("keys", nargs="*",
                              help="experiment keys (default: all)")
+    _add_engine_flags(experiments)
 
     report = sub.add_parser("report", help="write the EXPERIMENTS.md report")
     report.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    _add_engine_flags(report)
 
     return parser
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """Engine flags shared by the experiment-matrix subcommands."""
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes for the simulation matrix (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=".cache",
+        help="engine/model cache directory (default: .cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the on-disk result cache",
+    )
+
+
+def _engine_context(args: argparse.Namespace):
+    """Build the engine-backed ExperimentContext the flags describe."""
+    from repro.engine import ExperimentEngine
+    from repro.experiments.common import ExperimentContext
+
+    engine = ExperimentEngine(
+        jobs=args.jobs, cache_dir=args.cache_dir, use_cache=not args.no_cache
+    )
+    return ExperimentContext(cache_dir=args.cache_dir, engine=engine)
 
 
 def _cmd_list() -> int:
@@ -185,14 +215,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_all
 
-    run_all(only=args.keys or None)
+    run_all(_engine_context(args), only=args.keys or None)
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
 
-    print(f"writing {write_report(args.output)}")
+    print(f"writing {write_report(args.output, _engine_context(args))}")
     return 0
 
 

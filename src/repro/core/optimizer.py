@@ -94,6 +94,11 @@ class GreedyHillClimbOptimizer:
             evals += 1
             return self.predictor.estimate(record.counters, config)
 
+        def estimate_many(configs: Sequence[HardwareConfig]) -> List[KernelEstimate]:
+            nonlocal evals
+            evals += len(configs)
+            return self.predictor.estimate_batch(record.counters, configs)
+
         def feasible(est: KernelEstimate) -> bool:
             return tracker.admits(record.instructions, est.time_s)
 
@@ -101,14 +106,22 @@ class GreedyHillClimbOptimizer:
         current_est = estimate(current)
 
         # Rank knobs by predicted energy sensitivity: |ΔE| across the
-        # knob's full axis, per configuration step.
+        # knob's full axis, per configuration step.  Both endpoint probes
+        # of every knob go to the predictor as one batch.
+        probe_knobs = [
+            knob for knob in Knob.ALL if len(self.space.axis(knob)) >= 2
+        ]
+        probes = estimate_many(
+            [
+                current.replace(**{knob: value})
+                for knob in probe_knobs
+                for value in (self.space.axis(knob)[0], self.space.axis(knob)[-1])
+            ]
+        )
         sensitivities: List[Tuple[float, str]] = []
-        for knob in Knob.ALL:
+        for index, knob in enumerate(probe_knobs):
             axis = self.space.axis(knob)
-            if len(axis) < 2:
-                continue
-            low = estimate(current.replace(**{knob: axis[0]}))
-            high = estimate(current.replace(**{knob: axis[-1]}))
+            low, high = probes[2 * index], probes[2 * index + 1]
             delta = abs(high.energy_j - low.energy_j) / (len(axis) - 1)
             sensitivities.append((delta, knob))
         sensitivities.sort(key=lambda item: -item[0])
@@ -125,16 +138,21 @@ class GreedyHillClimbOptimizer:
             moved = False
             for _, knob in sensitivities:
                 # Pick the climb direction: the feasible neighbour with
-                # the larger energy reduction.
+                # the larger energy reduction.  Both neighbours are
+                # estimated in one predictor batch.
+                steps = [
+                    (d, nxt)
+                    for d in (-1, +1)
+                    if (nxt := self.space.step(current, knob, d)) is not None
+                ]
+                estimates = estimate_many([nxt for _, nxt in steps])
+                neighbour_est = {
+                    d: (nxt, est)
+                    for (d, nxt), est in zip(steps, estimates)
+                }
                 direction = 0
                 best_gain = 1e-12
-                neighbour_est = {}
-                for d in (-1, +1):
-                    nxt = self.space.step(current, knob, d)
-                    if nxt is None:
-                        continue
-                    est = estimate(nxt)
-                    neighbour_est[d] = (nxt, est)
+                for d, (nxt, est) in neighbour_est.items():
                     if feasible(est) and current_est.energy_j - est.energy_j > best_gain:
                         best_gain = current_est.energy_j - est.energy_j
                         direction = d
@@ -192,11 +210,11 @@ class GreedyHillClimbOptimizer:
         and the search-cost experiment; the runtime system always uses
         :meth:`optimize_kernel`.
         """
-        evals = 0
+        configs = self.space.all_configs()
+        estimates = self.predictor.estimate_batch(record.counters, configs)
+        evals = len(configs)
         best: Optional[Tuple[HardwareConfig, KernelEstimate]] = None
-        for config in self.space:
-            estimate = self.predictor.estimate(record.counters, config)
-            evals += 1
+        for config, estimate in zip(configs, estimates):
             if not tracker.admits(record.instructions, estimate.time_s):
                 continue
             if best is None or estimate.energy_j < best[1].energy_j:
@@ -331,13 +349,13 @@ class GreedyHillClimbOptimizer:
                 "the configuration space"
             )
 
-        # Pre-evaluate each (kernel, config) pair once.
+        # Pre-evaluate each (kernel, config) pair once, one predictor
+        # batch per kernel.
         estimates: List[List[KernelEstimate]] = []
         evals = 0
         for record in window:
-            row = [self.predictor.estimate(record.counters, c) for c in configs]
+            estimates.append(self.predictor.estimate_batch(record.counters, configs))
             evals += len(configs)
-            estimates.append(row)
 
         best_energy = None
         best_first: Optional[Tuple[HardwareConfig, KernelEstimate]] = None

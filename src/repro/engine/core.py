@@ -1,0 +1,360 @@
+"""The parallel, cached experiment engine.
+
+:class:`ExperimentEngine` is the execution layer between the experiment
+modules and the simulator.  It does two things:
+
+* **Content-addressed caching.**  Every policy run is keyed by a
+  SHA-256 fingerprint of everything that determines it — the app's
+  kernel specs, the DVFS tables, the simulator/APU calibration, the
+  variant and its parameters, the predictor, and the engine's code
+  version — and persisted as JSON under ``<cache_dir>/engine/``.  A key
+  hit returns a run that is bit-identical to recomputing it.
+* **Parallel fan-out.**  :meth:`prefetch` partitions a request matrix
+  into cache hits and misses and computes the misses on a
+  ``ProcessPoolExecutor`` (``jobs=1`` keeps today's serial in-process
+  behaviour).  Workers receive the context's simulator and trained
+  predictor once (at pool start) and execute requests through the same
+  :mod:`~repro.engine.variants` registry as the serial path.
+
+Failure semantics: a worker exception is re-raised in the parent as
+:class:`EngineWorkerError` carrying the worker's original formatted
+traceback; corrupt or truncated cache entries are silent misses.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.fingerprint import CODE_VERSION, describe, fingerprint
+from repro.engine.serialize import run_result_from_dict, run_result_to_dict
+from repro.engine.variants import VARIANTS, RunKey, RunRequest, produced_keys
+from repro.sim.trace import RunResult
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "EngineError",
+    "EngineWorkerError",
+    "EngineStats",
+    "ExperimentEngine",
+]
+
+#: Default on-disk cache root, shared with the Random Forest cache.
+DEFAULT_CACHE_DIR = ".cache"
+
+
+class EngineError(RuntimeError):
+    """Base class for engine failures."""
+
+
+class EngineWorkerError(EngineError):
+    """A worker process failed; carries the original remote traceback.
+
+    Attributes:
+        request: The request that failed.
+        remote_traceback: The worker's formatted traceback text.
+    """
+
+    def __init__(self, request: RunRequest, remote_traceback: str) -> None:
+        self.request = request
+        self.remote_traceback = remote_traceback
+        super().__init__(
+            f"engine worker failed computing {request.describe()}\n"
+            f"--- original worker traceback ---\n{remote_traceback}"
+        )
+
+
+@dataclass
+class EngineStats:
+    """Aggregate statistics of one engine's lifetime.
+
+    Attributes:
+        jobs: Configured worker count.
+        requests: Requests examined by prefetch/fetch.
+        computed: Requests actually simulated (cache misses).
+        parallel_computed: Subset of ``computed`` done by pool workers.
+        compute_s: Wall-clock time spent computing misses.
+        cache: Hit/miss counters of the result cache.
+    """
+
+    jobs: int = 1
+    requests: int = 0
+    computed: int = 0
+    parallel_computed: int = 0
+    compute_s: float = 0.0
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    def format(self) -> str:
+        """Multi-line human-readable summary for reports."""
+        return (
+            f"engine: {self.jobs} job(s); {self.requests} requests, "
+            f"{self.computed} computed ({self.parallel_computed} in "
+            f"workers) in {self.compute_s:.2f}s\n{self.cache.format()}"
+        )
+
+
+class ExperimentEngine:
+    """Parallel execution layer with a content-hash result cache.
+
+    Args:
+        jobs: Worker processes for :meth:`prefetch`; ``1`` computes
+            serially in-process (exact legacy behaviour).
+        cache_dir: Root directory of the on-disk result cache.
+        use_cache: When ``False`` (the ``--no-cache`` flag) the engine
+            neither reads nor writes cache entries.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str = DEFAULT_CACHE_DIR,
+        use_cache: bool = True,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+        self.cache = ResultCache(cache_dir=cache_dir, enabled=use_cache)
+        self.stats = EngineStats(jobs=jobs, cache=self.cache.stats)
+
+    # ----- fingerprinting -------------------------------------------------------
+
+    def _base_payload(self, ctx: Any, request: RunRequest) -> Any:
+        """Described key material shared by a request's produced runs."""
+        from repro.hardware import dvfs
+
+        spec = VARIANTS[request.variant]
+        payload: Dict[str, Any] = {
+            "code": CODE_VERSION,
+            "benchmark": request.benchmark,
+            "app": ctx.app(request.benchmark),
+            "sim": ctx.sim,
+            "space": {
+                "cpu": ctx.space.cpu_axis,
+                "nb": ctx.space.nb_axis,
+                "gpu": ctx.space.gpu_axis,
+                "cu": ctx.space.cu_axis,
+            },
+            "dvfs": {
+                "cpu": dict(dvfs.CPU_PSTATES),
+                "nb": dict(dvfs.NB_PSTATES),
+                "gpu": dict(dvfs.GPU_DPM_STATES),
+                "cu": tuple(dvfs.CU_COUNTS),
+            },
+            "variant": request.variant,
+            "params": dict(request.params),
+        }
+        if "predictor" in spec.needs(request):
+            payload["predictor"] = ctx.predictor_fingerprint()
+        return describe(payload)
+
+    def key_for(self, ctx: Any, request: RunRequest, run_key: RunKey,
+                base: Any = None) -> str:
+        """Cache key of one produced run of a request."""
+        base = base if base is not None else self._base_payload(ctx, request)
+        return fingerprint({"base": base, "run": list(run_key)})
+
+    # ----- cache access ---------------------------------------------------------
+
+    def load_request(self, ctx: Any,
+                     request: RunRequest) -> Optional[Dict[RunKey, RunResult]]:
+        """Load every run a request produces, or ``None`` on any miss."""
+        keys = produced_keys(request)
+        self.stats.requests += 1
+        base = self._base_payload(ctx, request)
+        loaded: Dict[RunKey, RunResult] = {}
+        for run_key in keys:
+            payload = self.cache.load(self.key_for(ctx, request, run_key, base))
+            if payload is None:
+                return None
+            try:
+                loaded[run_key] = run_result_from_dict(payload)
+            except (KeyError, TypeError, ValueError):
+                self.cache.stats.corrupt += 1
+                return None
+        return loaded
+
+    def store_request(self, ctx: Any, request: RunRequest,
+                      runs: Dict[RunKey, RunResult]) -> None:
+        """Persist every run a request produced."""
+        base = self._base_payload(ctx, request)
+        for run_key, run in runs.items():
+            summary = {
+                "benchmark": request.benchmark,
+                "variant": request.variant,
+                "run": [str(part) for part in run_key],
+                "params": [[k, repr(v)] for k, v in request.params],
+            }
+            self.cache.store(
+                self.key_for(ctx, request, run_key, base),
+                run_result_to_dict(run),
+                summary=summary,
+            )
+
+    # ----- prefetch -------------------------------------------------------------
+
+    def prefetch(self, ctx: Any,
+                 requests: Sequence[RunRequest]) -> EngineStats:
+        """Materialize a request matrix into the context's run store.
+
+        Cache hits are loaded; misses are computed — in parallel when
+        ``jobs > 1`` — stored, and installed into ``ctx._runs`` so the
+        experiment modules that follow only ever see in-memory hits.
+
+        Returns:
+            The engine's cumulative stats (also kept on ``self.stats``).
+        """
+        todo: List[RunRequest] = []
+        seen: set = set()
+        for request in requests:
+            keys = produced_keys(request)
+            if keys in seen:
+                continue
+            seen.add(keys)
+            if all(key in ctx._runs for key in keys):
+                continue
+            loaded = self.load_request(ctx, request)
+            if loaded is not None:
+                ctx._runs.update(loaded)
+                continue
+            todo.append(request)
+
+        if not todo:
+            return self.stats
+
+        start = time.perf_counter()
+        if self.jobs > 1 and len(todo) > 1:
+            self._compute_parallel(ctx, todo)
+        else:
+            for request in todo:
+                keys = produced_keys(request)
+                # An earlier miss may have computed this as a dependency
+                # (e.g. the Turbo baseline behind target_throughput).
+                if all(key in ctx._runs for key in keys):
+                    continue
+                computed = VARIANTS[request.variant].compute(ctx, request)
+                ctx._runs.update(computed)
+                self.store_request(ctx, request, computed)
+                self.stats.computed += 1
+        self.stats.compute_s += time.perf_counter() - start
+        return self.stats
+
+    def _compute_parallel(self, ctx: Any, todo: List[RunRequest]) -> None:
+        """Fan the misses out over a process pool and collect results."""
+        # Materialize the predictor up front: workers must never each
+        # pay for Random Forest training, and the trained object ships
+        # once per worker via the pool initializer.
+        if any("predictor" in VARIANTS[r.variant].needs(r) for r in todo):
+            ctx.predictor
+        spec_bytes = pickle.dumps(
+            {
+                "simulator": ctx.sim,
+                "predictor": ctx._predictor,
+                "cache_dir": ctx._cache_dir,
+                "alpha": ctx.alpha,
+            },
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        max_workers = min(self.jobs, len(todo), os.cpu_count() or self.jobs)
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_worker_init,
+            initargs=(spec_bytes,),
+        ) as pool:
+            futures = {
+                pool.submit(_worker_compute, request): request
+                for request in todo
+            }
+            try:
+                for future in concurrent.futures.as_completed(futures):
+                    request = futures[future]
+                    status, payload = future.result()
+                    if status != "ok":
+                        raise EngineWorkerError(request, payload)
+                    runs = {
+                        tuple(key): run_result_from_dict(run_dict)
+                        for key, run_dict in payload
+                    }
+                    ctx._runs.update(runs)
+                    self.store_request(ctx, request, runs)
+                    self.stats.computed += 1
+                    self.stats.parallel_computed += 1
+            finally:
+                for future in futures:
+                    future.cancel()
+
+
+# ----- worker side ----------------------------------------------------------
+
+_WORKER_CTX: Any = None
+
+
+def _worker_init(spec_bytes: bytes) -> None:
+    """Build this worker's private ExperimentContext from the spec."""
+    global _WORKER_CTX
+    from repro.experiments.common import ExperimentContext
+
+    spec = pickle.loads(spec_bytes)
+    _WORKER_CTX = ExperimentContext(
+        simulator=spec["simulator"],
+        predictor=spec["predictor"],
+        cache_dir=spec["cache_dir"],
+        alpha=spec["alpha"],
+    )
+
+
+def _worker_compute(request: RunRequest) -> Tuple[str, Any]:
+    """Execute one request; never raises across the process boundary.
+
+    Returns ``("ok", [(key, run_dict), ...])`` on success or
+    ``("err", traceback_text)`` on failure, so the parent can re-raise
+    with the worker's original traceback attached.
+    """
+    try:
+        if _WORKER_CTX is None:
+            raise RuntimeError("engine worker used before initialization")
+        runs = VARIANTS[request.variant].compute(_WORKER_CTX, request)
+        return (
+            "ok",
+            [
+                (list(key), run_result_to_dict(run))
+                for key, run in runs.items()
+            ],
+        )
+    except BaseException:
+        import traceback
+
+        return ("err", traceback.format_exc())
+
+
+def canonical_requests(
+    ctx: Any,
+    benchmark_names: Optional[Iterable[str]] = None,
+) -> List[RunRequest]:
+    """The standard app x policy matrix for a set of benchmarks.
+
+    Covers the seven canonical run variants of
+    :class:`~repro.experiments.common.ExperimentContext` (Turbo, PPK,
+    PPK-oracle, the MPC pairs, idealized MPC, and the theoretically
+    optimal plan) — everything Figures 4 and 8-12, 14, 15 and the
+    headline table consume.
+    """
+    names = list(
+        benchmark_names if benchmark_names is not None else ctx.benchmark_names
+    )
+    requests: List[RunRequest] = []
+    for name in names:
+        requests.append(RunRequest(name, "turbo"))
+        requests.append(RunRequest(name, "ppk"))
+        requests.append(RunRequest(name, "ppk_oracle"))
+        requests.append(RunRequest(name, "mpc_pair", (("alpha", ctx.alpha),)))
+        requests.append(
+            RunRequest(name, "mpc_pair_full", (("alpha", ctx.alpha),))
+        )
+        requests.append(RunRequest(name, "mpc_ideal"))
+        requests.append(RunRequest(name, "to"))
+    return requests

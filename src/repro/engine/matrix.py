@@ -1,0 +1,177 @@
+"""Maps experiment keys to the engine requests they will consume.
+
+:func:`requests_for` answers "which policy runs does this set of
+experiments need?" so the runner can hand the whole app x policy matrix
+to :meth:`~repro.engine.core.ExperimentEngine.prefetch` before any
+experiment module executes.  The mapping intentionally mirrors what each
+module pulls from :class:`~repro.experiments.common.ExperimentContext`;
+an experiment missing from the table simply computes on demand through
+the context (correct, just not prefetched).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List
+
+from repro.engine.variants import RunRequest
+
+__all__ = ["requests_for"]
+
+
+def _per_benchmark(*variant_builders: Callable[[Any, str], RunRequest]):
+    def build(ctx: Any) -> List[RunRequest]:
+        return [
+            builder(ctx, name)
+            for name in ctx.benchmark_names
+            for builder in variant_builders
+        ]
+    return build
+
+
+def _turbo(ctx: Any, name: str) -> RunRequest:
+    return RunRequest(name, "turbo")
+
+
+def _ppk(ctx: Any, name: str) -> RunRequest:
+    return RunRequest(name, "ppk")
+
+
+def _ppk_oracle(ctx: Any, name: str) -> RunRequest:
+    return RunRequest(name, "ppk_oracle")
+
+
+def _mpc_pair(ctx: Any, name: str) -> RunRequest:
+    return RunRequest(name, "mpc_pair", (("alpha", ctx.alpha),))
+
+
+def _mpc_pair_full(ctx: Any, name: str) -> RunRequest:
+    return RunRequest(name, "mpc_pair_full", (("alpha", ctx.alpha),))
+
+
+def _mpc_ideal(ctx: Any, name: str) -> RunRequest:
+    return RunRequest(name, "mpc_ideal")
+
+
+def _to(ctx: Any, name: str) -> RunRequest:
+    return RunRequest(name, "to")
+
+
+def _fig3(ctx: Any) -> List[RunRequest]:
+    from repro.experiments.fig3_throughput import FIG3_BENCHMARKS
+
+    return [RunRequest(name, "turbo") for name in FIG3_BENCHMARKS]
+
+
+def _fig13(ctx: Any) -> List[RunRequest]:
+    from repro.experiments.fig13_prediction_error import ERROR_MODELS
+
+    requests: List[RunRequest] = []
+    for name in ctx.benchmark_names:
+        requests.append(RunRequest(name, "turbo"))
+        requests.append(
+            RunRequest(name, "mpc_pred",
+                       (("predictor", None), ("tag", "rf_full")))
+        )
+        for _, time_err, power_err in ERROR_MODELS:
+            requests.append(
+                RunRequest(
+                    name,
+                    "mpc_error",
+                    (("power_error", power_err), ("time_error", time_err)),
+                )
+            )
+    return requests
+
+
+def _design_ablation(tag: str, **kwargs: Any) -> Callable[[Any], List[RunRequest]]:
+    def build(ctx: Any) -> List[RunRequest]:
+        from repro.experiments.ablation_design import PHASE_SENSITIVE
+
+        params = (
+            ("kwargs", tuple(sorted(kwargs.items()))),
+            ("simulator", None),
+            ("tag", tag),
+        )
+        requests: List[RunRequest] = []
+        for name in PHASE_SENSITIVE:
+            requests.append(RunRequest(name, "turbo"))
+            requests.append(RunRequest(name, "mpc_pair", (("alpha", ctx.alpha),)))
+            requests.append(RunRequest(name, "mpc_variant", params))
+        return requests
+    return build
+
+
+def _ablation_hiding(ctx: Any) -> List[RunRequest]:
+    from repro.experiments.ablation_design import (
+        PHASE_SENSITIVE,
+        hidden_simulator,
+    )
+
+    sim = hidden_simulator(ctx)
+    requests: List[RunRequest] = []
+    for name in PHASE_SENSITIVE:
+        requests.append(RunRequest(name, "turbo"))
+        requests.append(RunRequest(name, "mpc_pair", (("alpha", ctx.alpha),)))
+        requests.append(
+            RunRequest(
+                name,
+                "mpc_variant",
+                (("kwargs", ()), ("simulator", sim), ("tag", "hidden")),
+            )
+        )
+    return requests
+
+
+#: Per-experiment request builders.  Static experiments (tables, fig2,
+#: fig7) run no policy simulations and are absent on purpose.
+_EXPERIMENT_REQUESTS: Dict[str, Callable[[Any], List[RunRequest]]] = {
+    "fig3": _fig3,
+    "fig4": _per_benchmark(_turbo, _ppk_oracle, _to),
+    "fig8": _per_benchmark(_turbo, _ppk, _mpc_pair),
+    "fig9": _per_benchmark(_turbo, _ppk, _mpc_pair),
+    "fig10": _per_benchmark(_turbo, _ppk, _mpc_pair),
+    "fig11": _per_benchmark(_turbo, _ppk, _mpc_pair),
+    "fig12": _per_benchmark(_turbo, _mpc_ideal, _to),
+    "fig13": _fig13,
+    "fig14": _per_benchmark(_turbo, _mpc_pair),
+    "fig15": _per_benchmark(_turbo, _mpc_pair),
+    "headline": _per_benchmark(_turbo, _ppk, _mpc_pair),
+    "ablation": _per_benchmark(_turbo, _mpc_pair, _mpc_pair_full),
+    "ablation_search_order": _design_ablation(
+        "no_order", use_search_order=False
+    ),
+    "ablation_window_reserve": _design_ablation(
+        "no_reserve", window_reserve=False
+    ),
+    "ablation_overhead_hiding": _ablation_hiding,
+}
+
+
+def requests_for(keys: Iterable[str], ctx: Any) -> List[RunRequest]:
+    """The deduplicated request matrix of a set of experiment keys.
+
+    Args:
+        keys: Experiment keys as named in ``ALL_EXPERIMENTS``.  Unknown
+            or static keys contribute nothing.
+        ctx: The context the experiments will run against.
+
+    Returns:
+        Requests in first-seen order, without duplicates, turbos first —
+        workers recompute the Turbo baseline behind ``target_throughput``
+        themselves, but ordering it first keeps the serial path from
+        interleaving baseline and policy work.
+    """
+    seen: set = set()
+    turbos: List[RunRequest] = []
+    rest: List[RunRequest] = []
+    for key in keys:
+        builder = _EXPERIMENT_REQUESTS.get(key)
+        if builder is None:
+            continue
+        for request in builder(ctx):
+            marker = (request.benchmark, request.variant, request.params)
+            if marker in seen:
+                continue
+            seen.add(marker)
+            (turbos if request.variant == "turbo" else rest).append(request)
+    return turbos + rest

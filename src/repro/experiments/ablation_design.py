@@ -27,13 +27,32 @@ from repro.sim.metrics import energy_savings_pct, geomean, mean, speedup
 from repro.sim.simulator import Simulator
 
 __all__ = [
+    "PHASE_SENSITIVE",
+    "hidden_simulator",
     "ablation_search_order",
     "ablation_window_reserve",
     "ablation_overhead_hiding",
 ]
 
 #: Benchmarks whose phase structure exercises the window mechanisms.
-_PHASE_SENSITIVE = ("EigenValue", "Spmv", "kmeans", "hybridsort", "srad")
+PHASE_SENSITIVE = ("EigenValue", "Spmv", "kmeans", "hybridsort", "srad")
+
+#: Backwards-compatible alias.
+_PHASE_SENSITIVE = PHASE_SENSITIVE
+
+
+def hidden_simulator(ctx: ExperimentContext) -> Simulator:
+    """The overhead-hiding simulator of :func:`ablation_overhead_hiding`.
+
+    Shared with the engine's request matrix so a prefetched ``hidden``
+    variant is keyed by exactly the simulator the ablation runs.
+    """
+    return Simulator(
+        apu=ctx.sim.apu,
+        counters=ctx.sim.counters,
+        overhead=ctx.sim.overhead,
+        cpu_phase_s=0.002,  # 2 ms of CPU work between kernel launches
+    )
 
 
 def _rows(ctx: ExperimentContext, tag: str, **kwargs) -> Dict[str, tuple]:
@@ -81,12 +100,7 @@ def ablation_window_reserve(ctx: ExperimentContext) -> ExperimentTable:
 
 def ablation_overhead_hiding(ctx: ExperimentContext) -> ExperimentTable:
     """Worst-case (back-to-back kernels) vs CPU-phase-hidden overheads."""
-    hidden_sim = Simulator(
-        apu=ctx.sim.apu,
-        counters=ctx.sim.counters,
-        overhead=ctx.sim.overhead,
-        cpu_phase_s=0.002,  # 2 ms of CPU work between kernel launches
-    )
+    hidden_sim = hidden_simulator(ctx)
     table = ExperimentTable(
         experiment_id="Ablation (overhead hiding)",
         title="MPC performance overhead with back-to-back kernels vs "

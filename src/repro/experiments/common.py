@@ -19,30 +19,50 @@ pair once and caches the result.  The canonical run variants are:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-from repro.core.manager import MPCPowerManager
-from repro.core.oracle import solve_theoretically_optimal
-from repro.core.policies import PlannedPolicy, PPKPolicy
+from repro.engine.variants import RunKey, RunRequest, VARIANTS, produced_keys
 from repro.hardware.apu import APUModel
 from repro.hardware.config import ConfigSpace
-from repro.ml.errors import SyntheticErrorPredictor
 from repro.ml.predictors import (
     OraclePredictor,
     PerfPowerPredictor,
     RandomForestPredictor,
     train_predictor,
 )
-from repro.sim.simulator import OverheadModel, Simulator
+from repro.sim.simulator import Simulator
 from repro.sim.trace import RunResult
-from repro.sim.turbocore import TurboCorePolicy
 from repro.workloads.app import Application
+from repro.workloads.generator import training_population
 from repro.workloads.suites import BENCHMARK_NAMES, benchmark
 
 __all__ = ["ExperimentTable", "ExperimentContext", "default_context"]
 
 #: Default on-disk cache for the trained Random Forest.
 DEFAULT_CACHE_DIR = ".cache"
+
+#: Mirrors the defaults of :func:`repro.ml.predictors.train_predictor`;
+#: part of the cache identity of the lazily trained default predictor.
+_DEFAULT_RF_PARAMS = (
+    ("population", 192),
+    ("n_estimators", 16),
+    ("max_depth", 16),
+    ("max_features", 0.6),
+    ("seed", 5),
+    ("revision", "v6"),
+)
+
+_DEFAULT_POPULATION_KEYS: Optional[List[str]] = None
+
+
+def _default_population_keys() -> List[str]:
+    """Kernel keys of the default training population (memoized)."""
+    global _DEFAULT_POPULATION_KEYS
+    if _DEFAULT_POPULATION_KEYS is None:
+        _DEFAULT_POPULATION_KEYS = sorted(
+            spec.key for spec in training_population(192)
+        )
+    return _DEFAULT_POPULATION_KEYS
 
 
 @dataclass
@@ -101,6 +121,13 @@ class ExperimentTable:
 class ExperimentContext:
     """Caches policy runs shared by the experiment modules.
 
+    Every run variant is described by an
+    :class:`~repro.engine.variants.RunRequest` and resolved through
+    :meth:`_run`: first against the in-memory store, then (when an
+    engine is attached) against the engine's content-addressed disk
+    cache, and only then computed — by this process, or by the engine's
+    worker pool during a :meth:`~repro.engine.core.ExperimentEngine.prefetch`.
+
     Args:
         benchmark_names: Benchmarks to evaluate (defaults to all 15).
         simulator: The execution simulator (APU + overhead model).
@@ -108,6 +135,8 @@ class ExperimentContext:
             ``cache_dir``) on first use when not supplied.
         cache_dir: On-disk cache directory for the trained forest.
         alpha: Adaptive-horizon performance-penalty bound.
+        engine: Optional :class:`~repro.engine.core.ExperimentEngine`
+            providing the result cache and parallel prefetching.
     """
 
     def __init__(
@@ -117,6 +146,7 @@ class ExperimentContext:
         predictor: Optional[RandomForestPredictor] = None,
         cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
         alpha: float = 0.05,
+        engine: Optional[Any] = None,
     ) -> None:
         self.benchmark_names: List[str] = list(
             benchmark_names if benchmark_names is not None else BENCHMARK_NAMES
@@ -124,10 +154,12 @@ class ExperimentContext:
         self.sim = simulator if simulator is not None else Simulator()
         self.space = ConfigSpace()
         self.alpha = alpha
+        self.engine = engine
         self._cache_dir = cache_dir
         self._predictor = predictor
+        self._default_predictor = predictor is None
         self._apps: Dict[str, Application] = {}
-        self._runs: Dict[tuple, RunResult] = {}
+        self._runs: Dict[RunKey, RunResult] = {}
 
     # ----- building blocks -----------------------------------------------------
 
@@ -137,13 +169,37 @@ class ExperimentContext:
         return self.sim.apu
 
     @property
-    def predictor(self) -> RandomForestPredictor:
+    def predictor(self) -> PerfPowerPredictor:
         """The (lazily trained) Random Forest predictor."""
         if self._predictor is None:
             self._predictor = train_predictor(
                 apu=self.apu, cache_dir=self._cache_dir
             )
         return self._predictor
+
+    @predictor.setter
+    def predictor(self, value: PerfPowerPredictor) -> None:
+        self._predictor = value
+        self._default_predictor = value is None
+
+    def predictor_fingerprint(self) -> Any:
+        """Cache-key material identifying the context's predictor.
+
+        For the default (lazily trained) Random Forest this is derived
+        from the training parameters and the APU being characterized —
+        *without* forcing the expensive training, so a warm cache can
+        satisfy predictor-backed runs with no model in memory.  An
+        explicitly supplied predictor is described structurally.
+        """
+        if self._default_predictor:
+            return [
+                "default-rf",
+                dict(_DEFAULT_RF_PARAMS),
+                _default_population_keys(),
+                len(self.space),
+                self.apu,
+            ]
+        return ["predictor", self.predictor]
 
     def app(self, name: str) -> Application:
         """The benchmark application, built once."""
@@ -162,87 +218,64 @@ class ExperimentContext:
 
     # ----- cached runs -----------------------------------------------------------
 
-    def _cached(self, key: tuple, build: Callable[[], RunResult]) -> RunResult:
-        if key not in self._runs:
-            self._runs[key] = build()
-        return self._runs[key]
+    def _run(self, request: RunRequest) -> Dict[RunKey, RunResult]:
+        """Resolve a request: memory, then engine cache, then compute."""
+        keys = produced_keys(request)
+        if all(key in self._runs for key in keys):
+            return {key: self._runs[key] for key in keys}
+        if self.engine is not None:
+            loaded = self.engine.load_request(self, request)
+            if loaded is not None:
+                self._runs.update(loaded)
+                return loaded
+        computed = VARIANTS[request.variant].compute(self, request)
+        self._runs.update(computed)
+        if self.engine is not None:
+            self.engine.store_request(self, request, computed)
+        return computed
+
+    def _run_one(self, request: RunRequest, key: RunKey) -> RunResult:
+        return self._run(request)[key]
 
     def turbo(self, name: str) -> RunResult:
         """The Turbo Core baseline run."""
-        return self._cached(
-            (name, "turbo"),
-            lambda: self.sim.run(self.app(name), TurboCorePolicy(tdp_w=self.apu.tdp_w)),
-        )
+        return self._run_one(RunRequest(name, "turbo"), (name, "turbo"))
 
     def ppk(self, name: str) -> RunResult:
         """PPK with Random Forest predictions, overheads charged."""
-        def build() -> RunResult:
-            policy = PPKPolicy(
-                self.target_throughput(name), self.predictor, self.space
-            )
-            return self.sim.run(self.app(name), policy)
-        return self._cached((name, "ppk"), build)
+        return self._run_one(RunRequest(name, "ppk"), (name, "ppk"))
 
     def ppk_oracle(self, name: str) -> RunResult:
         """PPK with perfect per-kernel knowledge, no overheads (Fig. 4)."""
-        def build() -> RunResult:
-            policy = PPKPolicy(
-                self.target_throughput(name), self.oracle(name), self.space
-            )
-            return self.sim.run(self.app(name), policy, charge_overhead=False)
-        return self._cached((name, "ppk_oracle"), build)
-
-    def _mpc_pair(self, name: str, *, adaptive: bool) -> None:
-        manager = MPCPowerManager(
-            self.target_throughput(name),
-            self.predictor,
-            self.space,
-            alpha=self.alpha,
-            adaptive_horizon=adaptive,
-            overhead_model=self.sim.overhead,
+        return self._run_one(
+            RunRequest(name, "ppk_oracle"), (name, "ppk_oracle")
         )
-        app = self.app(name)
-        suffix = "" if adaptive else "_full"
-        first = self.sim.run(app, manager)
-        steady = self.sim.run(app, manager)
-        self._runs[(name, "mpc_first" + suffix)] = first
-        self._runs[(name, "mpc" + suffix)] = steady
+
+    def _mpc_request(self, name: str, *, adaptive: bool) -> RunRequest:
+        variant = "mpc_pair" if adaptive else "mpc_pair_full"
+        return RunRequest(name, variant, (("alpha", self.alpha),))
 
     def mpc(self, name: str) -> RunResult:
         """MPC steady state: adaptive horizon, RF, overheads charged."""
-        key = (name, "mpc")
-        if key not in self._runs:
-            self._mpc_pair(name, adaptive=True)
-        return self._runs[key]
+        return self._run_one(
+            self._mpc_request(name, adaptive=True), (name, "mpc")
+        )
 
     def mpc_first(self, name: str) -> RunResult:
         """The profiling (first) invocation of the MPC framework."""
-        key = (name, "mpc_first")
-        if key not in self._runs:
-            self._mpc_pair(name, adaptive=True)
-        return self._runs[key]
+        return self._run_one(
+            self._mpc_request(name, adaptive=True), (name, "mpc_first")
+        )
 
     def mpc_full_horizon(self, name: str) -> RunResult:
         """MPC steady state with the full (non-adaptive) horizon."""
-        key = (name, "mpc_full")
-        if key not in self._runs:
-            self._mpc_pair(name, adaptive=False)
-        return self._runs[key]
+        return self._run_one(
+            self._mpc_request(name, adaptive=False), (name, "mpc_full")
+        )
 
     def mpc_ideal(self, name: str) -> RunResult:
         """MPC with perfect prediction, full horizon, no overheads."""
-        def build() -> RunResult:
-            manager = MPCPowerManager(
-                self.target_throughput(name),
-                self.oracle(name),
-                self.space,
-                adaptive_horizon=False,
-                overhead_model=self.sim.overhead,
-            )
-            app = self.app(name)
-            self.sim.run(app, manager, charge_overhead=False)  # profiling
-            return self.sim.run(app, manager, charge_overhead=False)
-        return self._cached((name, "mpc_ideal"), build)
+        return self._run_one(RunRequest(name, "mpc_ideal"), (name, "mpc_ideal"))
 
     def mpc_variant(self, name: str, tag: str, *,
                     simulator: Optional[Simulator] = None,
@@ -260,19 +293,16 @@ class ExperimentContext:
         Returns:
             The steady-state run of the variant.
         """
-        sim = simulator if simulator is not None else self.sim
-        def build() -> RunResult:
-            manager = MPCPowerManager(
-                self.target_throughput(name),
-                self.predictor,
-                self.space,
-                overhead_model=sim.overhead,
-                **manager_kwargs,
-            )
-            app = self.app(name)
-            sim.run(app, manager)
-            return sim.run(app, manager)
-        return self._cached((name, "mpc_variant", tag), build)
+        request = RunRequest(
+            name,
+            "mpc_variant",
+            (
+                ("kwargs", tuple(sorted(manager_kwargs.items()))),
+                ("simulator", simulator),
+                ("tag", tag),
+            ),
+        )
+        return self._run_one(request, (name, "mpc_variant", tag))
 
     def mpc_with_predictor(self, name: str, predictor: PerfPowerPredictor,
                            tag: str) -> RunResult:
@@ -281,37 +311,32 @@ class ExperimentContext:
         Full horizon and no overhead charging, matching the paper's
         setup for the prediction-accuracy study.
         """
-        def build() -> RunResult:
-            manager = MPCPowerManager(
-                self.target_throughput(name),
-                predictor,
-                self.space,
-                adaptive_horizon=False,
-                overhead_model=self.sim.overhead,
-            )
-            app = self.app(name)
-            self.sim.run(app, manager, charge_overhead=False)
-            return self.sim.run(app, manager, charge_overhead=False)
-        return self._cached((name, "mpc_pred", tag), build)
+        # The context's own predictor is referenced symbolically so the
+        # cache key stays computable without training, and so worker
+        # processes resolve it against their local copy.
+        shipped = None if predictor is self._predictor else predictor
+        request = RunRequest(
+            name, "mpc_pred", (("predictor", shipped), ("tag", tag))
+        )
+        return self._run_one(request, (name, "mpc_pred", tag))
 
     def mpc_error_model(self, name: str, time_error: float,
                         power_error: float) -> RunResult:
         """MPC under a half-normal synthetic-error oracle (Figure 13)."""
-        predictor = SyntheticErrorPredictor(
-            self.oracle(name), time_error, power_error
+        from repro.engine.variants import error_model_tag
+
+        request = RunRequest(
+            name,
+            "mpc_error",
+            (("power_error", power_error), ("time_error", time_error)),
         )
-        tag = f"err_{time_error:g}_{power_error:g}"
-        return self.mpc_with_predictor(name, predictor, tag)
+        return self._run_one(
+            request, (name, "mpc_pred", error_model_tag(time_error, power_error))
+        )
 
     def theoretically_optimal(self, name: str) -> RunResult:
         """The Theoretically Optimal plan, replayed with no overheads."""
-        def build() -> RunResult:
-            plan = solve_theoretically_optimal(
-                self.app(name), self.apu, self.target_throughput(name), self.space
-            )
-            policy = PlannedPolicy(plan.configs, name="TheoreticallyOptimal")
-            return self.sim.run(self.app(name), policy, charge_overhead=False)
-        return self._cached((name, "to"), build)
+        return self._run_one(RunRequest(name, "to"), (name, "to"))
 
 
 _DEFAULT: Optional[ExperimentContext] = None

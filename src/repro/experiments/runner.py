@@ -2,11 +2,18 @@
 
 ``python -m repro.experiments.runner`` regenerates all of the paper's
 tables and figures in one pass (sharing one context, so each policy run
-happens once) and prints them in order.
+happens once) and prints them in order.  With ``--jobs N`` the full
+app x policy simulation matrix is prefetched through the
+:class:`~repro.engine.core.ExperimentEngine` on ``N`` worker processes;
+results are content-hash cached on disk, so a rerun is nearly free::
+
+    python -m repro.experiments.runner --jobs 4
+    python -m repro.experiments.runner fig8 fig9 --no-cache
 """
 
 from __future__ import annotations
 
+import argparse
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import (
@@ -29,7 +36,7 @@ from repro.experiments import (
 )
 from repro.experiments.common import ExperimentContext, ExperimentTable
 
-__all__ = ["ALL_EXPERIMENTS", "run_all"]
+__all__ = ["ALL_EXPERIMENTS", "run_all", "main"]
 
 #: Every experiment, in the paper's presentation order.
 ALL_EXPERIMENTS: Dict[str, Callable[[ExperimentContext], ExperimentTable]] = {
@@ -74,15 +81,18 @@ def run_all(
     """
     ctx = ctx if ctx is not None else ExperimentContext()
     keys = list(only) if only is not None else list(ALL_EXPERIMENTS)
+    unknown = [key for key in keys if key not in ALL_EXPERIMENTS]
+    if unknown:
+        raise KeyError(
+            f"unknown experiment {unknown[0]!r}; known: {', '.join(ALL_EXPERIMENTS)}"
+        )
+    if ctx.engine is not None:
+        from repro.engine.matrix import requests_for
+
+        ctx.engine.prefetch(ctx, requests_for(keys, ctx))
     results: List[ExperimentTable] = []
     for key in keys:
-        try:
-            experiment = ALL_EXPERIMENTS[key]
-        except KeyError:
-            raise KeyError(
-                f"unknown experiment {key!r}; known: {', '.join(ALL_EXPERIMENTS)}"
-            ) from None
-        table = experiment(ctx)
+        table = ALL_EXPERIMENTS[key](ctx)
         results.append(table)
         if echo:
             print(table.format())
@@ -90,7 +100,52 @@ def run_all(
     return results
 
 
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the runner's command line."""
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "keys", nargs="*", metavar="experiment",
+        help="experiment keys to run (default: all, in paper order)",
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1,
+        help="worker processes for the simulation matrix (default: 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="engine/model cache directory (default: .cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print engine cache/compute statistics at the end",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Command-line entry point; returns the process exit code."""
+    from repro.engine import DEFAULT_CACHE_DIR, ExperimentEngine
+
+    args = build_parser().parse_args(argv)
+    cache_dir = args.cache_dir if args.cache_dir is not None else DEFAULT_CACHE_DIR
+    engine = ExperimentEngine(
+        jobs=args.jobs, cache_dir=cache_dir, use_cache=not args.no_cache
+    )
+    ctx = ExperimentContext(cache_dir=cache_dir, engine=engine)
+    run_all(ctx, only=args.keys or None)
+    if args.stats:
+        print(engine.stats.format())
+    return 0
+
+
 if __name__ == "__main__":
     import sys
 
-    run_all(only=sys.argv[1:] or None)
+    sys.exit(main())

@@ -127,6 +127,16 @@ class PerfPowerPredictor(abc.ABC):
             Predicted time and component powers.
         """
 
+    def estimate_batch(self, counters: CounterVector,
+                       configs: Sequence[HardwareConfig]) -> List[KernelEstimate]:
+        """Estimates for one kernel over many candidate configurations.
+
+        The default loops over :meth:`estimate`; predictors with a
+        vectorizable model (the Random Forest) override it so the
+        optimizer's probe sweeps cost one forest traversal per batch.
+        """
+        return [self.estimate(counters, config) for config in configs]
+
 
 class RandomForestPredictor(PerfPowerPredictor):
     """The paper's Random Forest kernel time / GPU power model.

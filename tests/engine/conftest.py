@@ -1,0 +1,52 @@
+"""Shared fixtures for the experiment-engine test suite.
+
+Everything here runs on a reduced two-benchmark context with an oracle
+predictor, so no Random Forest training happens and the whole suite
+stays in tier-1 time budgets.
+"""
+
+import pytest
+
+from repro.engine import ExperimentEngine
+from repro.experiments.common import ExperimentContext
+from repro.ml.predictors import OraclePredictor
+from repro.workloads.suites import benchmark
+
+#: Benchmarks the engine tests simulate.
+NAMES = ("NBody", "kmeans")
+
+
+def small_context(cache_dir, engine=None, names=NAMES):
+    """An oracle-backed context over a reduced benchmark set.
+
+    Built the same way every time so that two contexts pointed at the
+    same cache directory produce identical cache keys.
+    """
+    kernels = {
+        spec.key: spec for name in names
+        for spec in benchmark(name).unique_kernels
+    }
+    ctx = ExperimentContext(
+        benchmark_names=list(names),
+        cache_dir=str(cache_dir) if cache_dir is not None else None,
+        engine=engine,
+    )
+    ctx.predictor = OraclePredictor(
+        ctx.apu, [kernels[key] for key in sorted(kernels)]
+    )
+    return ctx
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return tmp_path / "cache"
+
+
+@pytest.fixture
+def engine(cache_dir):
+    return ExperimentEngine(jobs=1, cache_dir=str(cache_dir))
+
+
+@pytest.fixture
+def ctx(cache_dir, engine):
+    return small_context(cache_dir, engine)

@@ -1,0 +1,171 @@
+"""Cache-key determinism and sensitivity of the engine fingerprints.
+
+The contract under test (ISSUE acceptance): the same inputs always
+produce the same key, and perturbing anything that could change a run's
+outcome — the app's kernel specs, the policy variant, the DVFS tables,
+the adaptive-horizon alpha, the predictor — produces a different key.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ExperimentEngine, RunRequest
+from repro.engine.fingerprint import describe, fingerprint
+
+from .conftest import small_context
+
+pytestmark = pytest.mark.engine
+
+# Finite doubles round-trip exactly through the canonical JSON.
+finite_floats = st.floats(allow_nan=False, allow_infinity=False)
+
+json_scalars = st.none() | st.booleans() | st.integers() | finite_floats | st.text()
+
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=16,
+)
+
+
+class TestDescribe:
+    @given(json_values)
+    @settings(max_examples=100, deadline=None)
+    def test_fingerprint_is_deterministic(self, value):
+        assert fingerprint(value) == fingerprint(value)
+
+    def test_equal_arrays_same_identity_free_description(self):
+        a = np.arange(12.0).reshape(3, 4)
+        b = np.arange(12.0).reshape(3, 4)
+        assert describe(a) == describe(b)
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_array_content_matters(self):
+        a = np.arange(12.0)
+        b = np.arange(12.0)
+        b[5] += 1e-12
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_array_shape_matters(self):
+        a = np.arange(12.0).reshape(3, 4)
+        assert fingerprint(a) != fingerprint(a.reshape(4, 3))
+
+    def test_dict_order_is_canonical(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_negative_zero_is_normalized(self):
+        assert fingerprint(-0.0) == fingerprint(0.0)
+
+    def test_dataclass_fields_described(self):
+        @dataclasses.dataclass
+        class Point:
+            x: float
+            y: float
+
+        assert fingerprint(Point(1.0, 2.0)) == fingerprint(Point(1.0, 2.0))
+        assert fingerprint(Point(1.0, 2.0)) != fingerprint(Point(1.0, 3.0))
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            describe(object())
+
+
+class TestRunKeys:
+    """Key sensitivity over real contexts (no simulation executed)."""
+
+    @pytest.fixture
+    def pair(self, cache_dir, engine):
+        ctx = small_context(cache_dir, engine)
+        return engine, ctx
+
+    def key(self, engine, ctx, request, run_key=None):
+        run_key = run_key if run_key is not None else (request.benchmark, request.variant)
+        return engine.key_for(ctx, request, run_key)
+
+    def test_same_inputs_same_key(self, cache_dir, tmp_path):
+        eng_a = ExperimentEngine(jobs=1, cache_dir=str(cache_dir))
+        eng_b = ExperimentEngine(jobs=4, cache_dir=str(tmp_path / "other"))
+        ctx_a = small_context(cache_dir, eng_a)
+        ctx_b = small_context(cache_dir, eng_b)
+        request = RunRequest("NBody", "turbo")
+        assert self.key(eng_a, ctx_a, request) == self.key(eng_b, ctx_b, request)
+
+    def test_benchmark_changes_key(self, pair):
+        engine, ctx = pair
+        assert self.key(engine, ctx, RunRequest("NBody", "turbo")) != self.key(
+            engine, ctx, RunRequest("kmeans", "turbo")
+        )
+
+    def test_variant_changes_key(self, pair):
+        engine, ctx = pair
+        a = engine.key_for(ctx, RunRequest("NBody", "mpc_ideal"), ("NBody", "mpc_ideal"))
+        b = engine.key_for(ctx, RunRequest("NBody", "to"), ("NBody", "mpc_ideal"))
+        assert a != b
+
+    def test_run_key_changes_key(self, pair):
+        engine, ctx = pair
+        request = RunRequest("NBody", "mpc_pair", (("alpha", 0.05),))
+        a = engine.key_for(ctx, request, ("NBody", "mpc"))
+        b = engine.key_for(ctx, request, ("NBody", "mpc_first"))
+        assert a != b
+
+    def test_alpha_changes_key(self, pair):
+        engine, ctx = pair
+        a = engine.key_for(
+            ctx, RunRequest("NBody", "mpc_pair", (("alpha", 0.05),)), ("NBody", "mpc")
+        )
+        b = engine.key_for(
+            ctx, RunRequest("NBody", "mpc_pair", (("alpha", 0.10),)), ("NBody", "mpc")
+        )
+        assert a != b
+
+    def test_dvfs_table_changes_key(self, pair, monkeypatch):
+        from repro.hardware import dvfs
+
+        engine, ctx = pair
+        request = RunRequest("NBody", "turbo")
+        before = self.key(engine, ctx, request)
+        perturbed = dict(dvfs.CPU_PSTATES)
+        name, state = next(iter(perturbed.items()))
+        perturbed[name] = dataclasses.replace(state, voltage=state.voltage + 0.01)
+        monkeypatch.setattr(dvfs, "CPU_PSTATES", perturbed)
+        assert self.key(engine, ctx, request) != before
+
+    def test_app_spec_changes_key(self, pair):
+        engine, ctx = pair
+        request = RunRequest("NBody", "turbo")
+        before = self.key(engine, ctx, request)
+        app = ctx.app("NBody")
+        target = app.kernels[0].key
+        ctx._apps["NBody"] = dataclasses.replace(
+            app,
+            kernels=tuple(
+                dataclasses.replace(k, compute_work=k.compute_work * 1.0001)
+                if k.key == target else k
+                for k in app.kernels
+            ),
+        )
+        assert self.key(engine, ctx, request) != before
+
+    def test_predictor_changes_key_when_needed(self, pair, cache_dir):
+        engine, ctx = pair
+        # turbo ignores the predictor; ppk depends on it.
+        other = small_context(cache_dir, engine, names=("NBody",))
+        turbo = RunRequest("NBody", "turbo")
+        ppk = RunRequest("NBody", "ppk")
+        assert self.key(engine, ctx, turbo) == self.key(engine, other, turbo)
+        assert self.key(engine, ctx, ppk) != self.key(engine, other, ppk)
+
+    def test_default_rf_fingerprint_needs_no_training(self, cache_dir, engine):
+        from repro.experiments.common import ExperimentContext
+
+        ctx = ExperimentContext(
+            benchmark_names=["NBody"], cache_dir=str(cache_dir), engine=engine
+        )
+        engine.key_for(ctx, RunRequest("NBody", "ppk"), ("NBody", "ppk"))
+        assert ctx._predictor is None  # fingerprinting did not train

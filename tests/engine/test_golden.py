@@ -1,0 +1,100 @@
+"""Golden-result regression suite (ISSUE satellite 1).
+
+Asserts that the reduced canonical matrix still reproduces the numbers
+snapshotted in ``tests/golden/small_canonical.json``, and that the
+serial, parallel, and cache-hit execution paths all yield *identical*
+results.  Regenerate the snapshot with
+``PYTHONPATH=src python tests/golden/generate.py`` after intentional
+model changes.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.engine import ExperimentEngine, canonical_requests
+from tests.golden.common import GOLDEN_FILE, headline_summary, run_summary
+
+from .conftest import small_context
+
+pytestmark = pytest.mark.engine
+
+#: Tolerance against libm/numpy build differences across machines; the
+#: path-identity assertions below remain exact.
+REL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def golden():
+    path = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "golden",
+        GOLDEN_FILE,
+    )
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.fixture(scope="module")
+def serial(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("golden-cache")
+    engine = ExperimentEngine(jobs=1, cache_dir=str(cache_dir))
+    ctx = small_context(cache_dir, engine)
+    engine.prefetch(ctx, canonical_requests(ctx))
+    return cache_dir, ctx
+
+
+def assert_close(measured, snapshot, label):
+    assert set(measured) == set(snapshot), label
+    for key, value in snapshot.items():
+        if isinstance(value, float):
+            assert measured[key] == pytest.approx(value, rel=REL), (
+                f"{label}[{key}]: measured {measured[key]!r} != "
+                f"golden {value!r}"
+            )
+        else:
+            assert measured[key] == value, f"{label}[{key}]"
+
+
+class TestGoldenNumbers:
+    def test_benchmark_set_matches(self, golden, serial):
+        _, ctx = serial
+        assert ctx.benchmark_names == golden["benchmarks"]
+
+    def test_canonical_runs_match_snapshot(self, golden, serial):
+        _, ctx = serial
+        measured = run_summary(ctx)
+        assert set(measured) == set(golden["runs"])
+        for run_key, snapshot in golden["runs"].items():
+            assert_close(measured[run_key], snapshot, run_key)
+
+    def test_headline_matches_snapshot(self, golden, serial):
+        _, ctx = serial
+        assert_close(headline_summary(ctx), golden["headline"], "headline")
+
+
+class TestPathIdentity:
+    """Serial, parallel, and cache-hit results must be identical."""
+
+    def test_parallel_path_identical(self, serial, tmp_path):
+        _, serial_ctx = serial
+        cache_dir = tmp_path / "par"
+        engine = ExperimentEngine(jobs=4, cache_dir=str(cache_dir))
+        ctx = small_context(cache_dir, engine)
+        engine.prefetch(ctx, canonical_requests(ctx))
+        assert engine.stats.parallel_computed > 0
+        assert run_summary(ctx) == run_summary(serial_ctx)  # exact
+        assert {k: r.__dict__ for k, r in ctx._runs.items()} == {
+            k: r.__dict__ for k, r in serial_ctx._runs.items()
+        }
+
+    def test_cache_hit_path_identical(self, serial):
+        cache_dir, serial_ctx = serial
+        engine = ExperimentEngine(jobs=1, cache_dir=str(cache_dir))
+        ctx = small_context(cache_dir, engine)
+        engine.prefetch(ctx, canonical_requests(ctx))
+        assert engine.stats.computed == 0  # pure cache hits
+        assert {k: r.__dict__ for k, r in ctx._runs.items()} == {
+            k: r.__dict__ for k, r in serial_ctx._runs.items()
+        }

@@ -1,0 +1,117 @@
+"""Lossless round-trip guarantees of the engine's JSON serializers.
+
+The cache and the worker protocol both rely on ``to_dict -> json ->
+from_dict`` reproducing the original object *exactly* — including every
+float bit — which is what makes cached and parallel results
+indistinguishable from in-process computation.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.serialize import (
+    run_result_from_dict,
+    run_result_to_dict,
+    table_from_dict,
+    table_to_dict,
+)
+from repro.experiments.common import ExperimentTable
+from repro.hardware.config import ConfigSpace
+from repro.sim.trace import LaunchRecord, RunResult
+
+pytestmark = pytest.mark.engine
+
+CONFIGS = ConfigSpace().all_configs()
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+positive = st.floats(min_value=1e-9, max_value=1e9, allow_nan=False)
+
+record_st = st.builds(
+    lambda i, cfg, t, ge, ce, n, ot, oge, oce, h, fs: dict(
+        kernel_key=f"k{i}", config=cfg, time_s=t, gpu_energy_j=ge,
+        cpu_energy_j=ce, instructions=n, overhead_time_s=ot,
+        overhead_gpu_energy_j=oge, overhead_cpu_energy_j=oce,
+        horizon=h, fail_safe=fs,
+    ),
+    st.integers(0, 3),
+    st.sampled_from(CONFIGS),
+    positive, positive, positive, positive,
+    finite, finite, finite,
+    st.integers(0, 32),
+    st.booleans(),
+)
+
+
+def build_run(records):
+    run = RunResult(app_name="app", policy_name="policy")
+    for index, fields in enumerate(records):
+        run.append(LaunchRecord(index=index, **fields))
+    return run
+
+
+def roundtrip(payload):
+    """Push a payload through real JSON text, as the cache does."""
+    return json.loads(json.dumps(payload))
+
+
+class TestRunResultRoundTrip:
+    @given(st.lists(record_st, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_exact(self, records):
+        run = build_run(records)
+        restored = run_result_from_dict(roundtrip(run_result_to_dict(run)))
+        assert restored.app_name == run.app_name
+        assert restored.policy_name == run.policy_name
+        assert restored.launches == run.launches  # frozen dataclass ==
+
+    def test_schema_mismatch_raises(self):
+        payload = run_result_to_dict(build_run([]))
+        payload["schema"] = 999
+        with pytest.raises(ValueError):
+            run_result_from_dict(payload)
+
+
+cell_st = st.none() | st.booleans() | st.integers() | finite | st.text(max_size=20)
+
+
+class TestTableRoundTrip:
+    @given(
+        st.integers(1, 5).flatmap(
+            lambda width: st.tuples(
+                st.lists(st.text(min_size=1, max_size=10),
+                         min_size=width, max_size=width),
+                st.lists(st.lists(cell_st, min_size=width, max_size=width),
+                         max_size=6),
+            )
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_exact(self, headers_rows):
+        headers, rows = headers_rows
+        table = ExperimentTable(
+            experiment_id="X", title="t", headers=list(headers)
+        )
+        for row in rows:
+            table.add_row(*row)
+        restored = table_from_dict(roundtrip(table_to_dict(table)))
+        assert restored.experiment_id == table.experiment_id
+        assert restored.title == table.title
+        assert restored.headers == table.headers
+        assert restored.rows == table.rows
+
+    def test_non_json_cell_rejected(self):
+        table = ExperimentTable(experiment_id="X", title="t", headers=["a"])
+        table.add_row(object())
+        with pytest.raises(TypeError):
+            table_to_dict(table)
+
+    def test_schema_mismatch_raises(self):
+        payload = table_to_dict(
+            ExperimentTable(experiment_id="X", title="t", headers=["a"])
+        )
+        payload["schema"] = 0
+        with pytest.raises(ValueError):
+            table_from_dict(payload)

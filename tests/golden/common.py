@@ -1,0 +1,57 @@
+"""Shared helpers for the golden-result regression suite.
+
+The golden snapshot records, for the reduced oracle-backed context of
+``tests/engine/conftest.small_context``, the aggregate numbers of every
+canonical policy run plus the headline metrics.  ``generate.py``
+refreshes the snapshot; ``tests/engine/test_golden.py`` asserts against
+it.
+"""
+
+from typing import Any, Dict
+
+GOLDEN_FILE = "small_canonical.json"
+
+#: Canonical per-run aggregates snapshotted per (benchmark, run) key.
+RUN_METRICS = (
+    "kernel_time_s",
+    "overhead_time_s",
+    "total_time_s",
+    "gpu_energy_j",
+    "cpu_energy_j",
+    "energy_j",
+    "instructions",
+    "mean_horizon",
+)
+
+#: The run suffixes canonical_requests() materializes per benchmark.
+RUN_SUFFIXES = (
+    "turbo",
+    "ppk",
+    "ppk_oracle",
+    "mpc_first",
+    "mpc",
+    "mpc_first_full",
+    "mpc_full",
+    "mpc_ideal",
+    "to",
+)
+
+
+def run_summary(ctx) -> Dict[str, Dict[str, Any]]:
+    """Aggregate numbers of every canonical run held by a context."""
+    out: Dict[str, Dict[str, Any]] = {}
+    for name in ctx.benchmark_names:
+        for suffix in RUN_SUFFIXES:
+            run = ctx._runs[(name, suffix)]
+            out[f"{name}/{suffix}"] = {
+                "launches": len(run),
+                **{metric: getattr(run, metric) for metric in RUN_METRICS},
+            }
+    return out
+
+
+def headline_summary(ctx) -> Dict[str, float]:
+    """The headline metrics over the reduced benchmark set."""
+    from repro.experiments.headline import headline_numbers
+
+    return headline_numbers(ctx)

@@ -1,0 +1,56 @@
+"""Regenerate the golden snapshot for the engine regression suite.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python tests/golden/generate.py
+
+Rerun this after any *intentional* change to the simulator, policies,
+or hardware model, and review the numeric diff like any other code
+change — the golden test exists to make unintentional drift loud.
+"""
+
+import json
+import os
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+for path in (ROOT, os.path.join(ROOT, "src")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro.engine import ExperimentEngine, canonical_requests  # noqa: E402
+from tests.engine.conftest import small_context  # noqa: E402
+from tests.golden.common import (  # noqa: E402
+    GOLDEN_FILE,
+    headline_summary,
+    run_summary,
+)
+
+
+def build_snapshot(cache_dir=None) -> dict:
+    """Compute the snapshot payload on a serial, cache-less engine."""
+    engine = ExperimentEngine(jobs=1, cache_dir=".", use_cache=False)
+    if cache_dir is not None:
+        engine = ExperimentEngine(jobs=1, cache_dir=str(cache_dir))
+    ctx = small_context(cache_dir, engine)
+    engine.prefetch(ctx, canonical_requests(ctx))
+    return {
+        "benchmarks": list(ctx.benchmark_names),
+        "runs": run_summary(ctx),
+        "headline": headline_summary(ctx),
+    }
+
+
+def main() -> int:
+    target = os.path.join(os.path.dirname(os.path.abspath(__file__)), GOLDEN_FILE)
+    snapshot = build_snapshot()
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {target}: {len(snapshot['runs'])} runs, "
+          f"{len(snapshot['headline'])} headline metrics")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
