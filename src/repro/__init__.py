@@ -42,6 +42,18 @@ from repro.core import (
     solve_theoretically_optimal,
 )
 from repro.core.policies import FixedConfigPolicy, PlannedPolicy
+from repro.runtime import (
+    KernelLaunch,
+    LaunchOutcome,
+    LifecycleError,
+    PolicyLifecycle,
+    PolicyState,
+    SessionManager,
+    SessionRuntime,
+    SessionStats,
+    invocation_pair,
+    launch_events,
+)
 from repro.hardware import (
     APUModel,
     ConfigSpace,
@@ -110,6 +122,17 @@ __all__ = [
     "SearchOrder",
     "build_search_order",
     "solve_theoretically_optimal",
+    # runtime
+    "KernelLaunch",
+    "LaunchOutcome",
+    "LifecycleError",
+    "PolicyLifecycle",
+    "PolicyState",
+    "SessionManager",
+    "SessionRuntime",
+    "SessionStats",
+    "invocation_pair",
+    "launch_events",
     # sim
     "Simulator",
     "OverheadModel",

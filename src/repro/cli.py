@@ -49,6 +49,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="adaptive-horizon performance bound")
     run.add_argument("--full-horizon", action="store_true",
                      help="disable the adaptive horizon")
+    run.add_argument("--stream", action="store_true",
+                     help="host each policy in a fault-isolated streaming "
+                     "session and report per-session statistics")
     run.add_argument("--cache-dir", default=".cache",
                      help="Random Forest cache directory")
 
@@ -111,6 +114,26 @@ def _cmd_list() -> int:
     return 0
 
 
+def _stream_run(sim: Simulator, app, policy, *, invocations: int = 1,
+                charge_overhead: bool = True):
+    """Host a policy in a fault-isolated streaming session.
+
+    Replays ``invocations`` back-to-back event streams of ``app``
+    through one session (index-0 events open new runs automatically)
+    and returns ``(last_run_result, session)``.
+    """
+    from repro.runtime.events import launch_events
+
+    session = sim.session(
+        policy, isolate_faults=True, session_id=app.name,
+        app_name=app.name, charge_overhead=charge_overhead,
+    )
+    for _ in range(invocations):
+        for _outcome in session.run_stream(launch_events(app, app.name)):
+            pass
+    return session.result, session
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     sim = Simulator()
     app = benchmark(args.benchmark)
@@ -126,30 +149,50 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if "ppk" in wanted or "mpc" in wanted:
         predictor = train_predictor(apu=sim.apu, cache_dir=args.cache_dir)
 
+    sessions = {}
     print(f"\n{'policy':8s} {'energy savings':>15s} {'speedup':>9s}")
     for kind in wanted:
         if kind == "turbo":
             run = turbo
         elif kind == "ppk":
-            run = sim.run(app, PPKPolicy(target, predictor))
+            policy = PPKPolicy(target, predictor)
+            if args.stream:
+                run, sessions[kind] = _stream_run(sim, app, policy)
+            else:
+                run = sim.run(app, policy)
         elif kind == "mpc":
             manager = MPCPowerManager(
                 target, predictor, alpha=args.alpha,
                 adaptive_horizon=not args.full_horizon,
                 overhead_model=sim.overhead,
             )
-            sim.run(app, manager)
-            run = sim.run(app, manager)
+            if args.stream:
+                run, sessions[kind] = _stream_run(
+                    sim, app, manager, invocations=2
+                )
+            else:
+                from repro.runtime.session import invocation_pair
+
+                _, run = invocation_pair(sim.session(manager), app)
         elif kind == "to":
             plan = solve_theoretically_optimal(app, sim.apu, target)
-            run = sim.run(app, PlannedPolicy(plan.configs, name="TO"),
-                          charge_overhead=False)
+            policy = PlannedPolicy(plan.configs, name="TO")
+            if args.stream:
+                run, sessions[kind] = _stream_run(
+                    sim, app, policy, charge_overhead=False
+                )
+            else:
+                run = sim.run(app, policy, charge_overhead=False)
         else:  # pragma: no cover - argparse restricts choices
             raise ValueError(kind)
         print(
             f"{kind:8s} {energy_savings_pct(run, turbo):14.1f}% "
             f"{speedup(run, turbo):9.3f}"
         )
+    if sessions:
+        print("\nsession stats:")
+        for kind, session in sessions.items():
+            print(f"  {kind:8s} {session.stats.format()}")
     return 0
 
 
@@ -182,9 +225,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         if args.oracle
         else train_predictor(apu=sim.apu, cache_dir=args.cache_dir)
     )
+    from repro.runtime.session import invocation_pair
+
     manager = MPCPowerManager(target, predictor, overhead_model=sim.overhead)
-    sim.run(app, manager)
-    steady = sim.run(app, manager)
+    _, steady = invocation_pair(sim.session(manager), app)
 
     print(
         f"{app.name}: MPC {energy_savings_pct(steady, turbo):.1f}% energy "

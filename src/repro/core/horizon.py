@@ -134,6 +134,19 @@ class AdaptiveHorizonGenerator:
         """Clear accumulated state (a new run of the application)."""
         self._elapsed_s = 0.0
 
+    def snapshot(self) -> dict:
+        """Mutable state as a JSON-able dict.
+
+        The frozen profiling statistics are constructor arguments and
+        are recomputed on restore; only the elapsed-time accumulator
+        migrates.
+        """
+        return {"elapsed_s": self._elapsed_s}
+
+    def restore(self, payload: dict) -> None:
+        """Rebuild mutable state from :meth:`snapshot` output."""
+        self._elapsed_s = float(payload["elapsed_s"])
+
     def horizon(self, index: int) -> int:
         """H_i for the upcoming kernel.
 

@@ -11,19 +11,23 @@
 plus the **performance tracker** (:mod:`~repro.core.tracker`) that feeds
 headroom back into the optimization.
 
-Lifecycle, exactly as in the paper: on an application's *first*
-invocation the manager has no stored knowledge — it runs PPK (the very
-first kernel at fail-safe) while the extractor records the execution
-pattern and the manager measures its own optimization cost (T_PPK).
-When the first invocation ends, the profile is frozen into a search
-order and horizon statistics; every later invocation runs true MPC with
-receding, adaptively bounded horizons.
+Lifecycle, exactly as in the paper and now explicit as a validated
+:class:`~repro.runtime.lifecycle.PolicyLifecycle` state machine: on an
+application's *first* invocation the manager has no stored knowledge —
+it is ``PROFILING``, running PPK (the very first kernel at fail-safe)
+while the extractor records the execution pattern and the manager
+measures its own optimization cost (T_PPK).  When the first invocation
+ends, the profile is frozen into a search order and horizon statistics
+(``FROZEN``); the first decision afterwards moves the manager to ``MPC``
+and every later invocation runs true MPC with receding, adaptively
+bounded horizons.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.horizon import AdaptiveHorizonGenerator
 from repro.core.optimizer import GreedyHillClimbOptimizer
@@ -32,10 +36,14 @@ from repro.core.search_order import SearchOrder, build_search_order
 from repro.core.tracker import PerformanceTracker
 from repro.hardware.config import FAILSAFE_CONFIG, ConfigSpace, HardwareConfig
 from repro.ml.predictors import PerfPowerPredictor
+from repro.runtime.lifecycle import PolicyLifecycle, PolicyState
 from repro.sim.policy import Decision, Observation, PowerPolicy
 from repro.sim.simulator import OverheadModel
 
 __all__ = ["MPCPowerManager"]
+
+#: Bump when the manager snapshot layout changes.
+MANAGER_SNAPSHOT_SCHEMA = 1
 
 
 @dataclass
@@ -54,12 +62,14 @@ class MPCPowerManager(PowerPolicy):
 
     Args:
         target_throughput: Performance target — the baseline (Turbo
-            Core) application throughput I_total/T_total.
+            Core) application throughput I_total/T_total.  Must be a
+            positive, finite rate.
         predictor: Performance/power model (Random Forest in the real
             system; the oracle or synthetic-error models in studies).
         space: Searchable configuration space.
         alpha: Total performance-penalty bound for the adaptive horizon
-            (the paper evaluates 0.05).
+            (the paper evaluates 0.05).  Must be non-negative and
+            finite; ``alpha == 0`` is the zero-overhead-budget ablation.
         adaptive_horizon: When ``False``, always use the full horizon
             (the ablation of Section VI-E).
         overhead_model: Cost model the manager uses to estimate its own
@@ -73,6 +83,10 @@ class MPCPowerManager(PowerPolicy):
             window members are not reserved at fail-safe, reverting to
             per-kernel constraint checking (the window's future can no
             longer repay or restrict the current kernel's slack).
+
+    Raises:
+        ValueError: If ``target_throughput`` is not a positive finite
+            number or ``alpha`` is negative or non-finite.
     """
 
     name = "MPC"
@@ -89,6 +103,16 @@ class MPCPowerManager(PowerPolicy):
         use_search_order: bool = True,
         window_reserve: bool = True,
     ) -> None:
+        if not math.isfinite(target_throughput) or target_throughput <= 0:
+            raise ValueError(
+                "target_throughput must be a positive, finite "
+                f"instructions-per-second rate; got {target_throughput!r}"
+            )
+        if not math.isfinite(alpha) or alpha < 0:
+            raise ValueError(
+                "alpha must be a non-negative, finite performance-penalty "
+                f"bound; got {alpha!r}"
+            )
         self.space = space if space is not None else ConfigSpace()
         self.optimizer = GreedyHillClimbOptimizer(self.space, predictor, fail_safe)
         self.tracker = PerformanceTracker(target_throughput)
@@ -102,6 +126,7 @@ class MPCPowerManager(PowerPolicy):
         self.window_reserve = window_reserve
         self._fail_safe = self.optimizer.fail_safe
 
+        self._lifecycle = PolicyLifecycle()
         self._stats: Optional[_ProfiledStats] = None
         self._horizon_gen: Optional[AdaptiveHorizonGenerator] = None
         self._last_config: HardwareConfig = self._fail_safe
@@ -115,9 +140,14 @@ class MPCPowerManager(PowerPolicy):
     # ----- lifecycle -------------------------------------------------------------
 
     @property
+    def state(self) -> PolicyState:
+        """The manager's lifecycle state (profiling / frozen / mpc)."""
+        return self._lifecycle.state
+
+    @property
     def profiled(self) -> bool:
         """Whether the initial (PPK) profiling invocation has completed."""
-        return self._stats is not None
+        return self._lifecycle.state is not PolicyState.PROFILING
 
     @property
     def search_order(self) -> Optional[SearchOrder]:
@@ -125,10 +155,14 @@ class MPCPowerManager(PowerPolicy):
         return self._stats.search_order if self._stats else None
 
     def begin_run(self) -> None:
-        if self.extractor.has_profile or self._profile_insts:
-            # A run just ended; freeze the profile on first completion.
-            if self._stats is None and self._profile_insts:
-                self._freeze_profile()
+        if (
+            self._lifecycle.state is PolicyState.PROFILING
+            and self._profile_insts
+        ):
+            # The profiling invocation just ended: freeze its profile
+            # into the search order and horizon statistics.
+            self._freeze_profile()
+            self._lifecycle.transition(PolicyState.FROZEN)
         self.extractor.end_run()
         self.tracker.reset()
         if self._horizon_gen is not None:
@@ -177,9 +211,12 @@ class MPCPowerManager(PowerPolicy):
     # ----- decisions ---------------------------------------------------------------
 
     def decide(self, index: int) -> Decision:
-        if self._stats is None:
+        if self._lifecycle.state is PolicyState.PROFILING:
             decision = self._decide_ppk()
         else:
+            if self._lifecycle.state is PolicyState.FROZEN:
+                # First decision against the frozen profile: steady state.
+                self._lifecycle.transition(PolicyState.MPC)
             decision = self._decide_mpc(index)
         self._last_config = decision.config
         self._last_decision_overhead_s = self.overhead_model.decision_time_s(decision)
@@ -272,9 +309,72 @@ class MPCPowerManager(PowerPolicy):
             time_s,
             observation.measurement.gpu_power_w,
         )
-        if self._stats is None:
+        if self._lifecycle.state is PolicyState.PROFILING:
             self._profile_insts.append(observation.instructions)
             self._profile_times.append(time_s)
             self._profile_overhead_s += self._last_decision_overhead_s
         elif self._horizon_gen is not None:
             self._horizon_gen.record(time_s, self._last_decision_overhead_s)
+
+    # ----- migration ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Mutable state as a JSON-able dict.
+
+        The frozen search order and horizon statistics are *not*
+        serialized: they are a deterministic function of the profiling
+        accumulators, so :meth:`restore` recomputes them by re-running
+        the freeze.  Only genuinely mutable state migrates.
+        """
+        return {
+            "schema": MANAGER_SNAPSHOT_SCHEMA,
+            "lifecycle": self._lifecycle.state.value,
+            "tracker": self.tracker.snapshot(),
+            "extractor": self.extractor.snapshot(),
+            "last_config": self._last_config.as_dict(),
+            "last_decision_overhead_s": self._last_decision_overhead_s,
+            "profile": {
+                "instructions": list(self._profile_insts),
+                "times": list(self._profile_times),
+                "overhead_s": self._profile_overhead_s,
+            },
+            "horizon_elapsed_s": (
+                self._horizon_gen.elapsed_s if self._horizon_gen else None
+            ),
+        }
+
+    def restore(self, payload: Dict[str, Any]) -> None:
+        """Rebuild mutable state from :meth:`snapshot` output.
+
+        Must be called on a manager constructed with the same arguments
+        (target, predictor, space, alpha, ablation switches) as the
+        snapshotted one.
+        """
+        if payload.get("schema") != MANAGER_SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"unsupported manager snapshot schema: {payload.get('schema')!r}"
+            )
+        state = PolicyState(payload["lifecycle"])
+        self.tracker.restore(payload["tracker"])
+        self.extractor.restore(payload["extractor"])
+        self._last_config = HardwareConfig.from_dict(payload["last_config"])
+        self._last_decision_overhead_s = float(payload["last_decision_overhead_s"])
+        profile = payload["profile"]
+        self._profile_insts = [float(v) for v in profile["instructions"]]
+        self._profile_times = [float(v) for v in profile["times"]]
+        self._profile_overhead_s = float(profile["overhead_s"])
+
+        self._lifecycle = PolicyLifecycle()
+        self._stats = None
+        self._horizon_gen = None
+        if state is not PolicyState.PROFILING:
+            # Recompute the frozen statistics deterministically from the
+            # restored profiling accumulators, then walk the machine
+            # forward through its legal transitions.
+            self._freeze_profile()
+            self._lifecycle.transition(PolicyState.FROZEN)
+            if state is PolicyState.MPC:
+                self._lifecycle.transition(PolicyState.MPC)
+            elapsed = payload["horizon_elapsed_s"]
+            if elapsed is not None and self._horizon_gen is not None:
+                self._horizon_gen.restore({"elapsed_s": elapsed})

@@ -198,3 +198,59 @@ class KernelPatternExtractor:
         if length < 0:
             raise ValueError("length must be non-negative")
         return [self.expected_record(start + offset) for offset in range(length)]
+
+    # ----- migration -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The store, current run, and profile as a JSON-able dict.
+
+        Records are serialized in insertion order so a restored store
+        iterates identically to the original.
+        """
+        return {
+            "records": [
+                {
+                    "signature": list(record.signature),
+                    "counters": [float(v) for v in record.counters.as_array()],
+                    "instructions": record.instructions,
+                    "last_time_s": record.last_time_s,
+                    "last_gpu_power_w": record.last_gpu_power_w,
+                    "observations": record.observations,
+                }
+                for record in self._records.values()
+            ],
+            "current_run": [list(sig) for sig in self._current_run],
+            "recorded_order": (
+                None
+                if self._recorded_order is None
+                else [list(sig) for sig in self._recorded_order]
+            ),
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Rebuild the store from :meth:`snapshot` output.
+
+        ``feedback_weight`` is a constructor argument and is not part
+        of the snapshot; restore onto an extractor built with the same
+        arguments.
+        """
+        self._records = {}
+        for entry in payload["records"]:
+            signature = tuple(int(b) for b in entry["signature"])
+            self._records[signature] = KernelRecord(
+                signature=signature,
+                counters=CounterVector.from_array(entry["counters"]),
+                instructions=float(entry["instructions"]),
+                last_time_s=float(entry["last_time_s"]),
+                last_gpu_power_w=float(entry["last_gpu_power_w"]),
+                observations=int(entry["observations"]),
+            )
+        self._current_run = [
+            tuple(int(b) for b in sig) for sig in payload["current_run"]
+        ]
+        recorded = payload["recorded_order"]
+        self._recorded_order = (
+            None
+            if recorded is None
+            else [tuple(int(b) for b in sig) for sig in recorded]
+        )

@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.optimizer import GreedyHillClimbOptimizer
 from repro.core.pattern import KernelPatternExtractor
@@ -34,6 +34,12 @@ class FixedConfigPolicy(PowerPolicy):
         return Decision(config=self.config)
 
     def observe(self, observation: Observation) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}  # stateless: the config is a constructor argument
+
+    def restore(self, payload: Dict[str, Any]) -> None:
         pass
 
 
@@ -63,6 +69,12 @@ class PlannedPolicy(PowerPolicy):
         return Decision(config=self.plan[index])
 
     def observe(self, observation: Observation) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}  # stateless: the plan is a constructor argument
+
+    def restore(self, payload: Dict[str, Any]) -> None:
         pass
 
 
@@ -124,3 +136,13 @@ class PPKPolicy(PowerPolicy):
             observation.measurement.time_s,
             observation.measurement.gpu_power_w,
         )
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "tracker": self.tracker.snapshot(),
+            "extractor": self.extractor.snapshot(),
+        }
+
+    def restore(self, payload: Dict[str, Any]) -> None:
+        self.tracker.restore(payload["tracker"])
+        self.extractor.restore(payload["extractor"])

@@ -112,6 +112,17 @@ class PerformanceTracker:
         """Equation 4: would this launch keep cumulative throughput on target?"""
         return expected_time_s <= self.headroom_s(expected_instructions)
 
+    # ----- migration ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Accumulated state as a JSON-able dict."""
+        return {"instructions": self._instructions, "time_s": self._time_s}
+
+    def restore(self, payload: dict) -> None:
+        """Rebuild accumulated state from :meth:`snapshot` output."""
+        self._instructions = float(payload["instructions"])
+        self._time_s = float(payload["time_s"])
+
     def copy(self) -> "PerformanceTracker":
         """An independent tracker with the same state.
 

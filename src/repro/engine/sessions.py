@@ -1,0 +1,51 @@
+"""Session persistence in the engine's content-addressed cache.
+
+A :class:`SessionStore` maps session ids onto
+:class:`~repro.engine.cache.ResultCache` entries so that a
+:class:`~repro.runtime.manager.SessionManager` can ``persist`` a live
+session's snapshot and a different worker (or a later process) can
+``resume`` it.  Snapshots are plain JSON dicts (see
+:meth:`repro.runtime.session.SessionRuntime.snapshot`), so they share
+the cache's atomic-write and corrupt-entry-as-miss guarantees with the
+experiment results that live alongside them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.engine.cache import ResultCache
+from repro.engine.fingerprint import fingerprint
+
+__all__ = ["SessionStore"]
+
+
+class SessionStore:
+    """Keyed session-snapshot storage on top of a :class:`ResultCache`.
+
+    Args:
+        cache: The backing cache (typically the engine's own, so
+            snapshots live next to cached experiment results).
+    """
+
+    def __init__(self, cache: ResultCache) -> None:
+        self.cache = cache
+
+    def key_for(self, session_id: str) -> str:
+        """Cache key a session's snapshot is stored under."""
+        if not session_id:
+            raise ValueError("session_id must be non-empty")
+        return fingerprint({"kind": "session-snapshot", "session": session_id})
+
+    def save(self, session_id: str, payload: Dict[str, Any]) -> str:
+        """Persist a session snapshot; returns the cache key used."""
+        key = self.key_for(session_id)
+        self.cache.store(
+            key, payload,
+            summary={"kind": "session-snapshot", "session": session_id},
+        )
+        return key
+
+    def load(self, session_id: str) -> Optional[Dict[str, Any]]:
+        """The persisted snapshot for a session, or ``None`` on miss."""
+        return self.cache.load(self.key_for(session_id))

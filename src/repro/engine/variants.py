@@ -27,6 +27,7 @@ from repro.core.manager import MPCPowerManager
 from repro.core.oracle import solve_theoretically_optimal
 from repro.core.policies import PlannedPolicy, PPKPolicy
 from repro.ml.errors import SyntheticErrorPredictor
+from repro.runtime.session import invocation_pair
 from repro.sim.trace import RunResult
 from repro.sim.turbocore import TurboCorePolicy
 
@@ -133,8 +134,7 @@ def _compute_mpc_pair(ctx: Any, request: RunRequest) -> Dict[RunKey, RunResult]:
     )
     app = ctx.app(name)
     suffix = "" if adaptive else "_full"
-    first = ctx.sim.run(app, manager)
-    steady = ctx.sim.run(app, manager)
+    first, steady = invocation_pair(ctx.sim.session(manager), app)
     return {
         (name, "mpc_first" + suffix): first,
         (name, "mpc" + suffix): steady,
@@ -151,8 +151,9 @@ def _compute_mpc_ideal(ctx: Any, request: RunRequest) -> Dict[RunKey, RunResult]
         overhead_model=ctx.sim.overhead,
     )
     app = ctx.app(name)
-    ctx.sim.run(app, manager, charge_overhead=False)  # profiling
-    run = ctx.sim.run(app, manager, charge_overhead=False)
+    _, run = invocation_pair(
+        ctx.sim.session(manager), app, charge_overhead=False
+    )
     return {(name, "mpc_ideal"): run}
 
 
@@ -169,8 +170,7 @@ def _compute_mpc_variant(ctx: Any, request: RunRequest) -> Dict[RunKey, RunResul
         **manager_kwargs,
     )
     app = ctx.app(name)
-    sim.run(app, manager)
-    run = sim.run(app, manager)
+    _, run = invocation_pair(sim.session(manager), app)
     return {(name, "mpc_variant", tag): run}
 
 
@@ -184,8 +184,10 @@ def _run_with_predictor(ctx: Any, name: str, predictor: Any) -> RunResult:
         overhead_model=ctx.sim.overhead,
     )
     app = ctx.app(name)
-    ctx.sim.run(app, manager, charge_overhead=False)
-    return ctx.sim.run(app, manager, charge_overhead=False)
+    _, steady = invocation_pair(
+        ctx.sim.session(manager), app, charge_overhead=False
+    )
+    return steady
 
 
 def _compute_mpc_pred(ctx: Any, request: RunRequest) -> Dict[RunKey, RunResult]:

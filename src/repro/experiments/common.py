@@ -14,6 +14,13 @@ pair once and caches the result.  The canonical run variants are:
 * ``mpc_ideal``  — MPC with perfect prediction, full horizon, no
   overheads (Figure 12).
 * ``to``         — the Theoretically Optimal plan (Figures 4 and 12).
+
+All variants execute through the streaming runtime layer: the compute
+bodies in :mod:`repro.engine.variants` host each policy in a
+:class:`~repro.runtime.session.SessionRuntime` built by
+``Simulator.session`` (MPC pairs via
+:func:`~repro.runtime.session.invocation_pair`), so cached experiment
+results are byte-identical to what the streaming drivers produce.
 """
 
 from __future__ import annotations

@@ -96,6 +96,20 @@ class HardwareConfig:
         fields.update(changes)
         return HardwareConfig(**fields)
 
+    def as_dict(self) -> dict:
+        """JSON-able knob mapping (used by session snapshots)."""
+        return {"cpu": self.cpu, "nb": self.nb, "gpu": self.gpu, "cu": self.cu}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HardwareConfig":
+        """Rebuild a configuration from :meth:`as_dict` output."""
+        return cls(
+            cpu=payload["cpu"],
+            nb=payload["nb"],
+            gpu=payload["gpu"],
+            cu=int(payload["cu"]),
+        )
+
     def __str__(self) -> str:
         return f"[{self.cpu}, {self.nb}, {self.gpu}, {self.cu} CUs]"
 

@@ -1,0 +1,93 @@
+"""The typed event protocol of the streaming runtime.
+
+A session consumes :class:`KernelLaunch` events — one per kernel-launch
+boundary, exactly where the paper's manager makes its decision — and
+emits one :class:`LaunchOutcome` per processed launch.  Events are
+immutable and carry a ``session_id`` routing key so streams from many
+concurrent applications can be interleaved through one
+:class:`~repro.runtime.manager.SessionManager`.
+
+``index`` is the zero-based launch position within the *current*
+application invocation; an event with ``index == 0`` marks the start of
+a new invocation (sessions reset their per-run cursors on it, the same
+way :meth:`~repro.sim.policy.PowerPolicy.begin_run` does under offline
+replay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator
+
+from repro.workloads.kernel import KernelSpec
+
+if TYPE_CHECKING:  # imported lazily to keep this module a leaf
+    from repro.sim.trace import LaunchRecord
+    from repro.workloads.app import Application
+
+__all__ = ["KernelLaunch", "LaunchOutcome", "launch_events"]
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """One kernel-launch boundary: the moment a policy must decide.
+
+    Attributes:
+        index: Zero-based launch position within the current
+            application invocation.  ``0`` starts a new invocation.
+        spec: Ground-truth kernel about to launch.  The *runtime* uses
+            it to execute on the APU model and synthesize counters;
+            policies never see it (they only receive post-launch
+            :class:`~repro.sim.policy.Observation` telemetry).
+        session_id: Routing key naming the session (application
+            instance) this launch belongs to.
+    """
+
+    index: int
+    spec: KernelSpec
+    session_id: str = ""
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("launch index must be non-negative")
+
+
+@dataclass(frozen=True)
+class LaunchOutcome:
+    """What the runtime measured and charged for one processed launch.
+
+    Attributes:
+        session_id: Session the launch belonged to.
+        app_name: Application name of the session's current run.
+        policy_name: Policy that managed the launch.
+        record: The full per-launch trace record (configuration, time,
+            energies, overheads, horizon, fail-safe flag).
+        fallback: ``True`` when the decision did not come from the
+            policy at all but from the runtime's fault degradation (the
+            policy raised and the fail-safe configuration was applied).
+    """
+
+    session_id: str
+    app_name: str
+    policy_name: str
+    record: "LaunchRecord"
+    fallback: bool = False
+
+    @property
+    def index(self) -> int:
+        """Launch index of the underlying record."""
+        return self.record.index
+
+
+def launch_events(app: "Application", session_id: str = "") -> Iterator[KernelLaunch]:
+    """The launch-event stream of one application invocation.
+
+    Args:
+        app: Application whose kernels are launched, in order.
+        session_id: Routing key stamped on every event.
+
+    Yields:
+        One :class:`KernelLaunch` per kernel, in execution order.
+    """
+    for index, spec in enumerate(app.kernels):
+        yield KernelLaunch(index=index, spec=spec, session_id=session_id)

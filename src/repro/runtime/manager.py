@@ -1,0 +1,188 @@
+"""The session manager: many concurrent sessions behind one event stream.
+
+The ROADMAP north star is a service consuming kernel-launch events from
+many concurrent applications.  :class:`SessionManager` is that hosting
+layer: it keys :class:`~repro.runtime.session.SessionRuntime` instances
+by session id, routes an interleaved :class:`KernelLaunch` stream to
+the right session, and aggregates per-session statistics.  Because each
+session's policy only ever sees its own launches, interleaving is
+transparent: a session's trace is identical whether it ran alone or
+multiplexed with others (asserted by the runtime test suite).
+
+With a :class:`~repro.engine.sessions.SessionStore` attached, sessions
+can be persisted into the experiment engine's content-addressed cache
+and resumed by a different worker (``persist`` / ``resume``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.hardware.apu import APUModel
+from repro.hardware.config import FAILSAFE_CONFIG, HardwareConfig
+from repro.runtime.events import KernelLaunch, LaunchOutcome
+from repro.runtime.session import SessionRuntime, SessionStats
+from repro.sim.policy import PowerPolicy
+from repro.sim.simulator import MANAGER_CONFIG, OverheadModel
+from repro.workloads.counters import CounterSynthesizer
+
+__all__ = ["SessionManager"]
+
+
+class SessionManager:
+    """Hosts concurrent policy sessions over one shared hardware model.
+
+    All sessions execute on the same APU/counter/overhead models (the
+    machine being managed); each session hosts its own policy and keeps
+    its own trace and statistics.
+
+    Args:
+        apu: Shared ground-truth hardware model.
+        counters: Shared counter synthesizer.
+        overhead: Shared decision-overhead model.
+        manager_config: Configuration the optimizer runs at.
+        cpu_phase_s: Per-launch CPU phase that hides optimizer time.
+        enforce_tdp: Throttle over-TDP configurations before executing.
+        isolate_faults: Fault-isolate hosted policies (the default for
+            long-lived streaming service use).
+        fail_safe: Fallback configuration for degraded decisions.
+        store: Optional :class:`~repro.engine.sessions.SessionStore`
+            for :meth:`persist` / :meth:`resume`.
+    """
+
+    def __init__(
+        self,
+        apu: Optional[APUModel] = None,
+        counters: Optional[CounterSynthesizer] = None,
+        overhead: Optional[OverheadModel] = None,
+        manager_config: HardwareConfig = MANAGER_CONFIG,
+        cpu_phase_s: float = 0.0,
+        enforce_tdp: bool = False,
+        isolate_faults: bool = True,
+        fail_safe: HardwareConfig = FAILSAFE_CONFIG,
+        store: Optional[Any] = None,
+    ) -> None:
+        self.apu = apu if apu is not None else APUModel()
+        self.counters = counters if counters is not None else CounterSynthesizer()
+        self.overhead = overhead if overhead is not None else OverheadModel()
+        self.manager_config = manager_config
+        self.cpu_phase_s = cpu_phase_s
+        self.enforce_tdp = enforce_tdp
+        self.isolate_faults = isolate_faults
+        self.fail_safe = fail_safe
+        self.store = store
+        self._sessions: Dict[str, SessionRuntime] = {}
+
+    # ----- session registry ------------------------------------------------------
+
+    def add_session(self, session_id: str, policy: PowerPolicy, *,
+                    app_name: str = "",
+                    charge_overhead: bool = True) -> SessionRuntime:
+        """Register a new session hosting ``policy``.
+
+        Raises:
+            ValueError: If the id is empty or already registered.
+        """
+        if not session_id:
+            raise ValueError("session_id must be non-empty")
+        if session_id in self._sessions:
+            raise ValueError(f"session {session_id!r} already registered")
+        session = SessionRuntime(
+            policy=policy,
+            apu=self.apu,
+            counters=self.counters,
+            overhead=self.overhead,
+            manager_config=self.manager_config,
+            cpu_phase_s=self.cpu_phase_s,
+            enforce_tdp=self.enforce_tdp,
+            isolate_faults=self.isolate_faults,
+            fail_safe=self.fail_safe,
+            session_id=session_id,
+            app_name=app_name,
+            charge_overhead=charge_overhead,
+        )
+        self._sessions[session_id] = session
+        return session
+
+    def session(self, session_id: str) -> SessionRuntime:
+        """The registered session, or a clear error naming known ids."""
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            known = ", ".join(sorted(self._sessions)) or "<none>"
+            raise KeyError(
+                f"unknown session {session_id!r}; registered: {known}"
+            ) from None
+
+    def remove_session(self, session_id: str) -> SessionRuntime:
+        """Deregister and return a session (its state stays usable)."""
+        session = self.session(session_id)
+        del self._sessions[session_id]
+        return session
+
+    def session_ids(self) -> List[str]:
+        """Registered session ids, sorted."""
+        return sorted(self._sessions)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    # ----- event routing ---------------------------------------------------------
+
+    def dispatch(self, event: KernelLaunch) -> LaunchOutcome:
+        """Route one event to its session and process it."""
+        return self.session(event.session_id).process(event)
+
+    def run_stream(self, events: Iterable[KernelLaunch]) -> Iterator[LaunchOutcome]:
+        """Consume an interleaved multi-session event stream."""
+        for event in events:
+            yield self.dispatch(event)
+
+    def stats(self) -> Dict[str, SessionStats]:
+        """Per-session statistics keyed by session id."""
+        return {sid: s.stats for sid, s in sorted(self._sessions.items())}
+
+    # ----- persistence -----------------------------------------------------------
+
+    def _require_store(self) -> Any:
+        if self.store is None:
+            raise RuntimeError("no SessionStore attached to this manager")
+        return self.store
+
+    def persist(self, session_id: str) -> str:
+        """Snapshot one session into the attached store.
+
+        Returns:
+            The store key the snapshot was written under.
+        """
+        return self._require_store().save(
+            session_id, self.session(session_id).snapshot()
+        )
+
+    def persist_all(self) -> Dict[str, str]:
+        """Snapshot every registered session; returns id -> store key."""
+        return {sid: self.persist(sid) for sid in self.session_ids()}
+
+    def resume(self, session_id: str, policy: PowerPolicy, *,
+               app_name: str = "") -> SessionRuntime:
+        """Rebuild a persisted session from the attached store.
+
+        ``policy`` must be constructed with the same arguments as the
+        persisted one; its mutable state is restored from the snapshot.
+
+        Raises:
+            KeyError: If the store has no snapshot for the id.
+        """
+        payload = self._require_store().load(session_id)
+        if payload is None:
+            raise KeyError(f"no persisted snapshot for session {session_id!r}")
+        session = self.add_session(session_id, policy, app_name=app_name)
+        try:
+            session.restore(payload)
+        except Exception:
+            del self._sessions[session_id]
+            raise
+        return session

@@ -1,0 +1,431 @@
+"""The session runtime: a fault-isolating host for one policy.
+
+:class:`SessionRuntime` owns the online control loop the paper's
+framework runs at every kernel-launch boundary — the sequence that used
+to be hard-wired inside ``Simulator.run``:
+
+1. **decide** — ask the policy for a configuration (fault-isolated:
+   a predictor/optimizer exception degrades to the fail-safe
+   configuration instead of killing the session),
+2. **throttle** — optionally clamp the choice into the TDP the way the
+   part's power controller would,
+3. **charge overhead** — convert the decision's model evaluations into
+   host-CPU time and energy,
+4. **execute + observe** — run the kernel on the ground-truth APU model
+   and feed the resulting telemetry back to the policy.
+
+The loop is driver-agnostic: :meth:`run` replays an application offline
+(what :class:`~repro.sim.simulator.Simulator` now delegates to),
+:meth:`run_stream` consumes a :class:`~repro.runtime.events.KernelLaunch`
+iterator, and :class:`~repro.runtime.manager.SessionManager` interleaves
+many sessions.  All three produce numerically identical traces.
+
+Sessions are migratable: :meth:`snapshot` captures the policy's mutable
+state (and the session's position) as a JSON-able dict, and
+:meth:`restore` rebuilds it on a freshly constructed session, so a
+session can move across engine workers or persist in the experiment
+engine's content-addressed cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.hardware.apu import APUModel
+from repro.hardware.config import (
+    FAILSAFE_CONFIG,
+    ConfigSpace,
+    HardwareConfig,
+    Knob,
+)
+from repro.hardware.dvfs import GPU_DPM_STATES
+from repro.runtime.events import KernelLaunch, LaunchOutcome, launch_events
+from repro.sim.policy import Decision, Observation, PowerPolicy
+from repro.sim.simulator import MANAGER_CONFIG, OverheadModel
+from repro.sim.trace import LaunchRecord, RunResult
+from repro.workloads.app import Application
+from repro.workloads.counters import CounterSynthesizer
+from repro.workloads.kernel import KernelSpec
+
+__all__ = [
+    "SESSION_SNAPSHOT_SCHEMA",
+    "SessionRuntime",
+    "SessionStats",
+    "invocation_pair",
+    "throttle_to_tdp",
+]
+
+#: Bump when the session snapshot layout changes.
+SESSION_SNAPSHOT_SCHEMA = 1
+
+#: The throttling hardware sees every DPM state, not just the
+#: software-searched subset.  Built once at module load instead of per
+#: launch (the seed rebuilt this ConfigSpace inside every throttle call).
+_THROTTLE_SPACE = ConfigSpace(gpu_states=tuple(GPU_DPM_STATES))
+
+
+def throttle_to_tdp(apu: APUModel, spec: KernelSpec,
+                    config: HardwareConfig) -> HardwareConfig:
+    """Clamp a configuration into the TDP the way the part would.
+
+    Mirrors Turbo Core's shedding order: CPU P-states first, then the
+    GPU DPM state.  Returns the first configuration along that path
+    whose chip power fits; if none fits, the lowest one.
+    """
+    current = config
+    while not apu.within_tdp(spec, current):
+        lowered = _THROTTLE_SPACE.step(current, Knob.CPU, -1)
+        if lowered is None:
+            lowered = _THROTTLE_SPACE.step(current, Knob.GPU, -1)
+        if lowered is None:
+            break
+        current = lowered
+    return current
+
+
+@dataclass
+class SessionStats:
+    """Structured per-session counters, updated on every launch.
+
+    Attributes:
+        runs: Application invocations started (``begin_run`` calls).
+        launches: Kernel launches processed across all runs.
+        model_evaluations: Predictor queries charged to the session.
+        fail_safe_decisions: Launches the *policy itself* sent to the
+            fail-safe configuration (no admissible configuration met
+            the target).
+        fail_safe_fallbacks: Launches where the policy *raised* and the
+            runtime degraded to the fail-safe configuration.
+        observe_failures: Telemetry deliveries the policy raised on
+            (swallowed; the launch record is unaffected).
+        kernel_time_s: Total kernel execution time.
+        overhead_time_s: Total optimizer overhead time charged.
+        energy_j: Total chip energy including overheads.
+        last_error: Formatted ``Type: message`` of the most recent
+            isolated policy fault, if any.
+    """
+
+    runs: int = 0
+    launches: int = 0
+    model_evaluations: int = 0
+    fail_safe_decisions: int = 0
+    fail_safe_fallbacks: int = 0
+    observe_failures: int = 0
+    kernel_time_s: float = 0.0
+    overhead_time_s: float = 0.0
+    energy_j: float = 0.0
+    last_error: Optional[str] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able form (used by session snapshots)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SessionStats":
+        """Rebuild from :meth:`as_dict` output."""
+        return cls(**payload)
+
+    def format(self) -> str:
+        """One-line summary for reports and the CLI's streaming mode."""
+        return (
+            f"{self.runs} run(s), {self.launches} launches, "
+            f"{self.model_evaluations} model evals; "
+            f"fail-safe {self.fail_safe_decisions} by policy / "
+            f"{self.fail_safe_fallbacks} by fault degradation, "
+            f"{self.observe_failures} observe faults; "
+            f"{self.kernel_time_s * 1e3:.1f} ms kernels + "
+            f"{self.overhead_time_s * 1e3:.2f} ms overhead, "
+            f"{self.energy_j:.2f} J"
+        )
+
+
+class SessionRuntime:
+    """Hosts one policy against a stream of kernel-launch events.
+
+    Args:
+        policy: The power-management policy to host.  Its state
+            persists across runs of the session, modelling repeated
+            application invocations under one resident framework.
+        apu: Ground-truth hardware model.
+        counters: Synthesizer producing each launch's Table-III
+            counters for the policy.
+        overhead: Model converting decisions into optimizer overhead.
+        manager_config: Hardware configuration the optimizer runs at.
+        cpu_phase_s: CPU-phase duration that can hide optimizer time
+            from the wall clock (Section VI-E); energy is still charged.
+        enforce_tdp: Throttle over-TDP configurations before executing.
+        isolate_faults: When set (the streaming default), a policy
+            exception inside ``decide`` degrades the launch to the
+            fail-safe configuration and increments
+            ``stats.fail_safe_fallbacks`` instead of propagating; an
+            exception inside ``observe`` is swallowed and counted.
+            ``Simulator`` hosts with this off to preserve the offline
+            harness's fail-fast semantics.
+        fail_safe: Configuration applied when a decision faults.
+        session_id: Routing key of this session in a manager.
+        app_name: Default application name for streamed runs (offline
+            replay takes it from the application itself).
+        charge_overhead: Default overhead charging for streamed runs.
+    """
+
+    def __init__(
+        self,
+        policy: PowerPolicy,
+        apu: Optional[APUModel] = None,
+        counters: Optional[CounterSynthesizer] = None,
+        overhead: Optional[OverheadModel] = None,
+        manager_config: HardwareConfig = MANAGER_CONFIG,
+        cpu_phase_s: float = 0.0,
+        enforce_tdp: bool = False,
+        isolate_faults: bool = True,
+        fail_safe: HardwareConfig = FAILSAFE_CONFIG,
+        session_id: str = "",
+        app_name: str = "",
+        charge_overhead: bool = True,
+    ) -> None:
+        if cpu_phase_s < 0:
+            raise ValueError("cpu_phase_s must be non-negative")
+        self.policy = policy
+        self.apu = apu if apu is not None else APUModel()
+        self.counters = counters if counters is not None else CounterSynthesizer()
+        self.overhead = overhead if overhead is not None else OverheadModel()
+        self.manager_config = manager_config
+        self.cpu_phase_s = cpu_phase_s
+        self.enforce_tdp = enforce_tdp
+        self.isolate_faults = isolate_faults
+        self.fail_safe = fail_safe
+        self.session_id = session_id
+        self.app_name = app_name
+        self.charge_overhead = charge_overhead
+        self.stats = SessionStats()
+        self._result: Optional[RunResult] = None
+
+    # ----- run lifecycle --------------------------------------------------------
+
+    @property
+    def result(self) -> Optional[RunResult]:
+        """Trace of the current (or just-finished) run, if any."""
+        return self._result
+
+    def begin_run(self, app_name: Optional[str] = None) -> None:
+        """Start a new application invocation.
+
+        Resets the policy's per-run cursors and opens a fresh trace;
+        knowledge the policy carries *across* runs (pattern store,
+        frozen profile) is preserved, exactly as under offline replay.
+        """
+        if app_name is not None:
+            self.app_name = app_name
+        self.policy.begin_run()
+        self.stats.runs += 1
+        self._result = RunResult(
+            app_name=self.app_name, policy_name=self.policy.name
+        )
+
+    def _next_index(self) -> Optional[int]:
+        if self._result is None:
+            return None
+        return self._result.base_index + len(self._result.launches)
+
+    # ----- the control loop ------------------------------------------------------
+
+    def process(self, event: KernelLaunch, *,
+                charge_overhead: Optional[bool] = None) -> LaunchOutcome:
+        """Execute one kernel-launch event end to end.
+
+        An ``index == 0`` event starts a new run automatically (after
+        at least one launch has been processed), so multi-invocation
+        streams need no explicit ``begin_run`` calls.  Out-of-order
+        events are rejected before the policy is consulted.
+
+        Returns:
+            The typed outcome; its record is also appended to
+            :attr:`result`.
+        """
+        expected = self._next_index()
+        if expected is None or (event.index == 0 and expected > 0):
+            self.begin_run()
+            expected = 0
+        if event.index != expected:
+            raise ValueError(
+                f"out-of-order launch event: got index {event.index}, "
+                f"expected {expected}"
+            )
+        charge = self.charge_overhead if charge_overhead is None else charge_overhead
+
+        # 1. decide (fault-isolated).
+        fallback = False
+        try:
+            decision = self.policy.decide(event.index)
+        except Exception as exc:
+            if not self.isolate_faults:
+                raise
+            self.stats.fail_safe_fallbacks += 1
+            self.stats.last_error = f"{type(exc).__name__}: {exc}"
+            decision = Decision(config=self.fail_safe, fail_safe=True)
+            fallback = True
+
+        # 2. throttle into the TDP, as the part's power controller would.
+        if self.enforce_tdp:
+            throttled = throttle_to_tdp(self.apu, event.spec, decision.config)
+            if throttled != decision.config:
+                decision = replace(decision, config=throttled)
+
+        # 3. charge the decision's optimizer overhead.
+        overhead_time = 0.0
+        overhead_gpu_j = 0.0
+        overhead_cpu_j = 0.0
+        if charge:
+            compute_time = self.overhead.decision_time_s(decision)
+            overhead_time = max(0.0, compute_time - self.cpu_phase_s)
+            if compute_time > 0.0:
+                # Energy is charged for the full optimizer runtime even
+                # when a CPU phase hides it from the wall clock.
+                manager = self.apu.manager_measurement(
+                    compute_time, self.manager_config
+                )
+                overhead_gpu_j = manager.gpu_energy_j
+                overhead_cpu_j = manager.cpu_energy_j
+
+        # 4. execute on the ground truth and feed telemetry back.
+        measurement = self.apu.execute(event.spec, decision.config)
+        counters = self.counters.observe(event.spec, sequence=event.index)
+        try:
+            self.policy.observe(
+                Observation(
+                    index=event.index,
+                    config=decision.config,
+                    counters=counters,
+                    measurement=measurement,
+                    instructions=event.spec.instructions,
+                )
+            )
+        except Exception as exc:
+            if not self.isolate_faults:
+                raise
+            self.stats.observe_failures += 1
+            self.stats.last_error = f"{type(exc).__name__}: {exc}"
+
+        record = LaunchRecord(
+            index=event.index,
+            kernel_key=event.spec.key,
+            config=decision.config,
+            time_s=measurement.time_s,
+            gpu_energy_j=measurement.gpu_energy_j,
+            cpu_energy_j=measurement.cpu_energy_j,
+            instructions=event.spec.instructions,
+            overhead_time_s=overhead_time,
+            overhead_gpu_energy_j=overhead_gpu_j,
+            overhead_cpu_energy_j=overhead_cpu_j,
+            horizon=decision.horizon,
+            fail_safe=decision.fail_safe,
+        )
+        assert self._result is not None
+        self._result.append(record)
+
+        self.stats.launches += 1
+        self.stats.model_evaluations += decision.model_evaluations
+        if decision.fail_safe and not fallback:
+            self.stats.fail_safe_decisions += 1
+        self.stats.kernel_time_s += record.time_s
+        self.stats.overhead_time_s += overhead_time
+        self.stats.energy_j += record.energy_j + record.overhead_energy_j
+
+        return LaunchOutcome(
+            session_id=self.session_id,
+            app_name=self._result.app_name,
+            policy_name=self._result.policy_name,
+            record=record,
+            fallback=fallback,
+        )
+
+    # ----- drivers ---------------------------------------------------------------
+
+    def run(self, app: Application, *,
+            charge_overhead: Optional[bool] = None) -> RunResult:
+        """Offline replay: one full invocation of ``app``."""
+        self.begin_run(app.name)
+        for event in launch_events(app, self.session_id):
+            self.process(event, charge_overhead=charge_overhead)
+        assert self._result is not None
+        return self._result
+
+    def run_stream(self, events: Iterable[KernelLaunch], *,
+                   charge_overhead: Optional[bool] = None) -> Iterator[LaunchOutcome]:
+        """Consume a launch-event stream, yielding outcomes as they happen."""
+        for event in events:
+            yield self.process(event, charge_overhead=charge_overhead)
+
+    # ----- migration -------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The session's migratable state as a JSON-able dict.
+
+        Captures the policy's mutable state (via
+        :meth:`~repro.sim.policy.PowerPolicy.snapshot`), the session
+        counters, and the position within the current run.  The trace
+        of an in-flight run is *not* captured: a resumed session's
+        :attr:`result` covers post-resume launches only (with their
+        original indices).
+        """
+        next_index = self._next_index()
+        return {
+            "schema": SESSION_SNAPSHOT_SCHEMA,
+            "session_id": self.session_id,
+            "app_name": self._result.app_name if self._result else self.app_name,
+            "charge_overhead": self.charge_overhead,
+            "policy": {
+                "name": self.policy.name,
+                "state": self.policy.snapshot(),
+            },
+            "stats": self.stats.as_dict(),
+            "next_index": next_index,
+        }
+
+    def restore(self, payload: Dict[str, Any]) -> None:
+        """Rebuild a snapshotted session on this freshly built host.
+
+        The hosted policy must have been constructed with the same
+        arguments as the snapshotted one; only mutable state migrates.
+        """
+        if payload.get("schema") != SESSION_SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"unsupported session snapshot schema: {payload.get('schema')!r}"
+            )
+        if payload["policy"]["name"] != self.policy.name:
+            raise ValueError(
+                f"snapshot is for policy {payload['policy']['name']!r}, "
+                f"host runs {self.policy.name!r}"
+            )
+        self.session_id = payload["session_id"]
+        self.app_name = payload["app_name"]
+        self.charge_overhead = payload["charge_overhead"]
+        self.policy.restore(payload["policy"]["state"])
+        self.stats = SessionStats.from_dict(payload["stats"])
+        next_index = payload["next_index"]
+        if next_index is None:
+            self._result = None
+        else:
+            # Resume mid-run: the trace continues at the snapshotted
+            # position; pre-snapshot records live with the old host.
+            self._result = RunResult(
+                app_name=self.app_name,
+                policy_name=self.policy.name,
+                base_index=next_index,
+            )
+
+
+def invocation_pair(session: SessionRuntime, app: Application, *,
+                    charge_overhead: Optional[bool] = None) -> Tuple[RunResult, RunResult]:
+    """Profiling invocation followed by the steady-state invocation.
+
+    The canonical two-run MPC protocol (profile, then optimize) used by
+    the CLI and the experiment variants.
+
+    Returns:
+        ``(first, steady)`` run traces.
+    """
+    first = session.run(app, charge_overhead=charge_overhead)
+    steady = session.run(app, charge_overhead=charge_overhead)
+    return first, steady

@@ -16,7 +16,8 @@ own hardware configuration).
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Any, Dict
 
 from repro.hardware.apu import Measurement
 from repro.hardware.config import HardwareConfig
@@ -92,3 +93,27 @@ class PowerPolicy(abc.ABC):
         paper's framework keeps its pattern store between invocations);
         this hook only resets per-run cursors.
         """
+
+    # ----- migration (the runtime's session snapshot protocol) -------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The policy's mutable state as a JSON-able dict.
+
+        Everything a :class:`~repro.runtime.session.SessionRuntime`
+        needs to reproduce this policy's future decisions on another
+        host, given a policy constructed with the same arguments.
+        Stateful policies override this together with :meth:`restore`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support session snapshots"
+        )
+
+    def restore(self, payload: Dict[str, Any]) -> None:
+        """Rebuild mutable state from a :meth:`snapshot` payload.
+
+        Must be called on a policy constructed with the same arguments
+        as the snapshotted one.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support session snapshots"
+        )

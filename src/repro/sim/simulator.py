@@ -12,19 +12,30 @@ arrive back-to-back, so optimizer time is never hidden by CPU phases.
 The optimizer runs on the host CPU at the framework's configuration
 ([P5, NB0, DPM0, 2 CUs] in the paper) while the GPU idles and leaks;
 both costs are charged to the run.
+
+Since the streaming-runtime refactor the simulator is a thin *offline
+driver* over :class:`~repro.runtime.session.SessionRuntime`: each
+``run`` hosts the policy in a fresh session built from this simulator's
+hardware components and replays the application's launch-event stream
+through it.  The decide / throttle / charge-overhead / observe sequence
+lives in the runtime layer, so offline replay, streaming, and
+multi-session hosting are numerically identical by construction.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.hardware.apu import APUModel
 from repro.hardware.config import HardwareConfig
-from repro.sim.policy import Decision, Observation, PowerPolicy
-from repro.sim.trace import LaunchRecord, RunResult
+from repro.sim.policy import Decision, PowerPolicy
+from repro.sim.trace import RunResult
 from repro.workloads.app import Application
 from repro.workloads.counters import CounterSynthesizer
+
+if TYPE_CHECKING:
+    from repro.runtime.session import SessionRuntime
 
 __all__ = ["OverheadModel", "Simulator"]
 
@@ -99,6 +110,37 @@ class Simulator:
         self.cpu_phase_s = cpu_phase_s
         self.enforce_tdp = enforce_tdp
 
+    def session(self, policy: PowerPolicy, *,
+                isolate_faults: bool = False,
+                session_id: str = "",
+                app_name: str = "",
+                charge_overhead: bool = True) -> "SessionRuntime":
+        """A session runtime hosting ``policy`` on this simulator's models.
+
+        Fault isolation is *off* by default so the offline harness
+        keeps its fail-fast semantics (a buggy policy raises instead of
+        silently degrading to fail-safe); streaming drivers pass
+        ``isolate_faults=True``.
+        """
+        # Imported lazily: the runtime layer is built on this module's
+        # primitives (OverheadModel, the policy/trace protocol), so a
+        # module-level import here would be circular.
+        from repro.runtime.session import SessionRuntime
+
+        return SessionRuntime(
+            policy=policy,
+            apu=self.apu,
+            counters=self.counters,
+            overhead=self.overhead,
+            manager_config=self.manager_config,
+            cpu_phase_s=self.cpu_phase_s,
+            enforce_tdp=self.enforce_tdp,
+            isolate_faults=isolate_faults,
+            session_id=session_id,
+            app_name=app_name,
+            charge_overhead=charge_overhead,
+        )
+
     def run(self, app: Application, policy: PowerPolicy, *,
             charge_overhead: bool = True) -> RunResult:
         """Run one invocation of ``app`` under ``policy``.
@@ -115,91 +157,18 @@ class Simulator:
         Returns:
             The per-launch trace and aggregates for this invocation.
         """
-        policy.begin_run()
-        result = RunResult(app_name=app.name, policy_name=policy.name)
-
-        for index, spec in enumerate(app.kernels):
-            decision = policy.decide(index)
-            if self.enforce_tdp:
-                throttled = self._throttle_to_tdp(spec, decision.config)
-                if throttled != decision.config:
-                    decision = Decision(
-                        config=throttled,
-                        model_evaluations=decision.model_evaluations,
-                        horizon=decision.horizon,
-                        fail_safe=decision.fail_safe,
-                    )
-
-            overhead_time = 0.0
-            overhead_gpu_j = 0.0
-            overhead_cpu_j = 0.0
-            if charge_overhead:
-                compute_time = self.overhead.decision_time_s(decision)
-                overhead_time = max(0.0, compute_time - self.cpu_phase_s)
-                if compute_time > 0.0:
-                    # Energy is charged for the full optimizer runtime
-                    # even when a CPU phase hides it from the wall
-                    # clock.
-                    manager = self.apu.manager_measurement(
-                        compute_time, self.manager_config
-                    )
-                    overhead_gpu_j = manager.gpu_energy_j
-                    overhead_cpu_j = manager.cpu_energy_j
-
-            measurement = self.apu.execute(spec, decision.config)
-            counters = self.counters.observe(spec, sequence=index)
-
-            policy.observe(
-                Observation(
-                    index=index,
-                    config=decision.config,
-                    counters=counters,
-                    measurement=measurement,
-                    instructions=spec.instructions,
-                )
-            )
-
-            result.append(
-                LaunchRecord(
-                    index=index,
-                    kernel_key=spec.key,
-                    config=decision.config,
-                    time_s=measurement.time_s,
-                    gpu_energy_j=measurement.gpu_energy_j,
-                    cpu_energy_j=measurement.cpu_energy_j,
-                    instructions=spec.instructions,
-                    overhead_time_s=overhead_time,
-                    overhead_gpu_energy_j=overhead_gpu_j,
-                    overhead_cpu_energy_j=overhead_cpu_j,
-                    horizon=decision.horizon,
-                    fail_safe=decision.fail_safe,
-                )
-            )
-
-        return result
+        return self.session(policy).run(app, charge_overhead=charge_overhead)
 
     def _throttle_to_tdp(self, spec, config: HardwareConfig) -> HardwareConfig:
         """Clamp a configuration into the TDP the way the part would.
 
-        Mirrors Turbo Core's shedding order: CPU P-states first, then
-        the GPU DPM state.  Returns the first configuration along that
-        path whose chip power fits; if none fits, the lowest one.
+        Delegates to :func:`repro.runtime.session.throttle_to_tdp`,
+        which owns the shedding-order logic (and caches the full-DPM
+        throttling space instead of rebuilding it per launch).
         """
-        from repro.hardware.config import ConfigSpace, Knob
-        from repro.hardware.dvfs import GPU_DPM_STATES
+        from repro.runtime.session import throttle_to_tdp
 
-        # Throttling hardware sees every DPM state, not just the
-        # software-searched subset.
-        space = ConfigSpace(gpu_states=tuple(GPU_DPM_STATES))
-        current = config
-        while not self.apu.within_tdp(spec, current):
-            lowered = space.step(current, Knob.CPU, -1)
-            if lowered is None:
-                lowered = space.step(current, Knob.GPU, -1)
-            if lowered is None:
-                break
-            current = lowered
-        return current
+        return throttle_to_tdp(self.apu, spec, config)
 
     def run_many(self, app: Application, policy: PowerPolicy, runs: int, *,
                  charge_overhead: bool = True) -> list:

@@ -74,18 +74,24 @@ class RunResult:
         app_name: Application that was run.
         policy_name: Policy that managed it.
         launches: Per-launch records, in execution order.
+        base_index: Launch index of the first record this trace covers.
+            ``0`` for a complete run; a session resumed mid-run from a
+            snapshot traces only its post-resume launches, keeping
+            their original indices.
     """
 
     app_name: str
     policy_name: str
     launches: List[LaunchRecord] = field(default_factory=list)
+    base_index: int = 0
 
     def append(self, record: LaunchRecord) -> None:
         """Add the next launch record."""
-        if record.index != len(self.launches):
+        expected = self.base_index + len(self.launches)
+        if record.index != expected:
             raise ValueError(
                 f"out-of-order record: got index {record.index}, "
-                f"expected {len(self.launches)}"
+                f"expected {expected}"
             )
         self.launches.append(record)
 

@@ -16,7 +16,7 @@ no software optimization overhead.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.hardware.config import ConfigSpace, HardwareConfig, Knob
 from repro.sim.policy import Decision, Observation, PowerPolicy
@@ -79,3 +79,16 @@ class TurboCorePolicy(PowerPolicy):
             raised = self.space.step(self._config, Knob.CPU, +1)
         if raised is not None:
             self._config = raised
+
+    # ----- migration -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "config": self._config.as_dict(),
+            "last_power_w": self._last_power_w,
+        }
+
+    def restore(self, payload: Dict[str, Any]) -> None:
+        self._config = HardwareConfig.from_dict(payload["config"])
+        last = payload["last_power_w"]
+        self._last_power_w = None if last is None else float(last)

@@ -69,7 +69,9 @@ def test_signature_stable_under_small_perturbation_mostly(spec, factor):
     matches = sum(
         1 for a, b in zip(base.signature(), perturbed.signature()) if a == b
     )
-    assert matches >= 6  # at most a couple of bins may flip
+    # At most a few bins may flip: counters sitting just below a bin
+    # boundary can all be pushed over by the same multiplicative drift.
+    assert matches >= 5
 
 
 @settings(max_examples=40)

@@ -1,0 +1,51 @@
+"""Shared fixtures for the streaming-runtime test suite.
+
+Everything runs on a tiny two-kernel alternating application with an
+oracle predictor, mirroring the unit-test setup, so the suite stays in
+tier-1 time budgets.
+"""
+
+import pytest
+
+from repro.core.manager import MPCPowerManager
+from repro.ml.predictors import OraclePredictor
+from repro.sim.simulator import Simulator
+from repro.sim.turbocore import TurboCorePolicy
+from repro.workloads.app import Application, Category
+from repro.workloads.kernel import KernelSpec, ScalingClass
+
+COMPUTE = KernelSpec("c", ScalingClass.COMPUTE, 4.0, 0.1, parallel_fraction=0.99)
+MEMORY = KernelSpec("m", ScalingClass.MEMORY, 0.5, 0.9, parallel_fraction=0.9)
+
+#: Alternating compute/memory app used across the runtime tests.
+APP = Application(
+    "alt", "runtime", Category.IRREGULAR_REPEATING,
+    kernels=(COMPUTE, MEMORY) * 4, pattern="(AB)4",
+)
+
+#: Single-kernel app (every launch has the same signature).
+UNIFORM = Application(
+    "uni", "runtime", Category.REGULAR,
+    kernels=(COMPUTE,) * 8, pattern="A8",
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+def turbo_target(sim, app=APP):
+    """The Turbo Core kernel throughput of ``app`` on ``sim``."""
+    turbo = sim.run(app, TurboCorePolicy())
+    return turbo.instructions / turbo.kernel_time_s
+
+
+def make_manager(sim, app=APP, target=None, **kw):
+    """An oracle-backed MPC manager targeting Turbo Core throughput."""
+    if target is None:
+        target = turbo_target(sim, app)
+    return MPCPowerManager(
+        target, OraclePredictor(sim.apu, app.unique_kernels),
+        overhead_model=sim.overhead, **kw,
+    )

@@ -1,0 +1,48 @@
+"""Tests for the typed kernel-launch event protocol."""
+
+import pytest
+
+from repro.hardware.config import FAILSAFE_CONFIG
+from repro.core.policies import FixedConfigPolicy
+from repro.runtime.events import KernelLaunch, launch_events
+from repro.sim.simulator import Simulator
+
+from .conftest import APP
+
+pytestmark = pytest.mark.runtime
+
+
+def test_launch_events_enumerate_the_app():
+    events = list(launch_events(APP, "s1"))
+    assert [e.index for e in events] == list(range(len(APP)))
+    assert [e.spec for e in events] == list(APP.kernels)
+    assert all(e.session_id == "s1" for e in events)
+
+
+def test_default_session_id_is_empty():
+    first = next(launch_events(APP))
+    assert first.session_id == ""
+
+
+def test_negative_index_rejected():
+    with pytest.raises(ValueError, match="non-negative"):
+        KernelLaunch(index=-1, spec=APP.kernels[0])
+
+
+def test_events_are_immutable():
+    event = next(launch_events(APP))
+    with pytest.raises(Exception):
+        event.index = 3
+
+
+def test_outcome_carries_record_and_identity():
+    session = Simulator().session(
+        FixedConfigPolicy(FAILSAFE_CONFIG), session_id="s7", app_name="alt"
+    )
+    outcome = session.process(next(launch_events(APP, "s7")))
+    assert outcome.session_id == "s7"
+    assert outcome.app_name == "alt"
+    assert outcome.policy_name == "Fixed"
+    assert outcome.index == 0
+    assert outcome.record.config == FAILSAFE_CONFIG
+    assert not outcome.fallback
