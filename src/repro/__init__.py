@@ -30,6 +30,8 @@ Quickstart::
     result = sim.run(app, mpc)     # true MPC
 """
 
+import logging as _logging
+
 from repro.core import (
     AdaptiveHorizonGenerator,
     GreedyHillClimbOptimizer,
@@ -88,6 +90,10 @@ from repro.workloads import (
 )
 
 __version__ = "1.0.0"
+
+# Library convention: never configure logging for the application, but
+# make sure "no handler" warnings can't fire for the repro.* hierarchy.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 __all__ = [
     "__version__",

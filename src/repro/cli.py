@@ -9,11 +9,14 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli experiments fig8 fig9        # regenerate figures
     python -m repro.cli experiments --jobs 4         # parallel + cached
     python -m repro.cli report -o EXPERIMENTS.md     # full markdown report
+    python -m repro.cli run kmeans --trace-out t.jsonl --metrics-out m.prom
+    python -m repro.cli obs summarize t.jsonl        # per-run decision summary
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -38,6 +41,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'Dynamic GPGPU Power Management "
         "Using Adaptive Model Predictive Control' (HPCA 2017).",
     )
+    parser.add_argument(
+        "--log-level", default="warning",
+        choices=("debug", "info", "warning", "error"),
+        help="threshold for the repro.* logging hierarchy (default: warning)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the Table-IV benchmarks")
@@ -54,6 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
                      "session and report per-session statistics")
     run.add_argument("--cache-dir", default=".cache",
                      help="Random Forest cache directory")
+    _add_obs_flags(run)
 
     train = sub.add_parser("train", help="train/evaluate the Random Forest")
     train.add_argument("--cache-dir", default=".cache")
@@ -77,6 +86,24 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("-o", "--output", default="EXPERIMENTS.md")
     _add_engine_flags(report)
 
+    obs = sub.add_parser(
+        "obs", help="inspect traces/metrics written by --trace-out"
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize",
+        help="per-(session, app, policy) decision summary of a JSONL trace",
+    )
+    summarize.add_argument("trace", help="JSONL trace file")
+    validate = obs_sub.add_parser(
+        "validate", help="check every span of a JSONL trace against a schema"
+    )
+    validate.add_argument("trace", help="JSONL trace file")
+    validate.add_argument(
+        "--schema", default="docs/trace.schema.json",
+        help="span schema (default: docs/trace.schema.json)",
+    )
+
     return parser
 
 
@@ -94,6 +121,42 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="neither read nor write the on-disk result cache",
     )
+    _add_obs_flags(parser)
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by the simulation subcommands."""
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write one JSONL decision span per kernel launch to FILE",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the metrics registry in Prometheus text format to FILE",
+    )
+
+
+def _obs_from_args(args: argparse.Namespace):
+    """A live Instrumentation when any obs output was requested."""
+    from repro.obs import NOOP, make_instrumentation
+
+    if getattr(args, "trace_out", None) or getattr(args, "metrics_out", None):
+        return make_instrumentation()
+    return NOOP
+
+
+def _export_obs(obs, args: argparse.Namespace) -> None:
+    """Write the requested trace/metrics artifacts of a finished command."""
+    if not obs.enabled:
+        return
+    from repro.obs.exporters import write_jsonl, write_prometheus
+
+    if args.trace_out:
+        count = write_jsonl(obs.tracer.drain(), args.trace_out)
+        print(f"wrote {count} spans to {args.trace_out}")
+    if args.metrics_out:
+        write_prometheus(obs.registry, args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}")
 
 
 def _engine_context(args: argparse.Namespace):
@@ -101,10 +164,12 @@ def _engine_context(args: argparse.Namespace):
     from repro.engine import ExperimentEngine
     from repro.experiments.common import ExperimentContext
 
+    obs = _obs_from_args(args)
     engine = ExperimentEngine(
-        jobs=args.jobs, cache_dir=args.cache_dir, use_cache=not args.no_cache
+        jobs=args.jobs, cache_dir=args.cache_dir,
+        use_cache=not args.no_cache, obs=obs,
     )
-    return ExperimentContext(cache_dir=args.cache_dir, engine=engine)
+    return ExperimentContext(cache_dir=args.cache_dir, engine=engine, obs=obs)
 
 
 def _cmd_list() -> int:
@@ -115,7 +180,7 @@ def _cmd_list() -> int:
 
 
 def _stream_run(sim: Simulator, app, policy, *, invocations: int = 1,
-                charge_overhead: bool = True):
+                charge_overhead: bool = True, obs=None):
     """Host a policy in a fault-isolated streaming session.
 
     Replays ``invocations`` back-to-back event streams of ``app``
@@ -126,7 +191,7 @@ def _stream_run(sim: Simulator, app, policy, *, invocations: int = 1,
 
     session = sim.session(
         policy, isolate_faults=True, session_id=app.name,
-        app_name=app.name, charge_overhead=charge_overhead,
+        app_name=app.name, charge_overhead=charge_overhead, obs=obs,
     )
     for _ in range(invocations):
         for _outcome in session.run_stream(launch_events(app, app.name)):
@@ -135,9 +200,10 @@ def _stream_run(sim: Simulator, app, policy, *, invocations: int = 1,
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    obs = _obs_from_args(args)
     sim = Simulator()
     app = benchmark(args.benchmark)
-    turbo = sim.run(app, TurboCorePolicy(tdp_w=sim.apu.tdp_w))
+    turbo = sim.run(app, TurboCorePolicy(tdp_w=sim.apu.tdp_w), obs=obs)
     target = turbo.instructions / turbo.kernel_time_s
     print(
         f"{app.name}: N={len(app)}, Turbo Core {turbo.kernel_time_s * 1e3:.1f} ms / "
@@ -157,32 +223,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
         elif kind == "ppk":
             policy = PPKPolicy(target, predictor)
             if args.stream:
-                run, sessions[kind] = _stream_run(sim, app, policy)
+                run, sessions[kind] = _stream_run(sim, app, policy, obs=obs)
             else:
-                run = sim.run(app, policy)
+                run = sim.run(app, policy, obs=obs)
         elif kind == "mpc":
             manager = MPCPowerManager(
                 target, predictor, alpha=args.alpha,
                 adaptive_horizon=not args.full_horizon,
-                overhead_model=sim.overhead,
+                overhead_model=sim.overhead, obs=obs,
             )
             if args.stream:
                 run, sessions[kind] = _stream_run(
-                    sim, app, manager, invocations=2
+                    sim, app, manager, invocations=2, obs=obs
                 )
             else:
                 from repro.runtime.session import invocation_pair
 
-                _, run = invocation_pair(sim.session(manager), app)
+                _, run = invocation_pair(sim.session(manager, obs=obs), app)
         elif kind == "to":
             plan = solve_theoretically_optimal(app, sim.apu, target)
             policy = PlannedPolicy(plan.configs, name="TO")
             if args.stream:
                 run, sessions[kind] = _stream_run(
-                    sim, app, policy, charge_overhead=False
+                    sim, app, policy, charge_overhead=False, obs=obs
                 )
             else:
-                run = sim.run(app, policy, charge_overhead=False)
+                run = sim.run(app, policy, charge_overhead=False, obs=obs)
         else:  # pragma: no cover - argparse restricts choices
             raise ValueError(kind)
         print(
@@ -193,6 +259,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("\nsession stats:")
         for kind, session in sessions.items():
             print(f"  {kind:8s} {session.stats.format()}")
+    if obs.enabled:
+        from repro.obs import publish_session_stats
+
+        for kind, session in sessions.items():
+            publish_session_stats(obs.registry, session.stats, session=kind)
+        _export_obs(obs, args)
     return 0
 
 
@@ -259,20 +331,55 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_all
 
-    run_all(_engine_context(args), only=args.keys or None)
+    ctx = _engine_context(args)
+    run_all(ctx, only=args.keys or None)
+    _export_obs(ctx.obs, args)
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.experiments.report import write_report
 
-    print(f"writing {write_report(args.output, _engine_context(args))}")
+    ctx = _engine_context(args)
+    print(f"writing {write_report(args.output, ctx)}")
+    _export_obs(ctx.obs, args)
     return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.exporters import (
+        format_summary,
+        read_jsonl,
+        summarize_spans,
+        validate_trace_file,
+    )
+
+    if args.obs_command == "summarize":
+        print(format_summary(summarize_spans(read_jsonl(args.trace))))
+        return 0
+    if args.obs_command == "validate":
+        import json
+
+        with open(args.schema, "r", encoding="utf-8") as handle:
+            schema = json.load(handle)
+        errors = validate_trace_file(args.trace, schema)
+        for error in errors:
+            print(error)
+        if errors:
+            print(f"{args.trace}: {len(errors)} invalid spans")
+            return 1
+        print(f"{args.trace}: all spans valid")
+        return 0
+    raise ValueError(f"unknown obs command {args.obs_command!r}")  # pragma: no cover
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(levelname)s %(name)s: %(message)s",
+    )
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
@@ -285,6 +392,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiments(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     raise ValueError(f"unknown command {args.command!r}")  # pragma: no cover
 
 

@@ -36,6 +36,8 @@ from __future__ import annotations
 import math
 from typing import Optional, Sequence
 
+from repro.obs import Instrumentation, or_noop
+
 __all__ = ["AdaptiveHorizonGenerator"]
 
 
@@ -58,6 +60,9 @@ class AdaptiveHorizonGenerator:
             when given together with ``time_profile``, each launch is
             credited the larger of its time share and its
             throughput-tracker allowance.
+        obs: Optional instrumentation; horizon requests annotate the
+            current trace span with the remaining overhead budget and
+            emit request/zero-horizon counters.
     """
 
     def __init__(
@@ -69,6 +74,7 @@ class AdaptiveHorizonGenerator:
         alpha: float = 0.05,
         time_profile: Optional[Sequence[float]] = None,
         instruction_profile: Optional[Sequence[float]] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         if num_kernels < 1:
             raise ValueError("need at least one kernel")
@@ -117,6 +123,7 @@ class AdaptiveHorizonGenerator:
                 acc += share
                 cumulative.append(acc)
             self._baseline_cumulative = cumulative
+        self.obs = or_noop(obs)
         self._elapsed_s = 0.0  # Σ (T_j + T_MPC,j) over completed kernels
 
     @property
@@ -179,4 +186,21 @@ class AdaptiveHorizonGenerator:
         h = (n / self.mean_prefix_length) * budget / self.ppk_overhead_s
         if not math.isfinite(h):
             return n
-        return int(min(n, max(0.0, math.floor(h))))
+        horizon = int(min(n, max(0.0, math.floor(h))))
+        if self.obs.enabled:
+            self.obs.tracer.annotate("horizon_budget_s", budget)
+            registry = self.obs.registry
+            registry.counter(
+                "repro_horizon_requests_total", "Adaptive horizon computations"
+            ).inc()
+            if horizon <= 0:
+                registry.counter(
+                    "repro_horizon_zero_total",
+                    "Horizon requests resolved to zero (no overhead budget)",
+                ).inc()
+            registry.histogram(
+                "repro_horizon_length",
+                "Chosen horizon lengths",
+                buckets=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+            ).observe(horizon)
+        return horizon

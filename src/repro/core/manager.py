@@ -36,6 +36,7 @@ from repro.core.search_order import SearchOrder, build_search_order
 from repro.core.tracker import PerformanceTracker
 from repro.hardware.config import FAILSAFE_CONFIG, ConfigSpace, HardwareConfig
 from repro.ml.predictors import PerfPowerPredictor
+from repro.obs import Instrumentation, or_noop
 from repro.runtime.lifecycle import PolicyLifecycle, PolicyState
 from repro.sim.policy import Decision, Observation, PowerPolicy
 from repro.sim.simulator import OverheadModel
@@ -83,6 +84,9 @@ class MPCPowerManager(PowerPolicy):
             window members are not reserved at fail-safe, reverting to
             per-kernel constraint checking (the window's future can no
             longer repay or restrict the current kernel's slack).
+        obs: Optional instrumentation; decisions annotate the current
+            trace span (mode, horizon, predictions) and emit registry
+            metrics.  Defaults to the shared no-op.
 
     Raises:
         ValueError: If ``target_throughput`` is not a positive finite
@@ -102,6 +106,7 @@ class MPCPowerManager(PowerPolicy):
         fail_safe: HardwareConfig = FAILSAFE_CONFIG,
         use_search_order: bool = True,
         window_reserve: bool = True,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         if not math.isfinite(target_throughput) or target_throughput <= 0:
             raise ValueError(
@@ -113,8 +118,11 @@ class MPCPowerManager(PowerPolicy):
                 "alpha must be a non-negative, finite performance-penalty "
                 f"bound; got {alpha!r}"
             )
+        self.obs = or_noop(obs)
         self.space = space if space is not None else ConfigSpace()
-        self.optimizer = GreedyHillClimbOptimizer(self.space, predictor, fail_safe)
+        self.optimizer = GreedyHillClimbOptimizer(
+            self.space, predictor, fail_safe, obs=self.obs
+        )
         self.tracker = PerformanceTracker(target_throughput)
         self.extractor = KernelPatternExtractor()
         self.alpha = alpha
@@ -162,7 +170,7 @@ class MPCPowerManager(PowerPolicy):
             # The profiling invocation just ended: freeze its profile
             # into the search order and horizon statistics.
             self._freeze_profile()
-            self._lifecycle.transition(PolicyState.FROZEN)
+            self._transition(PolicyState.FROZEN)
         self.extractor.end_run()
         self.tracker.reset()
         if self._horizon_gen is not None:
@@ -206,7 +214,15 @@ class MPCPowerManager(PowerPolicy):
             alpha=self.alpha,
             time_profile=list(times),
             instruction_profile=list(insts),
+            obs=self.obs,
         )
+
+    def _transition(self, state: PolicyState) -> None:
+        self._lifecycle.transition(state)
+        self.obs.registry.counter(
+            "repro_mpc_lifecycle_transitions_total",
+            "Manager lifecycle transitions by destination state",
+        ).inc(to=state.value)
 
     # ----- decisions ---------------------------------------------------------------
 
@@ -216,18 +232,41 @@ class MPCPowerManager(PowerPolicy):
         else:
             if self._lifecycle.state is PolicyState.FROZEN:
                 # First decision against the frozen profile: steady state.
-                self._lifecycle.transition(PolicyState.MPC)
+                self._transition(PolicyState.MPC)
             decision = self._decide_mpc(index)
         self._last_config = decision.config
         self._last_decision_overhead_s = self.overhead_model.decision_time_s(decision)
+        if self.obs.enabled:
+            self.obs.registry.counter(
+                "repro_mpc_model_evaluations_total",
+                "Predictor queries spent across all decisions",
+            ).inc(decision.model_evaluations)
         return decision
+
+    def _count_decision(self, mode: str) -> None:
+        self.obs.tracer.annotate("mode", mode)
+        self.obs.registry.counter(
+            "repro_mpc_decisions_total", "Decisions by optimization mode"
+        ).inc(mode=mode)
+
+    def _annotate_prediction(self, record: KernelRecord, result: Any) -> None:
+        """Stamp predicted IPS / power for the kernel about to launch."""
+        estimate = result.estimate
+        if estimate.time_s > 0:
+            tracer = self.obs.tracer
+            tracer.annotate("predicted_ips", record.instructions / estimate.time_s)
+            tracer.annotate("predicted_power_w", estimate.energy_j / estimate.time_s)
 
     def _decide_ppk(self) -> Decision:
         """Profiling mode: run PPK while the pattern is being extracted."""
+        if self.obs.enabled:
+            self._count_decision("ppk")
         record = self.extractor.last_record()
         if record is None:
             return Decision(config=self._fail_safe, fail_safe=True, horizon=0)
         result = self.optimizer.optimize_kernel(record, self.tracker)
+        if self.obs.enabled:
+            self._annotate_prediction(record, result)
         return Decision(
             config=result.config,
             model_evaluations=result.evaluations,
@@ -241,11 +280,22 @@ class MPCPowerManager(PowerPolicy):
         if index >= n:
             # The application launched more kernels than the profile
             # recorded; degrade gracefully to PPK behaviour.
+            self.obs.tracer.annotate("pattern_hit", False)
             return self._decide_ppk()
 
         horizon = (
             self._horizon_gen.horizon(index) if self.adaptive_horizon else n
         )
+        if self.obs.enabled:
+            tracer = self.obs.tracer
+            tracer.annotate("horizon_cap", n)
+            hit = self.extractor.expected_record(index) is not None
+            tracer.annotate("pattern_hit", hit)
+            if not hit:
+                self.obs.registry.counter(
+                    "repro_mpc_pattern_misses_total",
+                    "Decisions where the extractor had no expected record",
+                ).inc()
         if horizon <= 0:
             # No overhead budget: skip optimization (no model calls).
             # The previous configuration is only safe to reuse when the
@@ -260,10 +310,14 @@ class MPCPowerManager(PowerPolicy):
                 and last is not None
                 and expected.signature == last.signature
             )
+            if self.obs.enabled:
+                self._count_decision("skip")
             if same_kernel and self.tracker.above_target():
                 return Decision(config=self._last_config, horizon=0)
             return Decision(config=self._fail_safe, horizon=0, fail_safe=True)
 
+        if self.obs.enabled:
+            self._count_decision("mpc")
         positions = self._stats.search_order.window(index, horizon)
         window: List[KernelRecord] = []
         for position in positions:
@@ -291,6 +345,8 @@ class MPCPowerManager(PowerPolicy):
             window, self.tracker, reserved=reserved,
             reserve_window=self.window_reserve,
         )
+        if self.obs.enabled:
+            self._annotate_prediction(window[-1], result)
         return Decision(
             config=result.config,
             model_evaluations=result.evaluations,

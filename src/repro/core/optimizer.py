@@ -24,12 +24,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.pattern import KernelRecord
 from repro.core.tracker import PerformanceTracker
 from repro.hardware.config import FAILSAFE_CONFIG, ConfigSpace, HardwareConfig, Knob
 from repro.ml.predictors import KernelEstimate, PerfPowerPredictor
+from repro.obs import Instrumentation, or_noop
 
 __all__ = ["OptimizationResult", "GreedyHillClimbOptimizer"]
 
@@ -59,17 +60,22 @@ class GreedyHillClimbOptimizer:
         predictor: Performance/power model used for all estimates.
         fail_safe: Configuration applied when the performance target
             cannot be met (clamped onto ``space``).
+        obs: Optional instrumentation; searches accumulate hill-climb
+            step counts onto the current trace span and emit registry
+            counters.  Defaults to the shared no-op.
     """
 
     def __init__(self, space: ConfigSpace, predictor: PerfPowerPredictor,
                  fail_safe: HardwareConfig = FAILSAFE_CONFIG,
-                 max_passes: int = 3) -> None:
+                 max_passes: int = 3,
+                 obs: Optional[Instrumentation] = None) -> None:
         if max_passes < 1:
             raise ValueError("max_passes must be at least 1")
         self.space = space
         self.predictor = predictor
         self.fail_safe = space.clamp(fail_safe)
         self.max_passes = max_passes
+        self.obs = or_noop(obs)
 
     # ----- single kernel -------------------------------------------------------
 
@@ -88,6 +94,7 @@ class GreedyHillClimbOptimizer:
             that the simulator converts into overhead.
         """
         evals = 0
+        climb_steps: Dict[str, int] = {}
 
         def estimate(config: HardwareConfig) -> KernelEstimate:
             nonlocal evals
@@ -164,12 +171,14 @@ class GreedyHillClimbOptimizer:
                             if feasible(est):
                                 current, current_est = nxt, est
                                 best_feasible = (current, current_est)
+                                climb_steps[knob] = climb_steps.get(knob, 0) + 1
                                 moved = True
                                 break
                     continue
 
                 current, current_est = neighbour_est[direction]
                 best_feasible = (current, current_est)
+                climb_steps[knob] = climb_steps.get(knob, 0) + 1
                 moved = True
                 # Keep climbing until the energy increases (paper: "the
                 # search stops once the energy increases") or we fall
@@ -183,21 +192,47 @@ class GreedyHillClimbOptimizer:
                         break
                     current, current_est = nxt, est
                     best_feasible = (current, current_est)
+                    climb_steps[knob] = climb_steps.get(knob, 0) + 1
             if not moved:
                 break
 
         if best_feasible is None:
             fail_est = self.predictor.estimate(record.counters, self.fail_safe)
             evals += 1
+            if self.obs.enabled:
+                self._record_search(evals, climb_steps)
             return OptimizationResult(
                 config=self.fail_safe, estimate=fail_est,
                 evaluations=evals, fail_safe=True,
             )
 
+        if self.obs.enabled:
+            self._record_search(evals, climb_steps)
         config, est = best_feasible
         return OptimizationResult(
             config=config, estimate=est, evaluations=evals, fail_safe=False,
         )
+
+    def _record_search(self, evals: int, climb_steps: Dict[str, int]) -> None:
+        """Emit one search's step/evaluation telemetry (obs enabled)."""
+        tracer = self.obs.tracer
+        registry = self.obs.registry
+        total_steps = sum(climb_steps.values())
+        tracer.inc("hill_climb_steps", total_steps)
+        registry.counter(
+            "repro_optimizer_searches_total", "Greedy hill-climb searches run"
+        ).inc()
+        registry.counter(
+            "repro_optimizer_evaluations_total",
+            "Predictor queries spent inside hill-climb searches",
+        ).inc(evals)
+        steps_counter = registry.counter(
+            "repro_optimizer_climb_steps_total",
+            "Accepted hill-climb moves by knob",
+        )
+        for knob in sorted(climb_steps):
+            tracer.inc(f"climb_steps.{knob}", climb_steps[knob])
+            steps_counter.inc(climb_steps[knob], knob=knob)
 
     def exhaustive_kernel_search(self, record: KernelRecord,
                                  tracker: PerformanceTracker) -> OptimizationResult:

@@ -37,6 +37,9 @@ class CacheStats:
         stores: Entries written.
         load_s: Wall-clock time spent reading entries.
         store_s: Wall-clock time spent writing entries.
+        sources: How many cache instances' counters this object holds
+            (grows on :meth:`merge`, so aggregate stats shipped back
+            from engine workers keep their provenance).
     """
 
     hits: int = 0
@@ -45,6 +48,7 @@ class CacheStats:
     stores: int = 0
     load_s: float = 0.0
     store_s: float = 0.0
+    sources: int = 1
 
     def merge(self, other: "CacheStats") -> None:
         """Accumulate another stats object into this one."""
@@ -54,16 +58,20 @@ class CacheStats:
         self.stores += other.stores
         self.load_s += other.load_s
         self.store_s += other.store_s
+        self.sources += other.sources
 
     def format(self) -> str:
         """One-line summary for reports."""
         total = self.hits + self.misses
         rate = 100.0 * self.hits / total if total else 0.0
+        merged = (
+            f", merged from {self.sources} caches" if self.sources > 1 else ""
+        )
         return (
             f"cache: {self.hits} hits / {self.misses} misses "
             f"({rate:.0f}% hit rate, {self.corrupt} corrupt, "
             f"{self.stores} stored; load {self.load_s:.2f}s, "
-            f"store {self.store_s:.2f}s)"
+            f"store {self.store_s:.2f}s{merged})"
         )
 
 

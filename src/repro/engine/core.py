@@ -34,6 +34,9 @@ from repro.engine.cache import CacheStats, ResultCache
 from repro.engine.fingerprint import CODE_VERSION, describe, fingerprint
 from repro.engine.serialize import run_result_from_dict, run_result_to_dict
 from repro.engine.variants import VARIANTS, RunKey, RunRequest, produced_keys
+from repro.obs import Instrumentation, NOOP, or_noop, publish_cache_stats
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.sim.trace import RunResult
 
 __all__ = [
@@ -107,6 +110,14 @@ class ExperimentEngine:
         cache_dir: Root directory of the on-disk result cache.
         use_cache: When ``False`` (the ``--no-cache`` flag) the engine
             neither reads nor writes cache entries.
+        obs: Optional instrumentation.  With a live tracer, every
+            computed request's launch spans are delivered to it — on the
+            parallel path the workers capture spans per request and the
+            parent re-emits them in request order, so a trace is
+            byte-identical across job counts (for request matrices where
+            baselines precede their dependents, e.g. the canonical
+            matrix).  Worker registry snapshots are merged back with
+            provenance.
     """
 
     def __init__(
@@ -114,12 +125,14 @@ class ExperimentEngine:
         jobs: int = 1,
         cache_dir: str = DEFAULT_CACHE_DIR,
         use_cache: bool = True,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         self.jobs = jobs
         self.cache = ResultCache(cache_dir=cache_dir, enabled=use_cache)
         self.stats = EngineStats(jobs=jobs, cache=self.cache.stats)
+        self.obs = or_noop(obs)
 
     # ----- fingerprinting -------------------------------------------------------
 
@@ -226,9 +239,10 @@ class ExperimentEngine:
         if not todo:
             return self.stats
 
+        obs = self._obs_for(ctx)
         start = time.perf_counter()
         if self.jobs > 1 and len(todo) > 1:
-            self._compute_parallel(ctx, todo)
+            self._compute_parallel(ctx, todo, obs)
         else:
             for request in todo:
                 keys = produced_keys(request)
@@ -236,14 +250,47 @@ class ExperimentEngine:
                 # (e.g. the Turbo baseline behind target_throughput).
                 if all(key in ctx._runs for key in keys):
                     continue
-                computed = VARIANTS[request.variant].compute(ctx, request)
+                task_start = time.perf_counter()
+                if obs.enabled:
+                    computed, spans = _compute_request_with_capture(
+                        ctx, request, obs.registry
+                    )
+                else:
+                    computed = VARIANTS[request.variant].compute(ctx, request)
+                    spans = []
                 ctx._runs.update(computed)
                 self.store_request(ctx, request, computed)
                 self.stats.computed += 1
+                if obs.enabled:
+                    self._record_task(
+                        obs, "serial", time.perf_counter() - task_start
+                    )
+                    for span in spans:
+                        obs.tracer.emit(span)
         self.stats.compute_s += time.perf_counter() - start
+        if obs.enabled:
+            publish_cache_stats(obs.registry, self.cache.stats, scope="engine")
         return self.stats
 
-    def _compute_parallel(self, ctx: Any, todo: List[RunRequest]) -> None:
+    def _obs_for(self, ctx: Any) -> Instrumentation:
+        """The live instrumentation of a prefetch: the engine's own, or
+        (when the engine was built without one) the context's."""
+        if self.obs.enabled:
+            return self.obs
+        return or_noop(getattr(ctx, "obs", None))
+
+    def _record_task(self, obs: Instrumentation, mode: str,
+                     seconds: float) -> None:
+        obs.registry.counter(
+            "repro_engine_tasks_total", "Requests computed by the engine"
+        ).inc(mode=mode)
+        obs.registry.histogram(
+            "repro_engine_task_seconds",
+            "Wall-clock seconds spent computing one request",
+        ).observe(seconds, mode=mode)
+
+    def _compute_parallel(self, ctx: Any, todo: List[RunRequest],
+                          obs: Instrumentation = NOOP) -> None:
         """Fan the misses out over a process pool and collect results."""
         # Materialize the predictor up front: workers must never each
         # pay for Random Forest training, and the trained object ships
@@ -256,6 +303,7 @@ class ExperimentEngine:
                 "predictor": ctx._predictor,
                 "cache_dir": ctx._cache_dir,
                 "alpha": ctx.alpha,
+                "obs": obs.enabled,
             },
             protocol=pickle.HIGHEST_PROTOCOL,
         )
@@ -265,14 +313,16 @@ class ExperimentEngine:
             initializer=_worker_init,
             initargs=(spec_bytes,),
         ) as pool:
-            futures = {
-                pool.submit(_worker_compute, request): request
+            # Results are collected in submission (request) order, not
+            # completion order, so worker span re-emission — and the
+            # first-failure raise — is deterministic across job counts.
+            futures = [
+                (request, pool.submit(_worker_compute, request))
                 for request in todo
-            }
+            ]
             try:
-                for future in concurrent.futures.as_completed(futures):
-                    request = futures[future]
-                    status, payload = future.result()
+                for request, future in futures:
+                    status, payload, obs_payload = future.result()
                     if status != "ok":
                         raise EngineWorkerError(request, payload)
                     runs = {
@@ -283,19 +333,61 @@ class ExperimentEngine:
                     self.store_request(ctx, request, runs)
                     self.stats.computed += 1
                     self.stats.parallel_computed += 1
+                    if obs_payload is not None and obs.enabled:
+                        obs.registry.merge(obs_payload["registry"])
+                        self._record_task(obs, "worker", obs_payload["task_s"])
+                        for span in obs_payload["spans"]:
+                            obs.tracer.emit(span)
             finally:
-                for future in futures:
+                for _, future in futures:
                     future.cancel()
+
+
+# ----- request computation with span capture --------------------------------
+
+
+def _compute_request_with_capture(
+    ctx: Any, request: RunRequest, registry: Any
+) -> Tuple[Dict[RunKey, RunResult], List[Dict[str, Any]]]:
+    """Compute one request, capturing the spans of the runs it produces.
+
+    The context's instrumentation is swapped for a private tracer (the
+    registry flows through unswapped) for the duration of the compute,
+    and the captured spans are filtered to the app/policy identities of
+    the runs the request itself produces.  Dependency runs computed on
+    the way (e.g. the Turbo baseline behind ``target_throughput``) are
+    dropped: on the serial path they trace under their own request, so
+    filtering is what keeps a trace identical across job counts.
+    """
+    prior = getattr(ctx, "obs", None)
+    capture = Instrumentation(registry, Tracer(keep=True))
+    ctx.obs = capture
+    try:
+        runs = VARIANTS[request.variant].compute(ctx, request)
+    finally:
+        ctx.obs = prior if prior is not None else NOOP
+    identities = {(run.app_name, run.policy_name) for run in runs.values()}
+    spans = [
+        span
+        for span in capture.tracer.spans
+        if (
+            span.get("attributes", {}).get("app"),
+            span.get("attributes", {}).get("policy"),
+        )
+        in identities
+    ]
+    return runs, spans
 
 
 # ----- worker side ----------------------------------------------------------
 
 _WORKER_CTX: Any = None
+_WORKER_OBS = False
 
 
 def _worker_init(spec_bytes: bytes) -> None:
     """Build this worker's private ExperimentContext from the spec."""
-    global _WORKER_CTX
+    global _WORKER_CTX, _WORKER_OBS
     from repro.experiments.common import ExperimentContext
 
     spec = pickle.loads(spec_bytes)
@@ -305,30 +397,48 @@ def _worker_init(spec_bytes: bytes) -> None:
         cache_dir=spec["cache_dir"],
         alpha=spec["alpha"],
     )
+    _WORKER_OBS = bool(spec.get("obs", False))
 
 
-def _worker_compute(request: RunRequest) -> Tuple[str, Any]:
+def _worker_compute(request: RunRequest) -> Tuple[str, Any, Any]:
     """Execute one request; never raises across the process boundary.
 
-    Returns ``("ok", [(key, run_dict), ...])`` on success or
-    ``("err", traceback_text)`` on failure, so the parent can re-raise
-    with the worker's original traceback attached.
+    Returns ``("ok", [(key, run_dict), ...], obs_payload)`` on success
+    or ``("err", traceback_text, None)`` on failure, so the parent can
+    re-raise with the worker's original traceback attached.  When the
+    parent's instrumentation is live, ``obs_payload`` ships this
+    request's registry snapshot, filtered span dicts, and compute time
+    back for merging.
     """
     try:
         if _WORKER_CTX is None:
             raise RuntimeError("engine worker used before initialization")
-        runs = VARIANTS[request.variant].compute(_WORKER_CTX, request)
+        obs_payload: Any = None
+        if _WORKER_OBS:
+            registry = MetricsRegistry()
+            start = time.perf_counter()
+            runs, spans = _compute_request_with_capture(
+                _WORKER_CTX, request, registry
+            )
+            obs_payload = {
+                "registry": registry.snapshot(),
+                "spans": spans,
+                "task_s": time.perf_counter() - start,
+            }
+        else:
+            runs = VARIANTS[request.variant].compute(_WORKER_CTX, request)
         return (
             "ok",
             [
                 (list(key), run_result_to_dict(run))
                 for key, run in runs.items()
             ],
+            obs_payload,
         )
     except BaseException:
         import traceback
 
-        return ("err", traceback.format_exc())
+        return ("err", traceback.format_exc(), None)
 
 
 def canonical_requests(

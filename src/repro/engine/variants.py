@@ -27,6 +27,7 @@ from repro.core.manager import MPCPowerManager
 from repro.core.oracle import solve_theoretically_optimal
 from repro.core.policies import PlannedPolicy, PPKPolicy
 from repro.ml.errors import SyntheticErrorPredictor
+from repro.obs import Instrumentation, NOOP
 from repro.runtime.session import invocation_pair
 from repro.sim.trace import RunResult
 from repro.sim.turbocore import TurboCorePolicy
@@ -102,28 +103,38 @@ def _needs(*names: str) -> Callable[[RunRequest], Tuple[str, ...]]:
 # flow through the cache as their own requests.
 
 
+def _obs(ctx: Any) -> Instrumentation:
+    """The context's instrumentation (no-op for contexts without one)."""
+    return getattr(ctx, "obs", NOOP)
+
+
 def _compute_turbo(ctx: Any, request: RunRequest) -> Dict[RunKey, RunResult]:
     name = request.benchmark
-    run = ctx.sim.run(ctx.app(name), TurboCorePolicy(tdp_w=ctx.apu.tdp_w))
+    run = ctx.sim.run(
+        ctx.app(name), TurboCorePolicy(tdp_w=ctx.apu.tdp_w), obs=_obs(ctx)
+    )
     return {(name, "turbo"): run}
 
 
 def _compute_ppk(ctx: Any, request: RunRequest) -> Dict[RunKey, RunResult]:
     name = request.benchmark
     policy = PPKPolicy(ctx.target_throughput(name), ctx.predictor, ctx.space)
-    return {(name, "ppk"): ctx.sim.run(ctx.app(name), policy)}
+    return {(name, "ppk"): ctx.sim.run(ctx.app(name), policy, obs=_obs(ctx))}
 
 
 def _compute_ppk_oracle(ctx: Any, request: RunRequest) -> Dict[RunKey, RunResult]:
     name = request.benchmark
     policy = PPKPolicy(ctx.target_throughput(name), ctx.oracle(name), ctx.space)
-    run = ctx.sim.run(ctx.app(name), policy, charge_overhead=False)
+    run = ctx.sim.run(
+        ctx.app(name), policy, charge_overhead=False, obs=_obs(ctx)
+    )
     return {(name, "ppk_oracle"): run}
 
 
 def _compute_mpc_pair(ctx: Any, request: RunRequest) -> Dict[RunKey, RunResult]:
     name = request.benchmark
     adaptive = request.variant == "mpc_pair"
+    obs = _obs(ctx)
     manager = MPCPowerManager(
         ctx.target_throughput(name),
         ctx.predictor,
@@ -131,10 +142,11 @@ def _compute_mpc_pair(ctx: Any, request: RunRequest) -> Dict[RunKey, RunResult]:
         alpha=request.param("alpha", ctx.alpha),
         adaptive_horizon=adaptive,
         overhead_model=ctx.sim.overhead,
+        obs=obs,
     )
     app = ctx.app(name)
     suffix = "" if adaptive else "_full"
-    first, steady = invocation_pair(ctx.sim.session(manager), app)
+    first, steady = invocation_pair(ctx.sim.session(manager, obs=obs), app)
     return {
         (name, "mpc_first" + suffix): first,
         (name, "mpc" + suffix): steady,
@@ -143,16 +155,18 @@ def _compute_mpc_pair(ctx: Any, request: RunRequest) -> Dict[RunKey, RunResult]:
 
 def _compute_mpc_ideal(ctx: Any, request: RunRequest) -> Dict[RunKey, RunResult]:
     name = request.benchmark
+    obs = _obs(ctx)
     manager = MPCPowerManager(
         ctx.target_throughput(name),
         ctx.oracle(name),
         ctx.space,
         adaptive_horizon=False,
         overhead_model=ctx.sim.overhead,
+        obs=obs,
     )
     app = ctx.app(name)
     _, run = invocation_pair(
-        ctx.sim.session(manager), app, charge_overhead=False
+        ctx.sim.session(manager, obs=obs), app, charge_overhead=False
     )
     return {(name, "mpc_ideal"): run}
 
@@ -162,30 +176,34 @@ def _compute_mpc_variant(ctx: Any, request: RunRequest) -> Dict[RunKey, RunResul
     tag = request.param("tag")
     sim = request.param("simulator") or ctx.sim
     manager_kwargs = dict(request.param("kwargs", ()))
+    obs = _obs(ctx)
     manager = MPCPowerManager(
         ctx.target_throughput(name),
         ctx.predictor,
         ctx.space,
         overhead_model=sim.overhead,
+        obs=obs,
         **manager_kwargs,
     )
     app = ctx.app(name)
-    _, run = invocation_pair(sim.session(manager), app)
+    _, run = invocation_pair(sim.session(manager, obs=obs), app)
     return {(name, "mpc_variant", tag): run}
 
 
 def _run_with_predictor(ctx: Any, name: str, predictor: Any) -> RunResult:
     """Full-horizon, overhead-free MPC steady state (Figure 13 setup)."""
+    obs = _obs(ctx)
     manager = MPCPowerManager(
         ctx.target_throughput(name),
         predictor,
         ctx.space,
         adaptive_horizon=False,
         overhead_model=ctx.sim.overhead,
+        obs=obs,
     )
     app = ctx.app(name)
     _, steady = invocation_pair(
-        ctx.sim.session(manager), app, charge_overhead=False
+        ctx.sim.session(manager, obs=obs), app, charge_overhead=False
     )
     return steady
 
@@ -222,7 +240,9 @@ def _compute_to(ctx: Any, request: RunRequest) -> Dict[RunKey, RunResult]:
         ctx.app(name), ctx.apu, ctx.target_throughput(name), ctx.space
     )
     policy = PlannedPolicy(plan.configs, name="TheoreticallyOptimal")
-    run = ctx.sim.run(ctx.app(name), policy, charge_overhead=False)
+    run = ctx.sim.run(
+        ctx.app(name), policy, charge_overhead=False, obs=_obs(ctx)
+    )
     return {(name, "to"): run}
 
 

@@ -37,6 +37,7 @@ from repro.ml.predictors import (
     RandomForestPredictor,
     train_predictor,
 )
+from repro.obs import Instrumentation, or_noop
 from repro.sim.simulator import Simulator
 from repro.sim.trace import RunResult
 from repro.workloads.app import Application
@@ -144,6 +145,10 @@ class ExperimentContext:
         alpha: Adaptive-horizon performance-penalty bound.
         engine: Optional :class:`~repro.engine.core.ExperimentEngine`
             providing the result cache and parallel prefetching.
+        obs: Optional instrumentation threaded into every policy run
+            computed through this context (defaults to the no-op).
+            Kept on the context — never on the simulator — so the
+            fingerprinted cache-key material is unchanged by tracing.
     """
 
     def __init__(
@@ -154,6 +159,7 @@ class ExperimentContext:
         cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
         alpha: float = 0.05,
         engine: Optional[Any] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self.benchmark_names: List[str] = list(
             benchmark_names if benchmark_names is not None else BENCHMARK_NAMES
@@ -162,6 +168,7 @@ class ExperimentContext:
         self.space = ConfigSpace()
         self.alpha = alpha
         self.engine = engine
+        self.obs = or_noop(obs)
         self._cache_dir = cache_dir
         self._predictor = predictor
         self._default_predictor = predictor is None

@@ -14,6 +14,8 @@ results are content-hash cached on disk, so a rerun is nearly free::
 from __future__ import annotations
 
 import argparse
+import logging
+import time
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import (
@@ -37,6 +39,10 @@ from repro.experiments import (
 from repro.experiments.common import ExperimentContext, ExperimentTable
 
 __all__ = ["ALL_EXPERIMENTS", "run_all", "main"]
+
+#: Progress/diagnostics go through logging (tables stay on stdout: they
+#: are the program's output, not commentary about it).
+logger = logging.getLogger("repro.experiments.runner")
 
 #: Every experiment, in the paper's presentation order.
 ALL_EXPERIMENTS: Dict[str, Callable[[ExperimentContext], ExperimentTable]] = {
@@ -89,10 +95,17 @@ def run_all(
     if ctx.engine is not None:
         from repro.engine.matrix import requests_for
 
-        ctx.engine.prefetch(ctx, requests_for(keys, ctx))
+        requests = requests_for(keys, ctx)
+        logger.info(
+            "prefetching %d runs for %d experiments (jobs=%d)",
+            len(requests), len(keys), ctx.engine.jobs,
+        )
+        ctx.engine.prefetch(ctx, requests)
     results: List[ExperimentTable] = []
     for key in keys:
+        start = time.perf_counter()
         table = ALL_EXPERIMENTS[key](ctx)
+        logger.info("%s done in %.2fs", key, time.perf_counter() - start)
         results.append(table)
         if echo:
             print(table.format())
@@ -124,7 +137,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--stats", action="store_true",
-        help="print engine cache/compute statistics at the end",
+        help="log engine cache/compute statistics at the end",
+    )
+    parser.add_argument(
+        "--log-level", default="info",
+        choices=("debug", "info", "warning", "error"),
+        help="threshold for the repro.* logging hierarchy (default: info)",
     )
     return parser
 
@@ -134,6 +152,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     from repro.engine import DEFAULT_CACHE_DIR, ExperimentEngine
 
     args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(levelname)s %(name)s: %(message)s",
+    )
     cache_dir = args.cache_dir if args.cache_dir is not None else DEFAULT_CACHE_DIR
     engine = ExperimentEngine(
         jobs=args.jobs, cache_dir=cache_dir, use_cache=not args.no_cache
@@ -141,7 +163,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     ctx = ExperimentContext(cache_dir=cache_dir, engine=engine)
     run_all(ctx, only=args.keys or None)
     if args.stats:
-        print(engine.stats.format())
+        logger.info("%s", engine.stats.format())
     return 0
 
 

@@ -20,6 +20,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from repro.hardware.apu import APUModel
 from repro.hardware.config import FAILSAFE_CONFIG, HardwareConfig
+from repro.obs import Instrumentation, or_noop, publish_session_stats
 from repro.runtime.events import KernelLaunch, LaunchOutcome
 from repro.runtime.session import SessionRuntime, SessionStats
 from repro.sim.policy import PowerPolicy
@@ -48,6 +49,8 @@ class SessionManager:
         fail_safe: Fallback configuration for degraded decisions.
         store: Optional :class:`~repro.engine.sessions.SessionStore`
             for :meth:`persist` / :meth:`resume`.
+        obs: Optional instrumentation shared by every hosted session
+            (defaults to the no-op instrumentation).
     """
 
     def __init__(
@@ -61,6 +64,7 @@ class SessionManager:
         isolate_faults: bool = True,
         fail_safe: HardwareConfig = FAILSAFE_CONFIG,
         store: Optional[Any] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self.apu = apu if apu is not None else APUModel()
         self.counters = counters if counters is not None else CounterSynthesizer()
@@ -71,6 +75,7 @@ class SessionManager:
         self.isolate_faults = isolate_faults
         self.fail_safe = fail_safe
         self.store = store
+        self.obs = or_noop(obs)
         self._sessions: Dict[str, SessionRuntime] = {}
 
     # ----- session registry ------------------------------------------------------
@@ -100,6 +105,7 @@ class SessionManager:
             session_id=session_id,
             app_name=app_name,
             charge_overhead=charge_overhead,
+            obs=self.obs,
         )
         self._sessions[session_id] = session
         return session
@@ -144,6 +150,27 @@ class SessionManager:
     def stats(self) -> Dict[str, SessionStats]:
         """Per-session statistics keyed by session id."""
         return {sid: s.stats for sid, s in sorted(self._sessions.items())}
+
+    def aggregate_stats(self) -> SessionStats:
+        """All sessions' statistics merged into one, with provenance.
+
+        The merged object's ``sources`` counts the sessions folded in,
+        so fleet-level reports can state how many sessions they cover.
+        """
+        total = SessionStats(sources=0)
+        for _, session in sorted(self._sessions.items()):
+            total.merge(session.stats)
+        return total
+
+    def publish_stats(self) -> None:
+        """Publish per-session and aggregate stats to the registry."""
+        registry = self.obs.registry
+        for sid, session in sorted(self._sessions.items()):
+            publish_session_stats(registry, session.stats, session=sid)
+        if self._sessions:
+            publish_session_stats(
+                registry, self.aggregate_stats(), session="_aggregate"
+            )
 
     # ----- persistence -----------------------------------------------------------
 

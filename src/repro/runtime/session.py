@@ -29,8 +29,8 @@ engine's content-addressed cache.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, replace
-from typing import Any, Dict, Iterable, Iterator, Optional, Tuple
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.hardware.apu import APUModel
 from repro.hardware.config import (
@@ -40,6 +40,7 @@ from repro.hardware.config import (
     Knob,
 )
 from repro.hardware.dvfs import GPU_DPM_STATES
+from repro.obs import Instrumentation, or_noop
 from repro.runtime.events import KernelLaunch, LaunchOutcome, launch_events
 from repro.sim.policy import Decision, Observation, PowerPolicy
 from repro.sim.simulator import MANAGER_CONFIG, OverheadModel
@@ -49,6 +50,7 @@ from repro.workloads.counters import CounterSynthesizer
 from repro.workloads.kernel import KernelSpec
 
 __all__ = [
+    "RECENT_ERRORS_LIMIT",
     "SESSION_SNAPSHOT_SCHEMA",
     "SessionRuntime",
     "SessionStats",
@@ -58,6 +60,9 @@ __all__ = [
 
 #: Bump when the session snapshot layout changes.
 SESSION_SNAPSHOT_SCHEMA = 1
+
+#: How many isolated-fault exception reprs a session retains.
+RECENT_ERRORS_LIMIT = 8
 
 #: The throttling hardware sees every DPM state, not just the
 #: software-searched subset.  Built once at module load instead of per
@@ -104,6 +109,11 @@ class SessionStats:
         energy_j: Total chip energy including overheads.
         last_error: Formatted ``Type: message`` of the most recent
             isolated policy fault, if any.
+        recent_errors: Ring buffer of the last
+            :data:`RECENT_ERRORS_LIMIT` isolated-fault exception reprs,
+            oldest first.
+        sources: How many sessions' worth of data this object holds
+            (grows under :meth:`merge`, so aggregates keep provenance).
     """
 
     runs: int = 0
@@ -116,6 +126,38 @@ class SessionStats:
     overhead_time_s: float = 0.0
     energy_j: float = 0.0
     last_error: Optional[str] = None
+    recent_errors: List[str] = field(default_factory=list)
+    sources: int = 1
+
+    def record_error(self, exc: BaseException) -> None:
+        """Retain an isolated policy fault (formatted + ring buffer)."""
+        self.last_error = f"{type(exc).__name__}: {exc}"
+        self.recent_errors.append(repr(exc))
+        if len(self.recent_errors) > RECENT_ERRORS_LIMIT:
+            del self.recent_errors[: len(self.recent_errors) - RECENT_ERRORS_LIMIT]
+
+    def merge(self, other: "SessionStats") -> None:
+        """Accumulate another session's stats (e.g. across workers).
+
+        Counters and totals add; ``sources`` adds so the merged object
+        reports how many sessions contributed; the error ring keeps the
+        newest :data:`RECENT_ERRORS_LIMIT` entries across both.
+        """
+        self.runs += other.runs
+        self.launches += other.launches
+        self.model_evaluations += other.model_evaluations
+        self.fail_safe_decisions += other.fail_safe_decisions
+        self.fail_safe_fallbacks += other.fail_safe_fallbacks
+        self.observe_failures += other.observe_failures
+        self.kernel_time_s += other.kernel_time_s
+        self.overhead_time_s += other.overhead_time_s
+        self.energy_j += other.energy_j
+        if other.last_error is not None:
+            self.last_error = other.last_error
+        self.recent_errors = (
+            self.recent_errors + other.recent_errors
+        )[-RECENT_ERRORS_LIMIT:]
+        self.sources += other.sources
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-able form (used by session snapshots)."""
@@ -123,12 +165,17 @@ class SessionStats:
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "SessionStats":
-        """Rebuild from :meth:`as_dict` output."""
+        """Rebuild from :meth:`as_dict` output.
+
+        Tolerates payloads from before the provenance fields existed
+        (``recent_errors`` / ``sources`` default), so schema-1 session
+        snapshots keep loading.
+        """
         return cls(**payload)
 
     def format(self) -> str:
         """One-line summary for reports and the CLI's streaming mode."""
-        return (
+        line = (
             f"{self.runs} run(s), {self.launches} launches, "
             f"{self.model_evaluations} model evals; "
             f"fail-safe {self.fail_safe_decisions} by policy / "
@@ -138,6 +185,12 @@ class SessionStats:
             f"{self.overhead_time_s * 1e3:.2f} ms overhead, "
             f"{self.energy_j:.2f} J"
         )
+        if self.sources > 1:
+            line += f" [merged from {self.sources} session(s)]"
+        if self.recent_errors:
+            newest_first = "; ".join(reversed(self.recent_errors))
+            line += f"; recent faults: {newest_first}"
+        return line
 
 
 class SessionRuntime:
@@ -167,6 +220,13 @@ class SessionRuntime:
         app_name: Default application name for streamed runs (offline
             replay takes it from the application itself).
         charge_overhead: Default overhead charging for streamed runs.
+        obs: Observability hooks (``repro.obs``).  Defaults to the
+            shared no-op instrumentation; when live, the runtime emits
+            one ``launch`` span per processed event (stamped with the
+            session's *simulated* time, never the wall clock) plus
+            lifecycle/fault metrics.  Share the same object with the
+            hosted policy so its decision annotations land on the same
+            spans.
     """
 
     def __init__(
@@ -183,9 +243,11 @@ class SessionRuntime:
         session_id: str = "",
         app_name: str = "",
         charge_overhead: bool = True,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         if cpu_phase_s < 0:
             raise ValueError("cpu_phase_s must be non-negative")
+        self.obs = or_noop(obs)
         self.policy = policy
         self.apu = apu if apu is not None else APUModel()
         self.counters = counters if counters is not None else CounterSynthesizer()
@@ -219,6 +281,9 @@ class SessionRuntime:
             self.app_name = app_name
         self.policy.begin_run()
         self.stats.runs += 1
+        self.obs.registry.counter(
+            "repro_runtime_runs_total", "Application invocations started"
+        ).inc(session=self.session_id, policy=self.policy.name)
         self._result = RunResult(
             app_name=self.app_name, policy_name=self.policy.name
         )
@@ -227,6 +292,15 @@ class SessionRuntime:
         if self._result is None:
             return None
         return self._result.base_index + len(self._result.launches)
+
+    @property
+    def sim_time_s(self) -> float:
+        """The session's simulated clock: kernel time plus overhead.
+
+        Used to timestamp trace spans so traces are deterministic
+        functions of the workload, independent of host speed.
+        """
+        return self.stats.kernel_time_s + self.stats.overhead_time_s
 
     # ----- the control loop ------------------------------------------------------
 
@@ -254,15 +328,34 @@ class SessionRuntime:
             )
         charge = self.charge_overhead if charge_overhead is None else charge_overhead
 
+        tracer = self.obs.tracer
+        registry = self.obs.registry
+        assert self._result is not None
+        span = tracer.start_span(
+            "launch",
+            at=self.sim_time_s,
+            session=self.session_id,
+            app=self._result.app_name,
+            policy=self._result.policy_name,
+            index=event.index,
+            kernel=event.spec.key,
+        )
+
         # 1. decide (fault-isolated).
         fallback = False
         try:
             decision = self.policy.decide(event.index)
         except Exception as exc:
             if not self.isolate_faults:
+                tracer.end_span(span, at=self.sim_time_s)
                 raise
             self.stats.fail_safe_fallbacks += 1
-            self.stats.last_error = f"{type(exc).__name__}: {exc}"
+            self.stats.record_error(exc)
+            span.annotate("error", repr(exc))
+            registry.counter(
+                "repro_runtime_faults_total",
+                "Isolated policy faults, by failing phase",
+            ).inc(session=self.session_id, phase="decide")
             decision = Decision(config=self.fail_safe, fail_safe=True)
             fallback = True
 
@@ -271,6 +364,11 @@ class SessionRuntime:
             throttled = throttle_to_tdp(self.apu, event.spec, decision.config)
             if throttled != decision.config:
                 decision = replace(decision, config=throttled)
+                span.annotate("tdp_throttled", True)
+                registry.counter(
+                    "repro_runtime_tdp_throttles_total",
+                    "Launches whose configuration was throttled into the TDP",
+                ).inc(session=self.session_id)
 
         # 3. charge the decision's optimizer overhead.
         overhead_time = 0.0
@@ -303,9 +401,15 @@ class SessionRuntime:
             )
         except Exception as exc:
             if not self.isolate_faults:
+                tracer.end_span(span, at=self.sim_time_s)
                 raise
             self.stats.observe_failures += 1
-            self.stats.last_error = f"{type(exc).__name__}: {exc}"
+            self.stats.record_error(exc)
+            span.annotate("error", repr(exc))
+            registry.counter(
+                "repro_runtime_faults_total",
+                "Isolated policy faults, by failing phase",
+            ).inc(session=self.session_id, phase="observe")
 
         record = LaunchRecord(
             index=event.index,
@@ -331,6 +435,42 @@ class SessionRuntime:
         self.stats.kernel_time_s += record.time_s
         self.stats.overhead_time_s += overhead_time
         self.stats.energy_j += record.energy_j + record.overhead_energy_j
+
+        span.annotate("config", str(decision.config))
+        span.annotate("horizon", decision.horizon)
+        span.annotate("model_evaluations", decision.model_evaluations)
+        span.annotate("fail_safe", decision.fail_safe)
+        span.annotate("fallback", fallback)
+        span.annotate("time_s", record.time_s)
+        span.annotate("observed_ips", record.instructions / record.time_s)
+        span.annotate(
+            "observed_power_w", record.energy_j / record.time_s
+        )
+        span.annotate("energy_j", record.energy_j)
+        span.annotate("overhead_time_s", overhead_time)
+        span.annotate("overhead_energy_j", record.overhead_energy_j)
+        tracer.end_span(span, at=self.sim_time_s)
+
+        registry.counter(
+            "repro_runtime_launches_total", "Kernel launches processed"
+        ).inc(session=self.session_id, policy=self._result.policy_name)
+        if decision.fail_safe:
+            registry.counter(
+                "repro_runtime_fail_safe_total",
+                "Fail-safe launches, by cause (policy decision vs fault "
+                "degradation)",
+            ).inc(
+                session=self.session_id,
+                cause="fault" if fallback else "policy",
+            )
+        registry.histogram(
+            "repro_runtime_kernel_seconds", "Per-launch kernel execution time"
+        ).observe(record.time_s, session=self.session_id)
+        if overhead_time > 0.0:
+            registry.histogram(
+                "repro_runtime_overhead_seconds",
+                "Per-launch optimizer overhead time",
+            ).observe(overhead_time, session=self.session_id)
 
         return LaunchOutcome(
             session_id=self.session_id,

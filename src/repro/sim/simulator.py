@@ -35,6 +35,7 @@ from repro.workloads.app import Application
 from repro.workloads.counters import CounterSynthesizer
 
 if TYPE_CHECKING:
+    from repro.obs import Instrumentation
     from repro.runtime.session import SessionRuntime
 
 __all__ = ["OverheadModel", "Simulator"]
@@ -114,13 +115,19 @@ class Simulator:
                 isolate_faults: bool = False,
                 session_id: str = "",
                 app_name: str = "",
-                charge_overhead: bool = True) -> "SessionRuntime":
+                charge_overhead: bool = True,
+                obs: Optional["Instrumentation"] = None) -> "SessionRuntime":
         """A session runtime hosting ``policy`` on this simulator's models.
 
         Fault isolation is *off* by default so the offline harness
         keeps its fail-fast semantics (a buggy policy raises instead of
         silently degrading to fail-safe); streaming drivers pass
         ``isolate_faults=True``.
+
+        ``obs`` is deliberately a per-call argument rather than
+        simulator state: the simulator is part of the experiment
+        engine's fingerprinted cache-key material, so instrumentation
+        must never live on it.
         """
         # Imported lazily: the runtime layer is built on this module's
         # primitives (OverheadModel, the policy/trace protocol), so a
@@ -139,10 +146,12 @@ class Simulator:
             session_id=session_id,
             app_name=app_name,
             charge_overhead=charge_overhead,
+            obs=obs,
         )
 
     def run(self, app: Application, policy: PowerPolicy, *,
-            charge_overhead: bool = True) -> RunResult:
+            charge_overhead: bool = True,
+            obs: Optional["Instrumentation"] = None) -> RunResult:
         """Run one invocation of ``app`` under ``policy``.
 
         Args:
@@ -153,11 +162,15 @@ class Simulator:
             charge_overhead: Whether to convert the policy's model
                 evaluations into time/energy overheads (the paper's
                 idealized studies switch this off).
+            obs: Optional instrumentation for the hosting session
+                (per-call; see :meth:`session`).
 
         Returns:
             The per-launch trace and aggregates for this invocation.
         """
-        return self.session(policy).run(app, charge_overhead=charge_overhead)
+        return self.session(policy, obs=obs).run(
+            app, charge_overhead=charge_overhead
+        )
 
     def _throttle_to_tdp(self, spec, config: HardwareConfig) -> HardwareConfig:
         """Clamp a configuration into the TDP the way the part would.

@@ -1,0 +1,51 @@
+"""Shared fixtures for the observability test suite.
+
+Instrumented runs use the same tiny oracle-backed setup as the runtime
+suite (no Random Forest training), so the lane stays in tier-1 time
+budgets.
+"""
+
+import pytest
+
+from repro.core.manager import MPCPowerManager
+from repro.ml.predictors import OraclePredictor
+from repro.obs import make_instrumentation
+from repro.sim.simulator import Simulator
+from repro.sim.turbocore import TurboCorePolicy
+from repro.workloads.app import Application, Category
+from repro.workloads.kernel import KernelSpec, ScalingClass
+
+COMPUTE = KernelSpec("c", ScalingClass.COMPUTE, 4.0, 0.1, parallel_fraction=0.99)
+MEMORY = KernelSpec("m", ScalingClass.MEMORY, 0.5, 0.9, parallel_fraction=0.9)
+
+#: Alternating compute/memory app used across the obs tests.
+APP = Application(
+    "alt", "obs", Category.IRREGULAR_REPEATING,
+    kernels=(COMPUTE, MEMORY) * 4, pattern="(AB)4",
+)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def obs():
+    return make_instrumentation()
+
+
+def turbo_target(sim, app=APP):
+    """The Turbo Core kernel throughput of ``app`` on ``sim``."""
+    turbo = sim.run(app, TurboCorePolicy())
+    return turbo.instructions / turbo.kernel_time_s
+
+
+def make_manager(sim, app=APP, target=None, **kw):
+    """An oracle-backed MPC manager targeting Turbo Core throughput."""
+    if target is None:
+        target = turbo_target(sim, app)
+    return MPCPowerManager(
+        target, OraclePredictor(sim.apu, app.unique_kernels),
+        overhead_model=sim.overhead, **kw,
+    )

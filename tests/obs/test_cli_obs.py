@@ -1,0 +1,118 @@
+"""CLI surface: --trace-out/--metrics-out, repro obs, logging setup."""
+
+import logging
+
+import pytest
+
+from repro.cli import build_parser, main
+
+pytestmark = pytest.mark.obs
+
+
+class TestParser:
+    def test_run_accepts_obs_flags(self):
+        args = build_parser().parse_args(
+            ["run", "kmeans", "--trace-out", "t.jsonl",
+             "--metrics-out", "m.prom"]
+        )
+        assert args.trace_out == "t.jsonl"
+        assert args.metrics_out == "m.prom"
+
+    def test_experiments_accepts_obs_flags(self):
+        args = build_parser().parse_args(
+            ["experiments", "fig14", "--trace-out", "t.jsonl"]
+        )
+        assert args.trace_out == "t.jsonl"
+        assert args.metrics_out is None
+
+    def test_obs_subcommands(self):
+        args = build_parser().parse_args(["obs", "summarize", "t.jsonl"])
+        assert (args.obs_command, args.trace) == ("summarize", "t.jsonl")
+        args = build_parser().parse_args(["obs", "validate", "t.jsonl"])
+        assert args.schema == "docs/trace.schema.json"
+
+    def test_global_log_level(self):
+        args = build_parser().parse_args(["--log-level", "debug", "list"])
+        assert args.log_level == "debug"
+
+
+class TestObsCommands:
+    def _trace(self, tmp_path, spans):
+        from repro.obs.exporters import write_jsonl
+
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(spans, path)
+        return path
+
+    def _span(self, **attrs):
+        attributes = {
+            "session": "", "app": "a", "policy": "MPC", "index": 0,
+            "kernel": "k", "config": "c", "fail_safe": False,
+            "fallback": False, "time_s": 1.0, "energy_j": 1.0,
+            "overhead_time_s": 0.0, "overhead_energy_j": 0.0,
+            "observed_ips": 1.0, "observed_power_w": 1.0,
+        }
+        attributes.update(attrs)
+        return {"schema": 1, "name": "launch", "start_s": 0.0,
+                "end_s": 1.0, "attributes": attributes}
+
+    def test_summarize(self, tmp_path, capsys):
+        path = self._trace(tmp_path, [self._span()])
+        assert main(["obs", "summarize", path]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary: 1 launch span(s)" in out
+        assert "MPC" in out
+
+    def test_validate_ok(self, tmp_path, capsys):
+        path = self._trace(tmp_path, [self._span()])
+        assert main(["obs", "validate", path]) == 0
+        assert "all spans valid" in capsys.readouterr().out
+
+    def test_validate_failure_exits_nonzero(self, tmp_path, capsys):
+        bad = self._span()
+        del bad["attributes"]["config"]
+        path = self._trace(tmp_path, [bad])
+        assert main(["obs", "validate", path]) == 1
+        out = capsys.readouterr().out
+        assert "missing required key 'config'" in out
+        assert "1 invalid spans" in out
+
+
+class TestRunWithTracing:
+    def test_run_writes_trace_and_metrics(self, tmp_path, capsys):
+        from repro.obs.exporters import read_jsonl
+
+        trace = str(tmp_path / "t.jsonl")
+        metrics = str(tmp_path / "m.prom")
+        code = main(
+            ["run", "kmeans", "--policy", "turbo",
+             "--trace-out", trace, "--metrics-out", metrics]
+        )
+        assert code == 0
+        spans = read_jsonl(trace)
+        assert spans and all(s["name"] == "launch" for s in spans)
+        text = open(metrics, encoding="utf-8").read()
+        assert "repro_runtime_launches_total" in text
+        out = capsys.readouterr().out
+        assert f"wrote {len(spans)} spans to {trace}" in out
+
+    def test_run_then_summarize_round_trip(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.jsonl")
+        assert main(["run", "kmeans", "--policy", "turbo",
+                     "--trace-out", trace]) == 0
+        capsys.readouterr()
+        assert main(["obs", "summarize", trace]) == 0
+        assert "TurboCore" in capsys.readouterr().out
+
+
+class TestLogging:
+    def test_library_installs_null_handler(self):
+        import repro  # noqa: F401
+
+        handlers = logging.getLogger("repro").handlers
+        assert any(isinstance(h, logging.NullHandler) for h in handlers)
+
+    def test_runner_has_library_logger(self):
+        from repro.experiments.runner import logger
+
+        assert logger.name == "repro.experiments.runner"

@@ -1,0 +1,120 @@
+"""Tracer lifecycle: explicit clocks, current-span annotation, sinks."""
+
+import threading
+
+import pytest
+
+from repro.obs.tracing import NULL_TRACER, SPAN_SCHEMA, Tracer
+
+pytestmark = pytest.mark.obs
+
+
+class TestSpanLifecycle:
+    def test_start_end_with_explicit_times(self):
+        tracer = Tracer()
+        span = tracer.start_span("launch", at=1.5, app="x")
+        span.annotate("config", "c")
+        span.inc("steps")
+        span.inc("steps", 2)
+        payload = tracer.end_span(span, at=2.0)
+        assert payload == {
+            "schema": SPAN_SCHEMA,
+            "name": "launch",
+            "start_s": 1.5,
+            "end_s": 2.0,
+            "attributes": {"app": "x", "config": "c", "steps": 3.0},
+        }
+        assert tracer.spans == [payload]
+
+    def test_default_clock_is_frozen_zero(self):
+        tracer = Tracer()
+        span = tracer.start_span("launch")
+        payload = tracer.end_span(span)
+        assert payload["start_s"] == 0.0
+        assert payload["end_s"] == 0.0
+
+    def test_injected_clock(self):
+        ticks = iter([10.0, 20.0])
+        tracer = Tracer(clock=lambda: next(ticks))
+        span = tracer.start_span("launch")
+        payload = tracer.end_span(span)
+        assert (payload["start_s"], payload["end_s"]) == (10.0, 20.0)
+
+    def test_context_manager(self):
+        tracer = Tracer()
+        with tracer.span("launch", at=3.0) as span:
+            span.annotate("k", "v")
+        assert tracer.spans[0]["attributes"] == {"k": "v"}
+
+
+class TestCurrentSpan:
+    def test_annotate_lands_on_innermost(self):
+        tracer = Tracer()
+        outer = tracer.start_span("outer")
+        inner = tracer.start_span("inner")
+        tracer.annotate("key", "inner-value")
+        tracer.inc("n")
+        tracer.end_span(inner)
+        tracer.annotate("key", "outer-value")
+        tracer.end_span(outer)
+        by_name = {s["name"]: s["attributes"] for s in tracer.spans}
+        assert by_name["inner"] == {"key": "inner-value", "n": 1.0}
+        assert by_name["outer"] == {"key": "outer-value"}
+
+    def test_annotate_without_open_span_is_noop(self):
+        tracer = Tracer()
+        tracer.annotate("key", "value")
+        tracer.inc("n")
+        assert tracer.current() is None
+        assert tracer.spans == []
+
+    def test_stacks_are_thread_local(self):
+        tracer = Tracer()
+        tracer.start_span("main-thread")
+        seen = {}
+
+        def other():
+            seen["current"] = tracer.current()
+
+        thread = threading.Thread(target=other)
+        thread.start()
+        thread.join()
+        assert seen["current"] is None
+
+
+class TestSinkAndBuffer:
+    def test_sink_receives_each_span(self):
+        received = []
+        tracer = Tracer(sink=received.append, keep=False)
+        tracer.end_span(tracer.start_span("a"))
+        tracer.emit({"name": "b"})
+        assert [p["name"] for p in received] == ["a", "b"]
+        assert tracer.spans == []
+
+    def test_drain_returns_and_clears(self):
+        tracer = Tracer()
+        tracer.end_span(tracer.start_span("a"))
+        drained = tracer.drain()
+        assert [p["name"] for p in drained] == ["a"]
+        assert tracer.spans == []
+        assert tracer.drain() == []
+
+
+class TestNullTracer:
+    def test_shared_noop_span(self):
+        span_a = NULL_TRACER.start_span("a", at=1.0, x=1)
+        span_b = NULL_TRACER.start_span("b")
+        assert span_a is span_b
+        span_a.annotate("k", "v")
+        span_a.inc("n")
+        assert span_a.attributes == {}
+        assert NULL_TRACER.end_span(span_a) == {}
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.drain() == []
+        assert NULL_TRACER.current() is None
+        assert not NULL_TRACER.enabled
+
+    def test_context_manager_yields_noop(self):
+        with NULL_TRACER.span("launch") as span:
+            span.annotate("k", "v")
+        assert span.attributes == {}
