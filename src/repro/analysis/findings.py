@@ -1,0 +1,75 @@
+"""Finding and severity types shared by every lint rule and reporter.
+
+A :class:`Finding` is one rule violation at one source location.  It is
+deliberately a plain, JSON-able value object: reporters serialize it,
+tests round-trip it, and the engine sorts and de-duplicates it without
+knowing anything about the rule that produced it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+class Severity(enum.Enum):
+    """How a finding affects the lint exit code.
+
+    ``ERROR`` findings fail the build; ``WARNING`` findings are reported
+    but do not change the exit code.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: Path of the offending file, as given to the engine.
+        line: 1-based source line of the violation.
+        col: 0-based column offset (matches ``ast`` node offsets).
+        rule_id: Identifier of the rule that fired, e.g. ``"RL001"``.
+        severity: Build impact of the finding.
+        message: Human-readable description of the violation.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity
+    message: str
+
+    def format(self) -> str:
+        """The canonical single-line text form."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.severity.value}: {self.message}"
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able form, as written by the JSON reporter."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Finding":
+        """Rebuild a finding from :meth:`as_dict` output."""
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),
+            col=int(payload["col"]),
+            rule_id=str(payload["rule"]),
+            severity=Severity(payload["severity"]),
+            message=str(payload["message"]),
+        )

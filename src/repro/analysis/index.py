@@ -1,0 +1,294 @@
+"""The cross-module project index rules run against.
+
+The engine parses every discovered file once into a :class:`ModuleInfo`
+(AST, source, suppressions, normalized path) and aggregates them into a
+:class:`ProjectIndex`.  The index pre-extracts the facts that more than
+one rule needs — dataclass definitions with their fields, and per-module
+import alias maps — so individual rules stay small and single-purpose.
+
+Path scoping uses the *normalized relative path* (``rel_path``, always
+``/``-separated).  Rules match path fragments such as
+``"repro/sim/"`` against it, which makes the same rule work both on the
+real tree (``src/repro/sim/simulator.py``) and on fixture trees that
+mirror the layout (``tests/analysis/fixtures/rl001/repro/sim/bad.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.suppressions import Suppressions, scan_suppressions
+
+__all__ = [
+    "FieldInfo",
+    "DataclassInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "build_module",
+    "annotation_heads",
+    "dotted_name",
+]
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """The dotted name of a ``Name``/``Attribute`` chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def annotation_heads(node: Optional[ast.AST]) -> Set[str]:
+    """Every dotted name appearing in a type annotation.
+
+    ``Tuple[Tuple[str, Any], ...]`` yields ``{"Tuple", "str", "Any"}``;
+    string annotations are re-parsed so quoted forward references
+    contribute their names too.
+    """
+    heads: Set[str] = set()
+    if node is None:
+        return heads
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return heads
+    for child in ast.walk(node):
+        if isinstance(child, (ast.Name, ast.Attribute)):
+            name = dotted_name(child)
+            if name is not None:
+                heads.add(name)
+    # Attribute chains also walk their inner Name; keep only maximal
+    # dotted names plus plain names that are not a prefix of a chain.
+    maximal = {
+        h
+        for h in heads
+        if not any(other != h and other.startswith(h + ".") for other in heads)
+    }
+    return maximal
+
+
+@dataclass(frozen=True)
+class FieldInfo:
+    """One dataclass field as written in source.
+
+    Attributes:
+        name: Field name.
+        annotation: The annotation expression, if any.
+        default: The default-value expression, if any (for
+            ``field(...)`` calls this is the call itself).
+        line: 1-based line of the field statement.
+        col: Column offset of the field statement.
+    """
+
+    name: str
+    annotation: Optional[ast.expr]
+    default: Optional[ast.expr]
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class DataclassInfo:
+    """One ``@dataclass``-decorated class definition.
+
+    Attributes:
+        name: Class name.
+        module_rel_path: ``rel_path`` of the defining module.
+        fields: Annotated fields in declaration order (``ClassVar``
+            annotations excluded).
+        line: 1-based line of the ``class`` statement.
+    """
+
+    name: str
+    module_rel_path: str
+    fields: Tuple[FieldInfo, ...]
+    line: int
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file.
+
+    Attributes:
+        path: The path as discovered (used in findings).
+        rel_path: Normalized ``/``-separated relative path for scoping.
+        tree: Parsed AST.
+        source: Raw source text.
+        suppressions: The file's suppression directives.
+        import_aliases: Local name -> imported dotted name, e.g.
+            ``{"np": "numpy", "perf_counter": "time.perf_counter"}``.
+    """
+
+    path: str
+    rel_path: str
+    tree: ast.Module
+    source: str
+    suppressions: Suppressions
+    import_aliases: Dict[str, str] = field(default_factory=dict)
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Fully-qualified dotted name of a ``Name``/``Attribute`` chain.
+
+        Import aliases are expanded: with ``import numpy as np``,
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng``.
+        """
+        name = dotted_name(node)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        target = self.import_aliases.get(head)
+        if target is None:
+            return name
+        return f"{target}.{rest}" if rest else target
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    aliases[head] = head
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return aliases
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name in ("dataclass", "dataclasses.dataclass"):
+            return True
+    return False
+
+
+def _is_classvar(annotation: ast.expr) -> bool:
+    return any(
+        head == "ClassVar" or head.endswith(".ClassVar")
+        for head in annotation_heads(annotation)
+    )
+
+
+def _dataclass_fields(node: ast.ClassDef) -> Tuple[FieldInfo, ...]:
+    fields: List[FieldInfo] = []
+    for stmt in node.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        if _is_classvar(stmt.annotation):
+            continue
+        fields.append(
+            FieldInfo(
+                name=stmt.target.id,
+                annotation=stmt.annotation,
+                default=stmt.value,
+                line=stmt.lineno,
+                col=stmt.col_offset,
+            )
+        )
+    return tuple(fields)
+
+
+def build_module(path: str, root: Optional[str] = None) -> ModuleInfo:
+    """Parse one source file into a :class:`ModuleInfo`.
+
+    Raises:
+        SyntaxError: When the file does not parse; the engine converts
+            this into a parse-error finding.
+    """
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    rel = os.path.relpath(path, root) if root else path
+    rel_path = rel.replace(os.sep, "/")
+    tree = ast.parse(source, filename=path)
+    return ModuleInfo(
+        path=path,
+        rel_path=rel_path,
+        tree=tree,
+        source=source,
+        suppressions=scan_suppressions(source),
+        import_aliases=_import_aliases(tree),
+    )
+
+
+@dataclass
+class ProjectIndex:
+    """Aggregated facts about every linted module.
+
+    Attributes:
+        modules: Every successfully parsed module, in discovery order.
+        dataclasses: Every ``@dataclass`` definition found.
+    """
+
+    modules: List[ModuleInfo] = field(default_factory=list)
+    dataclasses: List[DataclassInfo] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, modules: List[ModuleInfo]) -> "ProjectIndex":
+        """Index a list of parsed modules."""
+        index = cls(modules=list(modules))
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef) and _is_dataclass_decorated(node):
+                    index.dataclasses.append(
+                        DataclassInfo(
+                            name=node.name,
+                            module_rel_path=module.rel_path,
+                            fields=_dataclass_fields(node),
+                            line=node.lineno,
+                        )
+                    )
+        return index
+
+    def module_for(self, rel_path: str) -> Optional[ModuleInfo]:
+        """The module with exactly this ``rel_path``, if indexed."""
+        for module in self.modules:
+            if module.rel_path == rel_path:
+                return module
+        return None
+
+    def modules_matching(self, fragment: str) -> List[ModuleInfo]:
+        """Modules whose ``rel_path`` contains a path fragment."""
+        return [m for m in self.modules if path_matches(m.rel_path, fragment)]
+
+    def dataclasses_in(self, fragment: str) -> List[DataclassInfo]:
+        """Dataclasses defined in modules matching a path fragment."""
+        return [
+            dc
+            for dc in self.dataclasses
+            if path_matches(dc.module_rel_path, fragment)
+        ]
+
+
+def path_matches(rel_path: str, fragment: str) -> bool:
+    """Whether a normalized path contains a ``/``-separated fragment.
+
+    A fragment ending in ``/`` matches a directory anywhere in the
+    path (including at the start); otherwise it must match a suffix at
+    a component boundary: ``"repro/sim/"`` matches
+    ``src/repro/sim/simulator.py`` and ``"engine/variants.py"``
+    matches ``src/repro/engine/variants.py``.
+    """
+    haystack = "/" + rel_path
+    if fragment.endswith("/"):
+        return "/" + fragment in haystack
+    return haystack.endswith("/" + fragment)

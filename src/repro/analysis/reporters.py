@@ -1,0 +1,79 @@
+"""Text and JSON reporters for lint results.
+
+The JSON form is versioned and round-trips losslessly through
+:func:`parse_json`, which is what lets CI archive lint output and the
+tests assert schema stability.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.analysis.engine import LintResult
+from repro.analysis.findings import Finding
+from repro.analysis.registry import all_rules
+
+__all__ = [
+    "render_text",
+    "render_json",
+    "parse_json",
+    "render_catalogue",
+    "REPORT_SCHEMA",
+]
+
+#: Bump when the JSON report layout changes.
+REPORT_SCHEMA = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.format() for finding in result.findings]
+    lines.append(
+        f"{result.files_checked} files checked, "
+        f"{len(result.findings)} findings "
+        f"({result.errors} errors, {result.warnings} warnings), "
+        f"{result.suppressed} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Stable machine-readable report (see :data:`REPORT_SCHEMA`)."""
+    payload: Dict[str, Any] = {
+        "schema": REPORT_SCHEMA,
+        "tool": "repro-lint",
+        "rules_run": list(result.rules_run),
+        "findings": [finding.as_dict() for finding in result.findings],
+        "summary": {
+            "files_checked": result.files_checked,
+            "findings": len(result.findings),
+            "errors": result.errors,
+            "warnings": result.warnings,
+            "suppressed": result.suppressed,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def parse_json(text: str) -> LintResult:
+    """Rebuild a :class:`LintResult` from :func:`render_json` output."""
+    payload = json.loads(text)
+    if payload.get("schema") != REPORT_SCHEMA:
+        raise ValueError(f"unsupported report schema: {payload.get('schema')!r}")
+    return LintResult(
+        findings=[Finding.from_dict(entry) for entry in payload["findings"]],
+        files_checked=int(payload["summary"]["files_checked"]),
+        rules_run=tuple(payload["rules_run"]),
+        suppressed=int(payload["summary"]["suppressed"]),
+    )
+
+
+def render_catalogue() -> str:
+    """The registered rule catalogue, one line per rule."""
+    lines = []
+    for rule in all_rules():
+        lines.append(
+            f"{rule.id} {rule.name} [{rule.severity.value}]: {rule.description}"
+        )
+    return "\n".join(lines)

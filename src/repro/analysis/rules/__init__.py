@@ -1,0 +1,21 @@
+"""Built-in rule catalogue; importing this package registers every rule.
+
+Rule ids:
+
+* ``RL001`` no-wallclock-on-hot-path (:mod:`.determinism`)
+* ``RL002`` unseeded-rng (:mod:`.determinism`)
+* ``RL003`` fingerprint-coverage (:mod:`.fingerprint`)
+* ``RL004`` worker-pickle-safety (:mod:`.concurrency`)
+* ``RL005`` obs-purity (:mod:`.obs`)
+* ``RL006`` mutable-default-config (:mod:`.config`)
+"""
+
+from repro.analysis.rules import (  # noqa: F401
+    concurrency,
+    config,
+    determinism,
+    fingerprint,
+    obs,
+)
+
+__all__ = ["concurrency", "config", "determinism", "fingerprint", "obs"]

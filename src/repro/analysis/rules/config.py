@@ -1,0 +1,134 @@
+"""RL006 mutable-default-config: no shared mutable defaults.
+
+A mutable default — ``def f(xs=[])``, ``space=ConfigSpace()`` in a
+signature, or a bare mutable default on a dataclass field — is
+evaluated once and shared by every call/instance.  For configuration
+objects this is the worst kind of spooky action: one caller stepping a
+shared ``ConfigSpace`` (or mutating a shared dict of knobs) changes the
+search space of every later run, which both corrupts results and
+poisons cache fingerprints.  Python's ``dataclasses`` only rejects
+``list``/``dict``/``set`` defaults at runtime; numpy arrays and domain
+objects slip through, so the lint closes the gap statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.index import ModuleInfo, ProjectIndex
+from repro.analysis.registry import rule
+
+__all__ = ["check_mutable_defaults"]
+
+#: Constructors whose results are mutable (shared-state hazard).
+_MUTABLE_CALL_TAILS = frozenset(
+    {
+        "dict", "list", "set", "bytearray", "defaultdict", "OrderedDict",
+        "deque", "Counter",
+        # Domain configuration/state objects:
+        "ConfigSpace", "Simulator", "MetricsRegistry", "Tracer",
+        "ResultCache", "ExperimentContext",
+    }
+)
+
+#: numpy array constructors (mutable buffers).
+_NUMPY_ARRAY_TAILS = frozenset(
+    {"array", "zeros", "ones", "empty", "full", "arange", "linspace"}
+)
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                     ast.SetComp)
+
+
+def _mutable_default_problem(
+    module: ModuleInfo, node: ast.expr
+) -> Optional[str]:
+    """Why a default expression is a shared mutable value, or ``None``."""
+    if isinstance(node, _MUTABLE_LITERALS):
+        return "a mutable literal"
+    if isinstance(node, ast.Call):
+        resolved = module.resolve(node.func)
+        if resolved is None:
+            return None
+        tail = resolved.rsplit(".", 1)[-1]
+        if tail in _MUTABLE_CALL_TAILS:
+            return f"a shared {tail}() instance"
+        if resolved.startswith("numpy.") and tail in _NUMPY_ARRAY_TAILS:
+            return f"a shared numpy.{tail}() buffer"
+    return None
+
+
+def _finding(module: ModuleInfo, node: ast.expr, where: str,
+             problem: str) -> Finding:
+    return Finding(
+        path=module.path,
+        line=node.lineno,
+        col=node.col_offset,
+        rule_id="RL006",
+        severity=Severity.ERROR,
+        message=(
+            f"{where} defaults to {problem}, evaluated once and shared by "
+            "every caller/instance; default to None and construct inside, "
+            "or use field(default_factory=...)"
+        ),
+    )
+
+
+def _field_call_default(node: ast.expr) -> Optional[ast.expr]:
+    """The ``default=`` expression of a ``field(...)`` call, if any."""
+    if not isinstance(node, ast.Call):
+        return None
+    callee = node.func
+    name = callee.id if isinstance(callee, ast.Name) else (
+        callee.attr if isinstance(callee, ast.Attribute) else None
+    )
+    if name != "field":
+        return None
+    for keyword in node.keywords:
+        if keyword.arg == "default":
+            return keyword.value
+    return ast.Constant(value=None)  # field(...) without default= is safe
+
+
+@rule(
+    "RL006",
+    "mutable-default-config",
+    "no mutable default arguments or dataclass field defaults "
+    "(shared ConfigSpace/dict/list instances)",
+)
+def check_mutable_defaults(
+    module: ModuleInfo, index: ProjectIndex
+) -> Iterator[Finding]:
+    """Flag shared mutable defaults in signatures and dataclass fields."""
+    # Function and lambda signature defaults.
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        name = getattr(node, "name", "<lambda>")
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            problem = _mutable_default_problem(module, default)
+            if problem is not None:
+                yield _finding(
+                    module, default, f"parameter of {name}()", problem
+                )
+    # Dataclass field defaults.
+    for dc in index.dataclasses:
+        if dc.module_rel_path != module.rel_path:
+            continue
+        for field_info in dc.fields:
+            default = field_info.default
+            if default is None:
+                continue
+            inner = _field_call_default(default)
+            checked = inner if inner is not None else default
+            problem = _mutable_default_problem(module, checked)
+            if problem is not None:
+                yield _finding(
+                    module, checked,
+                    f"dataclass field {dc.name}.{field_info.name}", problem,
+                )

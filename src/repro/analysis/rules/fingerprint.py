@@ -1,0 +1,193 @@
+"""RL003 fingerprint-coverage: cache-key material must stay describable.
+
+The engine's content-addressed cache is only sound if *everything* that
+affects a run's outcome reaches the cache key.  Two static facets of
+that contract are checked here, both cross-module:
+
+1. **Describable annotations.**  Dataclasses whose instances flow into
+   cache fingerprints (the request/spec types in ``engine/variants.py``
+   and every workload spec under ``workloads/``) must keep their fields
+   within what :func:`repro.engine.fingerprint.describe` can reduce to
+   distinct canonical forms.  ``Callable`` fields are the classic trap:
+   every plain function describes to the same opaque ``["obj", ...]``
+   node, so two different behaviours fingerprint identically and the
+   cache silently serves stale results.  Locks, files, threads, and
+   executors do not describe at all and fail only at runtime.
+
+2. **Serializer coverage.**  The run types in ``sim/trace.py`` are
+   persisted by ``engine/serialize.py``; a field added to a run
+   dataclass but not mentioned in the serializer would be silently
+   dropped from cached results.  Every field name of every dataclass in
+   the trace module must therefore appear (as a string, attribute, or
+   keyword) in the paired serializer module.
+
+Registry-metadata types that never reach a fingerprint (e.g.
+``VariantSpec``, which holds the compute callables themselves) are
+exempted by name in :data:`REGISTRY_ONLY_TYPES`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.index import (
+    DataclassInfo,
+    ModuleInfo,
+    ProjectIndex,
+    annotation_heads,
+)
+from repro.analysis.registry import rule
+
+__all__ = ["check_fingerprint_coverage"]
+
+#: Modules whose dataclasses are cache-key material.
+FINGERPRINTED_SCOPES = ("repro/engine/variants.py", "repro/workloads/")
+
+#: Dataclasses in scope that are registry metadata, never fingerprinted.
+#: (``VariantSpec`` intentionally holds the compute callables; its
+#: instances describe *behaviour*, they are not cache-key inputs.)
+REGISTRY_ONLY_TYPES = frozenset({"VariantSpec"})
+
+#: The serializer/run-type module pair checked by facet 2.
+SERIALIZER_PATH = "repro/engine/serialize.py"
+TRACE_PATH = "repro/sim/trace.py"
+
+#: Fully-qualified type names describe() cannot fingerprint soundly.
+NON_FINGERPRINTABLE = frozenset(
+    {
+        "typing.Callable",
+        "collections.abc.Callable",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Event",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "threading.Barrier",
+        "threading.Thread",
+        "typing.IO",
+        "typing.TextIO",
+        "typing.BinaryIO",
+        "io.IOBase",
+        "io.RawIOBase",
+        "io.BufferedIOBase",
+        "io.TextIOBase",
+        "io.TextIOWrapper",
+        "io.BufferedReader",
+        "io.BufferedWriter",
+        "socket.socket",
+        "queue.Queue",
+        "multiprocessing.Queue",
+        "multiprocessing.Lock",
+        "multiprocessing.Pool",
+        "concurrent.futures.Executor",
+        "concurrent.futures.ThreadPoolExecutor",
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.Future",
+    }
+)
+
+
+def _resolved_heads(module: ModuleInfo, annotation: Optional[ast.expr]) -> Set[str]:
+    """Annotation heads, expanded through the module's import aliases."""
+    resolved: Set[str] = set()
+    for head in annotation_heads(annotation):
+        root, _, rest = head.partition(".")
+        target = module.import_aliases.get(root)
+        full = head if target is None else (f"{target}.{rest}" if rest else target)
+        resolved.add(full)
+    return resolved
+
+
+def _check_annotations(
+    index: ProjectIndex, dc: DataclassInfo
+) -> Iterator[Finding]:
+    module = index.module_for(dc.module_rel_path)
+    if module is None:
+        return
+    for field in dc.fields:
+        bad = _resolved_heads(module, field.annotation) & NON_FINGERPRINTABLE
+        for name in sorted(bad):
+            yield Finding(
+                path=module.path,
+                line=field.line,
+                col=field.col,
+                rule_id="RL003",
+                severity=Severity.ERROR,
+                message=(
+                    f"field {dc.name}.{field.name} is typed {name}, which "
+                    "engine.fingerprint.describe() cannot reduce to a "
+                    "distinct canonical form; cache keys would collide or "
+                    "fail at runtime"
+                ),
+            )
+
+
+def _covered_names(serializer: ModuleInfo) -> Set[str]:
+    """Every identifier-ish name the serializer module mentions."""
+    names: Set[str] = set()
+    for node in ast.walk(serializer.tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.add(node.value)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.keyword) and node.arg is not None:
+            names.add(node.arg)
+    return names
+
+
+def _serializer_pairs(
+    index: ProjectIndex,
+) -> Iterator[Dict[str, ModuleInfo]]:
+    """Each serializer module paired with its sibling trace module.
+
+    Pairing is by tree prefix, so fixture trees that mirror the layout
+    (``.../repro/engine/serialize.py`` + ``.../repro/sim/trace.py``)
+    pair with themselves rather than with the real sources.
+    """
+    for serializer in index.modules_matching(SERIALIZER_PATH):
+        prefix = serializer.rel_path[: -len(SERIALIZER_PATH)]
+        trace = index.module_for(prefix + TRACE_PATH)
+        if trace is not None:
+            yield {"serializer": serializer, "trace": trace}
+
+
+def _check_serializer_coverage(index: ProjectIndex) -> Iterator[Finding]:
+    for pair in _serializer_pairs(index):
+        serializer, trace = pair["serializer"], pair["trace"]
+        covered = _covered_names(serializer)
+        for dc in index.dataclasses:
+            if dc.module_rel_path != trace.rel_path:
+                continue
+            for field in dc.fields:
+                if field.name not in covered:
+                    yield Finding(
+                        path=trace.path,
+                        line=field.line,
+                        col=field.col,
+                        rule_id="RL003",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"field {dc.name}.{field.name} is not mentioned "
+                            f"in {serializer.rel_path}; cached results would "
+                            "silently drop it on round-trip"
+                        ),
+                    )
+
+
+@rule(
+    "RL003",
+    "fingerprint-coverage",
+    "cache-key dataclasses must stay describable and fully serialized",
+    scope="project",
+)
+def check_fingerprint_coverage(index: ProjectIndex) -> Iterator[Finding]:
+    """Cross-module fingerprint/serialization coverage check."""
+    for scope in FINGERPRINTED_SCOPES:
+        for dc in index.dataclasses_in(scope):
+            if dc.name in REGISTRY_ONLY_TYPES:
+                continue
+            yield from _check_annotations(index, dc)
+    yield from _check_serializer_coverage(index)

@@ -1,0 +1,189 @@
+"""RL005 obs-purity: observation must never mutate the observed.
+
+Two invariants, both born out of the PR-3 cache-fingerprint hazard
+(``describe()`` walks ``__dict__``, so *any* attribute stored on a
+fingerprinted object — a ``Simulator``, a session — changes cache keys
+and invalidates every cached result):
+
+1. Code under ``repro/obs/`` must not write attributes on foreign
+   objects.  It may mutate ``self`` and obs-owned value types
+   (:data:`OBS_OWNED_TYPES`: spans, tracers, registries), but a
+   simulator, session, manager, or policy handed to an exporter or
+   tracer must come back untouched.
+
+2. Anywhere in the tree, obs handles (``obs``/``tracer``/``registry``)
+   must not be *stored* on simulator or session objects from outside —
+   instrumentation is passed per call, never installed as an attribute.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.index import (
+    ModuleInfo,
+    ProjectIndex,
+    annotation_heads,
+    path_matches,
+)
+from repro.analysis.registry import rule
+from repro.analysis.rules.common import ScopeMap
+
+__all__ = ["check_obs_purity"]
+
+#: Modules the foreign-write facet applies to.
+OBS_PATHS = ("repro/obs/",)
+
+#: Value types the obs layer owns and may freely mutate.
+OBS_OWNED_TYPES = frozenset(
+    {
+        "Span",
+        "Tracer",
+        "NullTracer",
+        "MetricsRegistry",
+        "Instrumentation",
+        "CacheStats",
+        "SessionStats",
+    }
+)
+
+#: Obs-handle attribute names that must never be installed externally.
+OBS_ATTRS = frozenset({"obs", "_obs", "tracer", "_tracer", "registry", "_registry"})
+
+#: Receiver classes obs handles must never be stored on.
+GUARDED_CLASSES = frozenset(
+    {"Simulator", "SessionRuntime", "SessionManager", "InstrumentedSession"}
+)
+
+#: Parameter names treated as foreign when unannotated (obs modules).
+_FOREIGN_PARAM_NAMES = frozenset(
+    {"sim", "simulator", "session", "sessions", "manager", "runtime", "policy"}
+)
+
+
+def _root_name(node: ast.expr) -> Optional[ast.Name]:
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node if isinstance(node, ast.Name) else None
+
+
+def _annotation_type_names(annotation: Optional[ast.expr]) -> frozenset:
+    heads = set()
+    for head in annotation_heads(annotation):
+        heads.add(head.rsplit(".", 1)[-1])
+    return frozenset(heads)
+
+
+def _receiver_class(
+    scopes: ScopeMap, root: ast.Name
+) -> Optional[str]:
+    """Best-effort class name of a receiver variable."""
+    is_param, annotation = scopes.param_annotation(root, root.id)
+    if is_param:
+        names = _annotation_type_names(annotation) & GUARDED_CLASSES
+        return next(iter(names), None)
+    value = scopes.lookup(root, root.id)
+    if isinstance(value, ast.Call):
+        callee = value.func
+        tail = None
+        if isinstance(callee, ast.Name):
+            tail = callee.id
+        elif isinstance(callee, ast.Attribute):
+            tail = callee.attr
+        if tail in GUARDED_CLASSES:
+            return tail
+        if tail == "session":  # sim.session(...) returns a SessionRuntime
+            return "SessionRuntime"
+    return None
+
+
+def _attribute_targets(node: ast.stmt) -> Iterator[ast.Attribute]:
+    targets: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    for target in targets:
+        if isinstance(target, ast.Attribute):
+            yield target
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                if isinstance(element, ast.Attribute):
+                    yield element
+
+
+def _foreign_write_finding(
+    module: ModuleInfo, scopes: ScopeMap, target: ast.Attribute
+) -> Optional[Finding]:
+    """Facet 1: non-self attribute writes inside obs modules."""
+    root = _root_name(target.value)
+    if root is None or root.id in ("self", "cls"):
+        return None
+    is_param, annotation = scopes.param_annotation(root, root.id)
+    if is_param:
+        annotated = _annotation_type_names(annotation)
+        if annotated & OBS_OWNED_TYPES:
+            return None
+        if annotated & GUARDED_CLASSES or root.id in _FOREIGN_PARAM_NAMES:
+            return Finding(
+                path=module.path,
+                line=target.lineno,
+                col=target.col_offset,
+                rule_id="RL005",
+                severity=Severity.ERROR,
+                message=(
+                    f"obs code writes {root.id}.{target.attr}; observation "
+                    "must never mutate the observed object (cache-"
+                    "fingerprint hazard) — keep obs state per-call"
+                ),
+            )
+    return None
+
+
+def _install_finding(
+    module: ModuleInfo, scopes: ScopeMap, target: ast.Attribute
+) -> Optional[Finding]:
+    """Facet 2: obs handles installed on simulator/session objects."""
+    if target.attr not in OBS_ATTRS:
+        return None
+    root = _root_name(target.value)
+    if root is None or root.id in ("self", "cls"):
+        return None
+    receiver = _receiver_class(scopes, root)
+    if receiver is None:
+        return None
+    return Finding(
+        path=module.path,
+        line=target.lineno,
+        col=target.col_offset,
+        rule_id="RL005",
+        severity=Severity.ERROR,
+        message=(
+            f"obs handle installed as {root.id}.{target.attr} on a "
+            f"{receiver}; instrumentation is passed per call, never "
+            "stored on fingerprinted objects (describe() walks __dict__)"
+        ),
+    )
+
+
+@rule(
+    "RL005",
+    "obs-purity",
+    "obs code must not mutate observed objects; obs handles are "
+    "per-call, never stored on simulators/sessions",
+)
+def check_obs_purity(module: ModuleInfo, index: ProjectIndex) -> Iterator[Finding]:
+    """Flag observation code that mutates the objects it observes."""
+    scopes = ScopeMap(module.tree)
+    in_obs = any(path_matches(module.rel_path, p) for p in OBS_PATHS)
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            continue
+        for target in _attribute_targets(node):
+            finding = _install_finding(module, scopes, target)
+            if finding is None and in_obs:
+                finding = _foreign_write_finding(module, scopes, target)
+            if finding is not None:
+                yield finding

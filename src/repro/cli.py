@@ -86,6 +86,30 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("-o", "--output", default="EXPERIMENTS.md")
     _add_engine_flags(report)
 
+    lint = sub.add_parser(
+        "lint", help="run the AST invariant linter (RL001-RL006)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files/directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--ignore", default=None, metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--format", dest="lint_format", default="text",
+        choices=("text", "json"), help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
     obs = sub.add_parser(
         "obs", help="inspect traces/metrics written by --trace-out"
     )
@@ -346,6 +370,32 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _split_rules(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import render_catalogue, render_json, render_text, run_lint
+
+    if args.list_rules:
+        print(render_catalogue())
+        return 0
+    try:
+        result = run_lint(
+            args.paths,
+            select=_split_rules(args.select),
+            ignore=_split_rules(args.ignore),
+        )
+    except (FileNotFoundError, KeyError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.lint_format == "json" else render_text
+    print(render(result))
+    return result.exit_code
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs.exporters import (
         format_summary,
@@ -360,7 +410,7 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     if args.obs_command == "validate":
         import json
 
-        with open(args.schema, "r", encoding="utf-8") as handle:
+        with open(args.schema, encoding="utf-8") as handle:
             schema = json.load(handle)
         errors = validate_trace_file(args.trace, schema)
         for error in errors:
@@ -392,6 +442,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_experiments(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "obs":
         return _cmd_obs(args)
     raise ValueError(f"unknown command {args.command!r}")  # pragma: no cover

@@ -68,7 +68,9 @@ def __getattr__(name: str):
     try:
         module_name, attr = _EXPORTS[name]
     except KeyError:
-        raise AttributeError(f"module 'repro.engine' has no attribute {name!r}")
+        raise AttributeError(
+            f"module 'repro.engine' has no attribute {name!r}"
+        ) from None
     import importlib
 
     return getattr(importlib.import_module(module_name), attr)

@@ -46,6 +46,7 @@ def run_result_to_dict(run: RunResult) -> Dict[str, Any]:
         "schema": SCHEMA_VERSION,
         "app_name": run.app_name,
         "policy_name": run.policy_name,
+        "base_index": run.base_index,
         "launches": [
             {
                 "config": {
@@ -66,7 +67,11 @@ def run_result_from_dict(payload: Dict[str, Any]) -> RunResult:
     if payload.get("schema") != SCHEMA_VERSION:
         raise ValueError(f"unsupported run schema: {payload.get('schema')!r}")
     result = RunResult(
-        app_name=payload["app_name"], policy_name=payload["policy_name"]
+        app_name=payload["app_name"],
+        policy_name=payload["policy_name"],
+        # Entries written before base_index existed omit it (schema 1
+        # stays readable): those are always complete runs, i.e. 0.
+        base_index=int(payload.get("base_index", 0)),
     )
     for entry in payload["launches"]:
         config = HardwareConfig(**entry["config"])

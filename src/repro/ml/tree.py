@@ -46,7 +46,9 @@ class DecisionTreeRegressor:
         self.min_samples_leaf = min_samples_leaf
         self.min_samples_split = min_samples_split
         self.max_features = max_features
-        self._rng = rng if rng is not None else np.random.default_rng()
+        # RL002: the fallback generator must be explicitly seeded, or
+        # identically-configured trees would differ run to run.
+        self._rng = rng if rng is not None else np.random.default_rng(0)
         # Flat node arrays, filled by fit():
         self._feature: Optional[np.ndarray] = None  # -1 marks a leaf
         self._threshold: Optional[np.ndarray] = None

@@ -91,7 +91,7 @@ def write_jsonl(spans: Iterable[Any], path: str) -> int:
 def read_jsonl(path: str) -> List[Dict[str, Any]]:
     """Load every span of a JSONL trace file (blank lines skipped)."""
     spans: List[Dict[str, Any]] = []
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:

@@ -1,0 +1,5 @@
+"""Parse-error fixture (deliberately invalid syntax)."""
+
+
+def broken(:
+    pass

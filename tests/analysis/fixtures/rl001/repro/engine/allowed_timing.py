@@ -1,0 +1,8 @@
+"""RL001 allowlist fixture: engine timing blocks may read the wall clock."""
+
+import time
+
+
+def measure():
+    start = time.perf_counter()
+    return time.perf_counter() - start

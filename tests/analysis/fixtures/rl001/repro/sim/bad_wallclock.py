@@ -1,0 +1,12 @@
+"""RL001 bad fixture: wall-clock reads on a simulated-time hot path."""
+
+import datetime
+import time
+from time import perf_counter
+
+
+def step(dt):
+    started = time.time()
+    tick = perf_counter()
+    stamp = datetime.datetime.now()
+    return started + tick + stamp.timestamp() + dt

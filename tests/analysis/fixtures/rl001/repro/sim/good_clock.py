@@ -1,0 +1,9 @@
+"""RL001 clean fixture: time is injected, never read from the host."""
+
+
+class Stepper:
+    def __init__(self, clock):
+        self._clock = clock
+
+    def step(self, at=None):
+        return self._clock() if at is None else at

@@ -1,0 +1,10 @@
+"""RL002 bad fixture: unseeded and process-global random generation."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    rng = np.random.default_rng()
+    return rng.normal() + np.random.rand() + random.random()

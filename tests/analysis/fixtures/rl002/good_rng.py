@@ -1,0 +1,9 @@
+"""RL002 clean fixture: every generator is explicitly seeded."""
+
+import numpy as np
+
+
+def draw(seed):
+    rng = np.random.default_rng(seed)
+    jitter = np.random.default_rng(seed=seed + 1)
+    return rng.normal() + jitter.normal()

@@ -1,0 +1,11 @@
+"""RL003 bad fixture: a Callable field on cache-key material."""
+
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple
+
+
+@dataclass(frozen=True)
+class CachedRequest:
+    benchmark: str
+    params: Tuple[Tuple[str, Any], ...]
+    transform: Callable[[float], float]

@@ -1,0 +1,16 @@
+"""RL003 mixed fixture: one clean spec, one carrying a lock."""
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GoodSpec:
+    name: str
+    weight: float = 1.0
+
+
+@dataclass
+class RacySpec:
+    name: str
+    guard: threading.Lock = field(default_factory=threading.Lock)

@@ -1,0 +1,9 @@
+"""Serializer side of the RL003 coverage fixture (misses resumed_at)."""
+
+
+def to_dict(run):
+    return {"app_name": run.app_name, "launches": list(run.launches)}
+
+
+def from_dict(payload):
+    return payload["app_name"], payload["launches"]

@@ -1,0 +1,11 @@
+"""RL003 serializer-coverage fixture: one field missing downstream."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class FixtureRun:
+    app_name: str
+    launches: List[float] = field(default_factory=list)
+    resumed_at: int = 0

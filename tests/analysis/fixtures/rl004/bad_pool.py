@@ -1,0 +1,29 @@
+"""RL004 bad fixture: unpicklable process-pool targets and payloads."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def process(item):
+    return item
+
+
+def run(items):
+    lock = threading.Lock()
+    log = open("log.txt", "w")
+
+    def helper(item):
+        return item * 2
+
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(lambda x: x, item) for item in items]
+        futures.append(pool.submit(helper, items[0]))
+        futures.append(pool.submit(process, lock))
+        futures.append(pool.submit(process, log))
+    return futures
+
+
+def setup():
+    return ProcessPoolExecutor(
+        initializer=lambda: None, initargs=(open("x.txt", "w"),)
+    )

@@ -1,0 +1,20 @@
+"""RL004 clean fixture: module-level target, plain-value payloads."""
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _double(item):
+    return item * 2
+
+
+def _init(spec_bytes):
+    pickle.loads(spec_bytes)
+
+
+def run(items, spec):
+    spec_bytes = pickle.dumps(spec)
+    with ProcessPoolExecutor(
+        max_workers=2, initializer=_init, initargs=(spec_bytes,)
+    ) as pool:
+        return [pool.submit(_double, item) for item in items]

@@ -1,0 +1,16 @@
+"""RL005 bad fixture: obs handles installed on guarded objects."""
+
+
+class Simulator:
+    pass
+
+
+def attach(tracer):
+    sim = Simulator()
+    sim.obs = tracer
+    return sim
+
+
+def attach_session(runtime: "SessionRuntime", tracer):
+    runtime.tracer = tracer
+    return runtime

@@ -1,0 +1,10 @@
+"""RL005 clean fixture: instrumentation passed per call, never stored."""
+
+
+class Simulator:
+    def run(self, app, obs=None):
+        return app, obs
+
+
+def run_instrumented(sim, app, obs):
+    return sim.run(app, obs=obs)

@@ -1,0 +1,12 @@
+"""RL005 bad fixture: obs code mutating the objects it observes."""
+
+
+class Probe:
+    def collect(self, sim):
+        sim.last_probe = self
+        return sim.state
+
+
+def install(session):
+    session.obs = object()
+    return session

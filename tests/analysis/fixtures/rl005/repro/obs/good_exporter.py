@@ -1,0 +1,10 @@
+"""RL005 clean fixture: obs stays per-call and mutates only itself."""
+
+
+class Recorder:
+    def __init__(self):
+        self.rows = []
+
+    def record(self, span):
+        self.rows.append(dict(span.attributes))
+        return self.rows[-1]

@@ -1,0 +1,21 @@
+"""RL006 bad fixture: shared mutable defaults."""
+
+from dataclasses import dataclass, field
+
+
+class ConfigSpace:
+    pass
+
+
+def search(seen=[], options={}):
+    return seen, options
+
+
+def explore(space=ConfigSpace()):
+    return space
+
+
+@dataclass
+class Config:
+    knobs: dict = field(default=dict())
+    targets: list = []

@@ -1,0 +1,13 @@
+"""RL006 clean fixture: None defaults and default_factory."""
+
+from dataclasses import dataclass, field
+
+
+def search(seen=None, limit=10):
+    return ([] if seen is None else seen), limit
+
+
+@dataclass
+class Config:
+    knobs: dict = field(default_factory=dict)
+    name: str = "default"

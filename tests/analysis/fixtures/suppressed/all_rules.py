@@ -1,0 +1,9 @@
+"""Suppression fixture: the ALL wildcard silences every rule."""
+
+# repro-lint: disable-file=ALL
+
+import numpy as np
+
+
+def draw(options={}):
+    return np.random.default_rng(), options

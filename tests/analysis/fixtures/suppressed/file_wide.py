@@ -1,0 +1,9 @@
+"""Suppression fixture: whole-file directive for one rule."""
+
+# repro-lint: disable-file=RL002
+
+import numpy as np
+
+
+def draw():
+    return np.random.default_rng() + np.random.rand()

@@ -1,0 +1,7 @@
+"""Suppression fixture: one violation silenced on its own line."""
+
+import numpy as np
+
+
+def draw():
+    return np.random.default_rng()  # repro-lint: disable=RL002

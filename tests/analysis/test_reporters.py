@@ -1,0 +1,56 @@
+"""Reporter behaviour: text formatting, JSON schema stability, round-trip."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    REPORT_SCHEMA,
+    parse_json,
+    render_catalogue,
+    render_json,
+    render_text,
+)
+
+from tests.analysis.conftest import lint_fixture
+
+pytestmark = pytest.mark.analysis
+
+
+def test_json_round_trip_is_lossless():
+    result = lint_fixture("rl001", "rl006")
+    parsed = parse_json(render_json(result))
+    assert parsed == result
+
+
+def test_json_layout():
+    payload = json.loads(render_json(lint_fixture("rl002/bad_rng.py")))
+    assert payload["schema"] == REPORT_SCHEMA
+    assert payload["tool"] == "repro-lint"
+    assert payload["summary"]["findings"] == len(payload["findings"])
+    assert payload["summary"]["errors"] == 3
+    first = payload["findings"][0]
+    assert set(first) == {"path", "line", "col", "rule", "severity", "message"}
+
+
+def test_unknown_schema_rejected():
+    payload = json.loads(render_json(lint_fixture("rl002/good_rng.py")))
+    payload["schema"] = REPORT_SCHEMA + 1
+    with pytest.raises(ValueError):
+        parse_json(json.dumps(payload))
+
+
+def test_text_report_has_location_lines_and_summary():
+    result = lint_fixture("rl001")
+    text = render_text(result)
+    lines = text.splitlines()
+    assert len(lines) == len(result.findings) + 1
+    assert lines[0].count(":") >= 3  # path:line:col: id severity: message
+    assert "3 files checked" in lines[-1]
+    assert "3 errors" in lines[-1]
+
+
+def test_catalogue_lists_every_rule():
+    catalogue = render_catalogue()
+    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+        assert rule_id in catalogue
