@@ -8,6 +8,7 @@ Rule ids:
 * ``RL004`` worker-pickle-safety (:mod:`.concurrency`)
 * ``RL005`` obs-purity (:mod:`.obs`)
 * ``RL006`` mutable-default-config (:mod:`.config`)
+* ``RL007`` scalar-path-drift (:mod:`.hotpath`)
 """
 
 from repro.analysis.rules import (  # noqa: F401
@@ -15,7 +16,15 @@ from repro.analysis.rules import (  # noqa: F401
     config,
     determinism,
     fingerprint,
+    hotpath,
     obs,
 )
 
-__all__ = ["concurrency", "config", "determinism", "fingerprint", "obs"]
+__all__ = [
+    "concurrency",
+    "config",
+    "determinism",
+    "fingerprint",
+    "hotpath",
+    "obs",
+]

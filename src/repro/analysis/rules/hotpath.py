@@ -1,0 +1,131 @@
+"""RL007 scalar-path-drift: the decide hot path must stay columnar.
+
+The decision core (``repro/core/``) was refactored onto the columnar
+predictor interface: candidate sweeps hand a
+:class:`~repro.hardware.table.ConfigTable` plus flat index arrays to
+``estimate_matrix`` and get struct-of-arrays estimates back in one
+call.  The slow pattern that refactor removed — one scalar
+``predictor.estimate(...)`` per candidate configuration inside a Python
+loop — tends to creep back in piecemeal, because each individual call
+site is correct and only the aggregate is slow.  RL007 flags exactly
+that drift: a call to ``<something named *predictor*>.estimate(...)``
+lexically inside a ``for``/``while`` body (or a comprehension) in
+``repro/core/``.
+
+Deliberate scalar fallbacks (duck-typed predictors without
+``estimate_matrix``) stay legal: wrap the call in a helper function —
+a nested ``def`` is a new execution context, not a per-iteration call
+site — exactly what ``GreedyHillClimbOptimizer`` does.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.index import ModuleInfo, ProjectIndex, path_matches
+from repro.analysis.registry import rule
+
+__all__ = ["check_scalar_path_drift"]
+
+#: Paths holding the decision core, where the columnar predictor
+#: interface is the hot-path contract.
+CORE_PATHS = ("repro/core/",)
+
+#: Execution-context boundaries: code inside these runs when *called*,
+#: not once per loop iteration, so a loop outside them is irrelevant.
+_CONTEXT_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+
+
+def _receiver_tail(expr: ast.expr) -> str:
+    """Last component of a ``Name``/``Attribute`` receiver chain."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return ""
+
+
+def _is_scalar_estimate_call(node: ast.Call) -> bool:
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "estimate"
+        and "predictor" in _receiver_tail(func.value).lower()
+    )
+
+
+def _per_iteration_calls(tree: ast.Module) -> List[ast.Call]:
+    """Scalar-estimate calls whose subtree executes once per iteration."""
+    flagged: List[ast.Call] = []
+
+    def visit(node: ast.AST, in_loop: bool) -> None:
+        if isinstance(node, _CONTEXT_NODES):
+            for child in ast.iter_child_nodes(node):
+                visit(child, False)
+            return
+        if in_loop and isinstance(node, ast.Call) and _is_scalar_estimate_call(node):
+            flagged.append(node)
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            # The iterable expression evaluates once; body/orelse repeat.
+            visit(node.iter, in_loop)
+            visit(node.target, True)
+            for stmt in node.body + node.orelse:
+                visit(stmt, True)
+            return
+        if isinstance(node, ast.While):
+            # The test re-evaluates every iteration, like the body.
+            visit(node.test, True)
+            for stmt in node.body + node.orelse:
+                visit(stmt, True)
+            return
+        if isinstance(node, _COMPREHENSIONS):
+            # The first generator's source evaluates once; the element
+            # expression, conditions, and later generators repeat.
+            for position, generator in enumerate(node.generators):
+                visit(generator.iter, in_loop if position == 0 else True)
+                visit(generator.target, True)
+                for condition in generator.ifs:
+                    visit(condition, True)
+            if isinstance(node, ast.DictComp):
+                visit(node.key, True)
+                visit(node.value, True)
+            else:
+                visit(node.elt, True)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child, in_loop)
+
+    visit(tree, False)
+    return flagged
+
+
+@rule(
+    "RL007",
+    "scalar-path-drift",
+    "repro/core/ loops must use the columnar estimate_matrix API, not "
+    "per-config predictor.estimate() calls",
+)
+def check_scalar_path_drift(
+    module: ModuleInfo, index: ProjectIndex
+) -> Iterator[Finding]:
+    """Flag per-config scalar predictor calls in decision-core loops."""
+    if not any(path_matches(module.rel_path, core) for core in CORE_PATHS):
+        return
+    for node in _per_iteration_calls(module.tree):
+        yield Finding(
+            path=module.path,
+            line=node.lineno,
+            col=node.col_offset,
+            rule_id="RL007",
+            severity=Severity.ERROR,
+            message=(
+                "per-config predictor.estimate() inside a loop on the "
+                "decision core; batch the candidates through "
+                "estimate_matrix(counters, table, indices) (or move the "
+                "deliberate scalar fallback into a helper function)"
+            ),
+        )

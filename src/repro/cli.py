@@ -110,6 +110,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the rule catalogue and exit",
     )
 
+    bench = sub.add_parser("bench", help="microbenchmarks of the runtime hot paths")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    decide = bench_sub.add_parser(
+        "decide",
+        help="decisions/sec of the hill-climb, scalar vs. columnar paths",
+    )
+    decide.add_argument(
+        "--quick", action="store_true",
+        help="fewer timed decisions and a small forest (CI smoke mode)",
+    )
+    decide.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="trajectory JSON file (default: BENCH_decide.json)",
+    )
+    decide.add_argument(
+        "--label", default=None, help="label for this trajectory entry"
+    )
+    decide.add_argument(
+        "--benchmark", default=None, metavar="NAME",
+        help="benchmark supplying the decision workload (default: kmeans)",
+    )
+    decide.add_argument(
+        "--cache-dir", default=".cache",
+        help="predictor cache directory (default: .cache)",
+    )
+
     obs = sub.add_parser(
         "obs", help="inspect traces/metrics written by --trace-out"
     )
@@ -396,6 +422,30 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench_decide import (
+        DEFAULT_BENCHMARK,
+        DEFAULT_OUTPUT,
+        format_entry,
+        run_bench_decide,
+    )
+
+    if args.bench_command == "decide":
+        entry = run_bench_decide(
+            quick=args.quick,
+            output=args.output or DEFAULT_OUTPUT,
+            label=args.label,
+            benchmark_name=args.benchmark or DEFAULT_BENCHMARK,
+            cache_dir=args.cache_dir,
+        )
+        print(format_entry(entry))
+        print(f"appended to {args.output or DEFAULT_OUTPUT}")
+        return 0
+    raise ValueError(
+        f"unknown bench command {args.bench_command!r}"
+    )  # pragma: no cover
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs.exporters import (
         format_summary,
@@ -444,6 +494,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_report(args)
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "obs":
         return _cmd_obs(args)
     raise ValueError(f"unknown command {args.command!r}")  # pragma: no cover

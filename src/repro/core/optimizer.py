@@ -24,12 +24,15 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.pattern import KernelRecord
 from repro.core.tracker import PerformanceTracker
 from repro.hardware.config import FAILSAFE_CONFIG, ConfigSpace, HardwareConfig, Knob
-from repro.ml.predictors import KernelEstimate, PerfPowerPredictor
+from repro.hardware.table import ConfigTable
+from repro.ml.predictors import EstimateBatch, KernelEstimate, PerfPowerPredictor
 from repro.obs import Instrumentation, or_noop
 
 __all__ = ["OptimizationResult", "GreedyHillClimbOptimizer"]
@@ -55,20 +58,34 @@ class OptimizationResult:
 class GreedyHillClimbOptimizer:
     """Energy-minimizing configuration search for single kernels/windows.
 
+    The search runs on the columnar decision core: candidate
+    configurations are flat :class:`~repro.hardware.table.ConfigTable`
+    indices, knob moves are stride arithmetic, and estimates come from
+    the predictor's ``estimate_matrix`` batch interface when it has one
+    (falling back to the scalar ``estimate``/``estimate_batch`` protocol
+    for duck-typed predictors that don't).  Chosen configurations,
+    estimate floats, and evaluation counts are identical to the scalar
+    search — the golden-result suite depends on that.
+
     Args:
         space: The searchable configuration space.
         predictor: Performance/power model used for all estimates.
         fail_safe: Configuration applied when the performance target
             cannot be met (clamped onto ``space``).
         obs: Optional instrumentation; searches accumulate hill-climb
-            step counts onto the current trace span and emit registry
-            counters.  Defaults to the shared no-op.
+            step counts and matrix-path batch statistics onto the
+            current trace span and emit registry counters.  Defaults to
+            the shared no-op.
+        use_matrix: When ``False``, force the scalar predictor protocol
+            even if the predictor offers ``estimate_matrix`` — the
+            comparison baseline for ``repro bench decide``.
     """
 
     def __init__(self, space: ConfigSpace, predictor: PerfPowerPredictor,
                  fail_safe: HardwareConfig = FAILSAFE_CONFIG,
                  max_passes: int = 3,
-                 obs: Optional[Instrumentation] = None) -> None:
+                 obs: Optional[Instrumentation] = None,
+                 use_matrix: bool = True) -> None:
         if max_passes < 1:
             raise ValueError("max_passes must be at least 1")
         self.space = space
@@ -76,6 +93,33 @@ class GreedyHillClimbOptimizer:
         self.fail_safe = space.clamp(fail_safe)
         self.max_passes = max_passes
         self.obs = or_noop(obs)
+        self.use_matrix = use_matrix
+        self.table = ConfigTable(space)
+        self._fail_safe_index = self.table.index_of_config(self.fail_safe)
+
+    def _matrix_path(
+        self,
+    ) -> Optional[Callable[..., EstimateBatch]]:
+        """The predictor's columnar interface, or ``None`` when opted
+        out / absent (duck-typed scalar-only predictors)."""
+        if not self.use_matrix:
+            return None
+        return getattr(self.predictor, "estimate_matrix", None)
+
+    def _failsafe_estimate(self, record: KernelRecord) -> KernelEstimate:
+        """One predictor query at the fail-safe configuration.
+
+        Shared by the fail paths and the window reserve accounting; the
+        caller charges the evaluation.
+        """
+        matrix_fn = self._matrix_path()
+        if matrix_fn is not None:
+            batch = matrix_fn(
+                record.counters, self.table,
+                np.asarray([self._fail_safe_index], dtype=np.intp),
+            )
+            return batch.estimate(0)
+        return self.predictor.estimate(record.counters, self.fail_safe)
 
     # ----- single kernel -------------------------------------------------------
 
@@ -95,46 +139,87 @@ class GreedyHillClimbOptimizer:
         """
         evals = 0
         climb_steps: Dict[str, int] = {}
+        stats = {"batches": 0, "rows": 0, "memo_hits": 0}
+        table = self.table
+        matrix_fn = self._matrix_path()
 
-        def estimate(config: HardwareConfig) -> KernelEstimate:
-            nonlocal evals
-            evals += 1
-            return self.predictor.estimate(record.counters, config)
+        # The whole search runs on flat table indices; configurations
+        # are materialized only for the returned result.  Every fetch
+        # charges one evaluation per requested index — the same budget
+        # the scalar protocol spends — regardless of the speculative
+        # lattice sweep, so overhead accounting is unchanged.
+        if matrix_fn is not None:
+            # One columnar sweep covers the whole lattice, so the
+            # dozens of tiny probe/climb batches a search issues all
+            # become row lookups.  Per-row forest traversal is
+            # independent, so each looked-up estimate is float-for-float
+            # what the equivalent small batch would have produced.
+            full: Optional[EstimateBatch] = None
+            memo: Dict[int, KernelEstimate] = {}
 
-        def estimate_many(configs: Sequence[HardwareConfig]) -> List[KernelEstimate]:
-            nonlocal evals
-            evals += len(configs)
-            return self.predictor.estimate_batch(record.counters, configs)
+            def fetch_many(indices: Sequence[int]) -> List[KernelEstimate]:
+                nonlocal evals, full
+                evals += len(indices)
+                if full is None:
+                    full = matrix_fn(record.counters, table)
+                    stats["batches"] += 1
+                    stats["rows"] += len(full)
+                out = []
+                for index in indices:
+                    est = memo.get(index)
+                    if est is None:
+                        memo[index] = est = full.estimate(index)
+                    else:
+                        stats["memo_hits"] += 1
+                    out.append(est)
+                return out
+
+            def fetch_one(index: int) -> KernelEstimate:
+                return fetch_many((index,))[0]
+        else:
+            # Scalar fallback: the pre-columnar call shapes, verbatim.
+            def fetch_many(indices: Sequence[int]) -> List[KernelEstimate]:
+                nonlocal evals
+                evals += len(indices)
+                return self.predictor.estimate_batch(
+                    record.counters, [table.config_at(i) for i in indices]
+                )
+
+            def fetch_one(index: int) -> KernelEstimate:
+                nonlocal evals
+                evals += 1
+                return self.predictor.estimate(
+                    record.counters, table.config_at(index)
+                )
 
         def feasible(est: KernelEstimate) -> bool:
             return tracker.admits(record.instructions, est.time_s)
 
-        current = self.fail_safe
-        current_est = estimate(current)
+        current_index = self._fail_safe_index
+        current_est = fetch_one(current_index)
 
         # Rank knobs by predicted energy sensitivity: |ΔE| across the
         # knob's full axis, per configuration step.  Both endpoint probes
         # of every knob go to the predictor as one batch.
         probe_knobs = [
-            knob for knob in Knob.ALL if len(self.space.axis(knob)) >= 2
+            knob for knob in Knob.ALL if table.axis_length(knob) >= 2
         ]
-        probes = estimate_many(
+        probes = fetch_many(
             [
-                current.replace(**{knob: value})
+                table.set_knob(current_index, knob, position)
                 for knob in probe_knobs
-                for value in (self.space.axis(knob)[0], self.space.axis(knob)[-1])
+                for position in (0, table.axis_length(knob) - 1)
             ]
         )
         sensitivities: List[Tuple[float, str]] = []
         for index, knob in enumerate(probe_knobs):
-            axis = self.space.axis(knob)
             low, high = probes[2 * index], probes[2 * index + 1]
-            delta = abs(high.energy_j - low.energy_j) / (len(axis) - 1)
+            delta = abs(high.energy_j - low.energy_j) / (table.axis_length(knob) - 1)
             sensitivities.append((delta, knob))
         sensitivities.sort(key=lambda item: -item[0])
 
-        best_feasible: Optional[Tuple[HardwareConfig, KernelEstimate]] = (
-            (current, current_est) if feasible(current_est) else None
+        best_feasible: Optional[Tuple[int, KernelEstimate]] = (
+            (current_index, current_est) if feasible(current_est) else None
         )
 
         # Sweep the knobs in sensitivity order; repeat the sweep until a
@@ -150,9 +235,9 @@ class GreedyHillClimbOptimizer:
                 steps = [
                     (d, nxt)
                     for d in (-1, +1)
-                    if (nxt := self.space.step(current, knob, d)) is not None
+                    if (nxt := table.step_index(current_index, knob, d)) is not None
                 ]
-                estimates = estimate_many([nxt for _, nxt in steps])
+                estimates = fetch_many([nxt for _, nxt in steps])
                 neighbour_est = {
                     d: (nxt, est)
                     for (d, nxt), est in zip(steps, estimates)
@@ -169,51 +254,52 @@ class GreedyHillClimbOptimizer:
                     if best_feasible is None:
                         for d, (nxt, est) in neighbour_est.items():
                             if feasible(est):
-                                current, current_est = nxt, est
-                                best_feasible = (current, current_est)
+                                current_index, current_est = nxt, est
+                                best_feasible = (current_index, current_est)
                                 climb_steps[knob] = climb_steps.get(knob, 0) + 1
                                 moved = True
                                 break
                     continue
 
-                current, current_est = neighbour_est[direction]
-                best_feasible = (current, current_est)
+                current_index, current_est = neighbour_est[direction]
+                best_feasible = (current_index, current_est)
                 climb_steps[knob] = climb_steps.get(knob, 0) + 1
                 moved = True
                 # Keep climbing until the energy increases (paper: "the
                 # search stops once the energy increases") or we fall
                 # off the axis or out of feasibility.
                 while True:
-                    nxt = self.space.step(current, knob, direction)
+                    nxt = table.step_index(current_index, knob, direction)
                     if nxt is None:
                         break
-                    est = estimate(nxt)
+                    est = fetch_one(nxt)
                     if not feasible(est) or est.energy_j >= current_est.energy_j:
                         break
-                    current, current_est = nxt, est
-                    best_feasible = (current, current_est)
+                    current_index, current_est = nxt, est
+                    best_feasible = (current_index, current_est)
                     climb_steps[knob] = climb_steps.get(knob, 0) + 1
             if not moved:
                 break
 
         if best_feasible is None:
-            fail_est = self.predictor.estimate(record.counters, self.fail_safe)
-            evals += 1
+            fail_est = fetch_one(self._fail_safe_index)
             if self.obs.enabled:
-                self._record_search(evals, climb_steps)
+                self._record_search(evals, climb_steps, stats)
             return OptimizationResult(
                 config=self.fail_safe, estimate=fail_est,
                 evaluations=evals, fail_safe=True,
             )
 
         if self.obs.enabled:
-            self._record_search(evals, climb_steps)
-        config, est = best_feasible
+            self._record_search(evals, climb_steps, stats)
+        chosen_index, est = best_feasible
         return OptimizationResult(
-            config=config, estimate=est, evaluations=evals, fail_safe=False,
+            config=table.config_at(chosen_index), estimate=est,
+            evaluations=evals, fail_safe=False,
         )
 
-    def _record_search(self, evals: int, climb_steps: Dict[str, int]) -> None:
+    def _record_search(self, evals: int, climb_steps: Dict[str, int],
+                       stats: Optional[Dict[str, int]] = None) -> None:
         """Emit one search's step/evaluation telemetry (obs enabled)."""
         tracer = self.obs.tracer
         registry = self.obs.registry
@@ -233,6 +319,25 @@ class GreedyHillClimbOptimizer:
         for knob in sorted(climb_steps):
             tracer.inc(f"climb_steps.{knob}", climb_steps[knob])
             steps_counter.inc(climb_steps[knob], knob=knob)
+        if stats is not None and self._matrix_path() is not None:
+            # Columnar-path telemetry: how many predictor batches the
+            # search issued, how many table rows they covered, and how
+            # many requests the per-search memo absorbed.
+            tracer.inc("matrix_batches", stats["batches"])
+            tracer.inc("matrix_rows", stats["rows"])
+            tracer.inc("memo_hits", stats["memo_hits"])
+            registry.counter(
+                "repro_optimizer_matrix_batches_total",
+                "Columnar predictor batches issued by hill-climb searches",
+            ).inc(stats["batches"])
+            registry.counter(
+                "repro_optimizer_matrix_rows_total",
+                "Table rows evaluated through the columnar predictor path",
+            ).inc(stats["rows"])
+            registry.counter(
+                "repro_optimizer_memo_hits_total",
+                "Predictor requests served from the per-search memo",
+            ).inc(stats["memo_hits"])
 
     def exhaustive_kernel_search(self, record: KernelRecord,
                                  tracker: PerformanceTracker) -> OptimizationResult:
@@ -245,6 +350,34 @@ class GreedyHillClimbOptimizer:
         and the search-cost experiment; the runtime system always uses
         :meth:`optimize_kernel`.
         """
+        matrix_fn = self._matrix_path()
+        if matrix_fn is not None:
+            # One columnar evaluation over the whole lattice; the
+            # selection scan works on the float columns directly.
+            batch = matrix_fn(record.counters, self.table)
+            evals = len(self.table)
+            times = batch.times_s
+            energies = batch.energy_j
+            best_index: Optional[int] = None
+            best_energy = 0.0
+            for i in range(len(batch)):
+                if not tracker.admits(record.instructions, float(times[i])):
+                    continue
+                energy = float(energies[i])
+                if best_index is None or energy < best_energy:
+                    best_index, best_energy = i, energy
+            if best_index is None:
+                return OptimizationResult(
+                    config=self.fail_safe,
+                    estimate=self._failsafe_estimate(record),
+                    evaluations=evals + 1, fail_safe=True,
+                )
+            return OptimizationResult(
+                config=self.table.config_at(best_index),
+                estimate=batch.estimate(best_index),
+                evaluations=evals, fail_safe=False,
+            )
+
         configs = self.space.all_configs()
         estimates = self.predictor.estimate_batch(record.counters, configs)
         evals = len(configs)
@@ -318,7 +451,7 @@ class GreedyHillClimbOptimizer:
         pending: dict = {}
         to_reserve = list(window[:-1]) + list(reserved) if reserve_window else []
         for record in to_reserve:
-            estimate = self.predictor.estimate(record.counters, self.fail_safe)
+            estimate = self._failsafe_estimate(record)
             total_evals += 1
             pending[id(record)] = (record.instructions, estimate.time_s)
             reserve_time += estimate.time_s
@@ -385,11 +518,19 @@ class GreedyHillClimbOptimizer:
             )
 
         # Pre-evaluate each (kernel, config) pair once, one predictor
-        # batch per kernel.
+        # batch (columnar when available) per kernel.
+        matrix_fn = self._matrix_path()
         estimates: List[List[KernelEstimate]] = []
         evals = 0
         for record in window:
-            estimates.append(self.predictor.estimate_batch(record.counters, configs))
+            if matrix_fn is not None:
+                estimates.append(
+                    matrix_fn(record.counters, self.table).to_estimates()
+                )
+            else:
+                estimates.append(
+                    self.predictor.estimate_batch(record.counters, configs)
+                )
             evals += len(configs)
 
         best_energy = None
@@ -419,7 +560,7 @@ class GreedyHillClimbOptimizer:
                 best_first = (configs[first_index], estimates[0][first_index])
 
         if best_first is None:
-            fail_est = self.predictor.estimate(window[0].counters, self.fail_safe)
+            fail_est = self._failsafe_estimate(window[0])
             return OptimizationResult(
                 config=self.fail_safe, estimate=fail_est,
                 evaluations=evals + 1, fail_safe=True,

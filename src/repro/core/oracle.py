@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.hardware.apu import APUModel
 from repro.hardware.config import ConfigSpace, HardwareConfig
+from repro.hardware.table import ConfigTable
 from repro.workloads.app import Application
 from repro.workloads.kernel import KernelSpec
 
@@ -58,20 +59,21 @@ class OptimalPlan:
 def _menus(
     app: Application, apu: APUModel, space: ConfigSpace
 ) -> Tuple[List[str], Dict[str, Tuple[List[float], List[float]]], Dict[str, int]]:
-    """Per-unique-kernel (time, energy) menus and launch multiplicities."""
-    configs = space.all_configs()
+    """Per-unique-kernel (time, energy) menus and launch multiplicities.
+
+    Each menu is one columnar ground-truth evaluation over the whole
+    lattice (``tolist()`` yields the same floats the scalar
+    ``apu.execute`` loop produced, in the same ``all_configs`` order).
+    """
+    table = ConfigTable(space)
     keys: List[str] = []
     menus: Dict[str, Tuple[List[float], List[float]]] = {}
     counts: Dict[str, int] = {}
     for spec in app.kernels:
         counts[spec.key] = counts.get(spec.key, 0) + 1
     for spec in app.unique_kernels:
-        times, energies = [], []
-        for config in configs:
-            m = apu.execute(spec, config)
-            times.append(m.time_s)
-            energies.append(m.energy_j)
-        menus[spec.key] = (times, energies)
+        matrix = apu.execute_matrix(spec, table)
+        menus[spec.key] = (matrix.times_s.tolist(), matrix.energy_j.tolist())
         keys.append(spec.key)
     return keys, menus, counts
 

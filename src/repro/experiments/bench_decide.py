@@ -1,0 +1,193 @@
+"""Microbenchmark: decisions/sec of the greedy hill-climb hot path.
+
+``repro bench decide`` times :meth:`GreedyHillClimbOptimizer.optimize_kernel`
+— the per-kernel-boundary decision the MPC manager makes at runtime —
+under each predictor backend, once through the columnar
+``estimate_matrix`` path and once with ``use_matrix=False`` (the scalar
+``estimate``/``estimate_batch`` protocol, i.e. the pre-columnar call
+shapes).  Results append to a trajectory file (``BENCH_decide.json`` by
+default) so the decisions/sec history is tracked across changes to the
+decision core.
+
+Wall-clock timing is deliberate and allowed here: this module lives in
+``repro/experiments/``, the RL001 allowlist.  The *decisions* being
+timed are deterministic — both paths pick identical configurations —
+only the throughput numbers vary with the host.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.optimizer import GreedyHillClimbOptimizer
+from repro.core.pattern import KernelRecord
+from repro.core.tracker import PerformanceTracker
+from repro.hardware.apu import APUModel
+from repro.hardware.config import FAILSAFE_CONFIG, ConfigSpace
+from repro.ml.predictors import OraclePredictor, PerfPowerPredictor, train_predictor
+from repro.workloads.counters import CounterSynthesizer
+from repro.workloads.suites import benchmark
+
+__all__ = ["run_bench_decide", "DEFAULT_OUTPUT", "SCHEMA"]
+
+#: Trajectory file schema identifier.
+SCHEMA = "repro/bench_decide/v1"
+
+#: Default trajectory file, at the repository root.
+DEFAULT_OUTPUT = "BENCH_decide.json"
+
+#: Decision workload: one case per unique kernel of this benchmark.
+DEFAULT_BENCHMARK = "kmeans"
+
+#: Minimum timed decisions per (backend, path) measurement.
+_FULL_DECISIONS = 120
+_QUICK_DECISIONS = 24
+
+
+def _decision_cases(
+    apu: APUModel, space: ConfigSpace, benchmark_name: str
+) -> Tuple[List[Tuple[KernelRecord, PerformanceTracker]], List[object]]:
+    """(record, tracker) pairs for every unique kernel of a benchmark.
+
+    Targets are set to 90% of each kernel's fail-safe throughput so the
+    searches have headroom to climb — the representative decision shape,
+    not the degenerate everything-infeasible one.
+    """
+    app = benchmark(benchmark_name)
+    synthesizer = CounterSynthesizer(noise=0.0)
+    fail_safe = space.clamp(FAILSAFE_CONFIG)
+    cases = []
+    for spec in app.unique_kernels:
+        measurement = apu.execute(spec, fail_safe)
+        record = KernelRecord(
+            signature=(),
+            counters=synthesizer.nominal(spec),
+            instructions=spec.instructions,
+        )
+        target = 0.9 * spec.instructions / measurement.time_s
+        cases.append((record, PerformanceTracker(target)))
+    return cases, list(app.unique_kernels)
+
+
+def _time_path(
+    optimizer: GreedyHillClimbOptimizer,
+    cases: List[Tuple[KernelRecord, PerformanceTracker]],
+    min_decisions: int,
+) -> Tuple[float, int]:
+    """(decisions/sec, decisions timed) for one optimizer configuration."""
+    for record, tracker in cases:  # warm predictor/table caches
+        optimizer.optimize_kernel(record, tracker)
+    decisions = 0
+    start = time.perf_counter()
+    while decisions < min_decisions:
+        for record, tracker in cases:
+            optimizer.optimize_kernel(record, tracker)
+            decisions += 1
+    elapsed = time.perf_counter() - start
+    return decisions / elapsed, decisions
+
+
+def _bench_backend(
+    name: str,
+    predictor: PerfPowerPredictor,
+    space: ConfigSpace,
+    cases: List[Tuple[KernelRecord, PerformanceTracker]],
+    min_decisions: int,
+) -> Dict[str, object]:
+    """Scalar-vs-matrix decisions/sec for one predictor backend."""
+    matrix = GreedyHillClimbOptimizer(space, predictor, use_matrix=True)
+    scalar = GreedyHillClimbOptimizer(space, predictor, use_matrix=False)
+    matrix_rate, timed = _time_path(matrix, cases, min_decisions)
+    scalar_rate, _ = _time_path(scalar, cases, min_decisions)
+    return {
+        "backend": name,
+        "scalar_decisions_per_s": round(scalar_rate, 2),
+        "matrix_decisions_per_s": round(matrix_rate, 2),
+        "speedup": round(matrix_rate / scalar_rate, 2),
+        "decisions_timed": timed,
+    }
+
+
+def _load_trajectory(path: str) -> List[Dict[str, object]]:
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != SCHEMA:
+        return []
+    trajectory = payload.get("trajectory", [])
+    return trajectory if isinstance(trajectory, list) else []
+
+
+def run_bench_decide(
+    quick: bool = False,
+    output: str = DEFAULT_OUTPUT,
+    label: Optional[str] = None,
+    benchmark_name: str = DEFAULT_BENCHMARK,
+    cache_dir: Optional[str] = ".cache",
+) -> Dict[str, object]:
+    """Run the decide microbenchmark and append to the trajectory file.
+
+    Args:
+        quick: Time fewer decisions and use a small Random Forest —
+            the CI smoke configuration.
+        output: Trajectory JSON path.
+        label: Entry label (defaults to ``"quick"``/``"full"``).
+        benchmark_name: Benchmark supplying the decision workload.
+        cache_dir: Cache directory for the trained forest.
+
+    Returns:
+        The appended trajectory entry.
+    """
+    apu = APUModel()
+    space = ConfigSpace()
+    cases, kernels = _decision_cases(apu, space, benchmark_name)
+    min_decisions = _QUICK_DECISIONS if quick else _FULL_DECISIONS
+
+    if quick:
+        forest_params = {"n_estimators": 4, "max_depth": 10}
+    else:
+        forest_params = {}
+    rf = train_predictor(apu=apu, cache_dir=cache_dir, **forest_params)
+    oracle = OraclePredictor(apu, kernels)
+
+    entry: Dict[str, object] = {
+        "label": label or ("quick" if quick else "full"),
+        "quick": quick,
+        "benchmark": benchmark_name,
+        "cases": len(cases),
+        "backends": {
+            "rf": _bench_backend("rf", rf, space, cases, min_decisions),
+            "oracle": _bench_backend(
+                "oracle", oracle, space, cases, min_decisions
+            ),
+        },
+    }
+
+    trajectory = _load_trajectory(output)
+    trajectory.append(entry)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump({"schema": SCHEMA, "trajectory": trajectory}, handle, indent=2)
+        handle.write("\n")
+    return entry
+
+
+def format_entry(entry: Dict[str, object]) -> str:
+    """Render one trajectory entry as an aligned text table."""
+    lines = [
+        f"== bench decide ({entry['label']}): {entry['benchmark']}, "
+        f"{entry['cases']} kernels ==",
+        f"{'backend':8s} {'scalar/s':>10s} {'matrix/s':>10s} {'speedup':>8s}",
+    ]
+    backends = entry["backends"]
+    assert isinstance(backends, dict)
+    for name, stats in backends.items():
+        lines.append(
+            f"{name:8s} {stats['scalar_decisions_per_s']:>10.1f} "
+            f"{stats['matrix_decisions_per_s']:>10.1f} "
+            f"{stats['speedup']:>7.2f}x"
+        )
+    return "\n".join(lines)

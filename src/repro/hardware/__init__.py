@@ -24,6 +24,7 @@ from repro.hardware.dvfs import (
 )
 from repro.hardware.perf import KernelTiming, TimingModel
 from repro.hardware.power import PowerBreakdown, PowerModel, PowerModelParams
+from repro.hardware.table import ConfigTable
 from repro.hardware.telemetry import PowerSample, PowerTelemetry, PowerTrace
 from repro.hardware.thermal import ThermalModel
 
@@ -31,6 +32,7 @@ __all__ = [
     "APUModel",
     "Measurement",
     "ConfigSpace",
+    "ConfigTable",
     "HardwareConfig",
     "Knob",
     "FAILSAFE_CONFIG",

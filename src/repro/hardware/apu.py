@@ -18,15 +18,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+import numpy as np
+
 from repro.hardware.config import HardwareConfig
 from repro.hardware.perf import KernelTiming, TimingModel
 from repro.hardware.power import PowerBreakdown, PowerModel, PowerModelParams
+from repro.hardware.table import ConfigTable
 from repro.hardware.thermal import ThermalModel
 
 if TYPE_CHECKING:  # imported lazily to avoid a hardware <-> workloads cycle
     from repro.workloads.kernel import KernelSpec
 
-__all__ = ["Measurement", "APUModel"]
+__all__ = ["Measurement", "MeasurementMatrix", "APUModel"]
 
 
 @dataclass(frozen=True)
@@ -65,6 +68,38 @@ class Measurement:
     def energy_j(self) -> float:
         """Total chip energy for the measured interval."""
         return self.total_power_w * self.time_s
+
+
+@dataclass(frozen=True)
+class MeasurementMatrix:
+    """Telemetry columns for one kernel over many configurations.
+
+    The struct-of-arrays twin of :class:`Measurement`, indexed like the
+    source :class:`ConfigTable` rows; elements are float-for-float equal
+    to the scalar :meth:`APUModel.execute` results.
+    """
+
+    times_s: np.ndarray
+    gpu_power_w: np.ndarray
+    cpu_power_w: np.ndarray
+    temperature_c: np.ndarray
+
+    def __len__(self) -> int:
+        return self.times_s.shape[0]
+
+    @property
+    def energy_j(self) -> np.ndarray:
+        """Total chip energy column."""
+        return (self.gpu_power_w + self.cpu_power_w) * self.times_s
+
+    def measurement(self, i: int) -> Measurement:
+        """The scalar :class:`Measurement` of one row."""
+        return Measurement(
+            time_s=float(self.times_s[i]),
+            gpu_power_w=float(self.gpu_power_w[i]),
+            cpu_power_w=float(self.cpu_power_w[i]),
+            temperature_c=float(self.temperature_c[i]),
+        )
 
 
 class APUModel:
@@ -110,6 +145,33 @@ class APUModel:
         breakdown = self.power.kernel_power(config, timing, spec.activity_factor)
         return Measurement(
             time_s=timing.total_time_s,
+            gpu_power_w=breakdown.gpu_w,
+            cpu_power_w=breakdown.cpu_w,
+            temperature_c=breakdown.temperature_c,
+        )
+
+    def execute_matrix(self, spec: KernelSpec, table: ConfigTable,
+                       indices: Optional[np.ndarray] = None) -> MeasurementMatrix:
+        """Telemetry for one kernel over many configurations at once.
+
+        Columnar counterpart of :meth:`execute` against a
+        :class:`ConfigTable`: one vectorized timing + power evaluation
+        instead of a per-config Python loop, with rows float-for-float
+        identical to the scalar path.  This is what the oracle
+        predictor, the TO menu construction, and the exhaustive search
+        paths run on.
+
+        Args:
+            spec: The kernel.
+            table: Columnar configuration set.
+            indices: Optional flat row indices; all rows when ``None``.
+        """
+        timing = self.timing.kernel_timing_matrix(spec, table, indices)
+        breakdown = self.power.kernel_power_matrix(
+            table, timing, spec.activity_factor, indices
+        )
+        return MeasurementMatrix(
+            times_s=timing.total_time_s,
             gpu_power_w=breakdown.gpu_w,
             cpu_power_w=breakdown.cpu_w,
             temperature_c=breakdown.temperature_c,

@@ -161,6 +161,21 @@ class ConfigSpace:
                 raise ValueError(f"empty axis for knob {knob!r}")
             if len(set(axis)) != len(axis):
                 raise ValueError(f"duplicate values on axis {knob!r}: {axis}")
+        # Eager per-knob value -> axis-index maps and the enumerated
+        # lattice, so index_of/step/all_configs are O(1) lookups instead
+        # of linear scans / re-enumeration.  Built in __init__ (never
+        # lazily) so instances have deterministic state for their whole
+        # lifetime regardless of call history.
+        self._value_index = {
+            knob: {value: i for i, value in enumerate(axis)}
+            for knob, axis in self._axes.items()
+        }
+        self._configs: Tuple[HardwareConfig, ...] = tuple(
+            HardwareConfig(cpu=cpu, nb=nb, gpu=gpu, cu=cu)
+            for cpu, nb, gpu, cu in itertools.product(
+                self.cpu_axis, self.nb_axis, self.gpu_axis, self.cu_axis
+            )
+        )
 
     def axis(self, knob: str) -> Tuple:
         """Return the (slow -> fast) axis of values for a knob."""
@@ -178,22 +193,25 @@ class ConfigSpace:
         )
 
     def __iter__(self) -> Iterator[HardwareConfig]:
-        for cpu, nb, gpu, cu in itertools.product(
-            self.cpu_axis, self.nb_axis, self.gpu_axis, self.cu_axis
-        ):
-            yield HardwareConfig(cpu=cpu, nb=nb, gpu=gpu, cu=cu)
+        return iter(self._configs)
 
     def __contains__(self, config: HardwareConfig) -> bool:
         return (
-            config.cpu in self.cpu_axis
-            and config.nb in self.nb_axis
-            and config.gpu in self.gpu_axis
-            and config.cu in self.cu_axis
+            config.cpu in self._value_index[Knob.CPU]
+            and config.nb in self._value_index[Knob.NB]
+            and config.gpu in self._value_index[Knob.GPU]
+            and config.cu in self._value_index[Knob.CU]
         )
 
     def all_configs(self) -> List[HardwareConfig]:
-        """All configurations in the space, as a list."""
-        return list(self)
+        """All configurations in the space, as a list.
+
+        Enumeration order is ``itertools.product`` over the axes with
+        CPU slowest-varying and CU fastest-varying — the same flat order
+        :class:`~repro.hardware.table.ConfigTable` encodes.  A fresh
+        list is returned each call (the enumeration itself is cached).
+        """
+        return list(self._configs)
 
     def knob_cardinality_sum(self) -> int:
         """Sum of the knob axis lengths.
@@ -207,10 +225,10 @@ class ConfigSpace:
 
     def index_of(self, knob: str, value) -> int:
         """Index of a knob value along its (slow -> fast) axis."""
-        axis = self.axis(knob)
         try:
-            return axis.index(value)
-        except ValueError:
+            return self._value_index[knob][value]
+        except KeyError:
+            axis = self.axis(knob)  # raises for an unknown knob
             raise ValueError(f"{value!r} not on axis {knob!r}: {axis}") from None
 
     def step(self, config: HardwareConfig, knob: str, direction: int) -> Optional[HardwareConfig]:
@@ -261,18 +279,24 @@ class ConfigSpace:
         into reduced spaces in tests.
         """
         changes = {}
-        full = ConfigSpace(
-            cpu_states=tuple(reversed(list(dvfs.CPU_PSTATES))),
-            nb_states=tuple(reversed(list(dvfs.NB_PSTATES))),
-            gpu_states=tuple(dvfs.GPU_DPM_STATES),
-            cu_counts=dvfs.CU_COUNTS,
-        )
         for knob in KNOBS:
             value = config.knob(knob)
-            axis = self.axis(knob)
-            if value in axis:
+            if value in self._value_index[knob]:
                 continue
-            rank = full.index_of(knob, value)
-            candidates = [v for v in axis if full.index_of(knob, v) >= rank]
+            axis = self.axis(knob)
+            rank = _FULL_AXIS_RANK[knob][value]
+            candidates = [v for v in axis if _FULL_AXIS_RANK[knob][v] >= rank]
             changes[knob] = candidates[0] if candidates else axis[-1]
         return config.replace(**changes) if changes else config
+
+
+#: Slow -> fast performance rank of every legal knob value over the
+#: *full* hardware tables (all 5 GPU DPM states, not just the searched
+#: subset).  ``clamp()`` ranks off-axis values against this instead of
+#: building a throwaway full ConfigSpace per call.
+_FULL_AXIS_RANK = {
+    Knob.CPU: {name: i for i, name in enumerate(reversed(list(dvfs.CPU_PSTATES)))},
+    Knob.NB: {name: i for i, name in enumerate(reversed(list(dvfs.NB_PSTATES)))},
+    Knob.GPU: {name: i for i, name in enumerate(dvfs.GPU_DPM_STATES)},
+    Knob.CU: {count: i for i, count in enumerate(dvfs.CU_COUNTS)},
+}

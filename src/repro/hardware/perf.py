@@ -20,14 +20,17 @@ All times are seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
 
 from repro.hardware.config import HardwareConfig
+from repro.hardware.table import ConfigTable
 
 if TYPE_CHECKING:  # imported lazily to avoid a hardware <-> workloads cycle
     from repro.workloads.kernel import KernelSpec
 
-__all__ = ["KernelTiming", "TimingModel"]
+__all__ = ["KernelTiming", "KernelTimingMatrix", "TimingModel"]
 
 #: Vector lanes per GPU compute unit (GCN-style SIMD width).
 LANES_PER_CU = 64
@@ -79,6 +82,31 @@ class KernelTiming:
         if window <= 0:
             return 0.0
         return min(1.0, self.memory_time_s / window)
+
+
+@dataclass(frozen=True)
+class KernelTimingMatrix:
+    """Per-config timing columns for one kernel over many configurations.
+
+    The struct-of-arrays twin of :class:`KernelTiming`: every field is a
+    float64 array indexed like the source :class:`ConfigTable` rows, and
+    every element equals the corresponding scalar field float for float.
+    """
+
+    compute_time_s: np.ndarray
+    memory_time_s: np.ndarray
+    serial_time_s: float
+    total_time_s: np.ndarray
+    achieved_bandwidth_gbps: np.ndarray
+    effective_memory_traffic_gb: np.ndarray
+
+    @property
+    def compute_utilization(self) -> np.ndarray:
+        """Elementwise :attr:`KernelTiming.compute_utilization`."""
+        window = self.total_time_s - self.serial_time_s
+        util = np.zeros_like(window)
+        np.divide(self.compute_time_s, window, out=util, where=window > 0)
+        return np.minimum(1.0, util)
 
 
 class TimingModel:
@@ -159,3 +187,63 @@ class TimingModel:
     def kernel_time(self, spec: KernelSpec, config: HardwareConfig) -> float:
         """Wall-clock seconds for one launch of ``spec`` at ``config``."""
         return self.kernel_timing(spec, config).total_time_s
+
+    def kernel_timing_matrix(
+        self, spec: KernelSpec, table: ConfigTable,
+        indices: Optional[np.ndarray] = None,
+    ) -> KernelTimingMatrix:
+        """Timing breakdowns for one kernel over many configurations.
+
+        Columnar counterpart of :meth:`kernel_timing`, evaluated against
+        a :class:`ConfigTable`.  Every operation is elementwise float64
+        in the same order as the scalar model, so each row is
+        float-for-float identical to ``kernel_timing(spec, configs[i])``
+        — the golden-result suite depends on that.
+
+        Args:
+            spec: The kernel.
+            table: Columnar configuration set.
+            indices: Optional flat row indices; all rows when ``None``.
+        """
+        if indices is None:
+            f_gpu = table.gpu_freq_ghz
+            cu = table.cu_count
+            bus = table.memory_bw_gbps
+        else:
+            f_gpu = table.gpu_freq_ghz[indices]
+            cu = table.cu_count[indices]
+            bus = table.memory_bw_gbps[indices]
+
+        p = spec.parallel_fraction
+        speedup = 1.0 / ((1.0 - p) + p / cu)
+        lane_rate = (
+            self.lanes_per_cu * f_gpu * spec.compute_efficiency * speedup
+        )
+
+        if spec.compute_work:
+            compute_time = spec.compute_work / lane_rate
+        else:
+            compute_time = np.zeros_like(lane_rate)
+
+        extra_cus = np.maximum(0, cu - spec.cache_sweet_spot_cu)
+        traffic = spec.memory_traffic * (1.0 + spec.cache_interference * extra_cus)
+        bandwidth = np.minimum(bus, self.bw_demand_per_cu_ghz * cu * f_gpu)
+        memory_time = np.zeros_like(traffic)
+        np.divide(traffic, bandwidth, out=memory_time, where=traffic != 0.0)
+
+        overlapped = np.maximum(compute_time, memory_time)
+        total = spec.serial_time_s + overlapped
+        achieved = np.zeros_like(traffic)
+        np.divide(
+            traffic, overlapped, out=achieved,
+            where=(overlapped > 0) & (traffic != 0.0),
+        )
+
+        return KernelTimingMatrix(
+            compute_time_s=compute_time,
+            memory_time_s=memory_time,
+            serial_time_s=spec.serial_time_s,
+            total_time_s=total,
+            achieved_bandwidth_gbps=achieved,
+            effective_memory_traffic_gb=traffic,
+        )

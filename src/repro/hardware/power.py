@@ -22,12 +22,21 @@ temperature through :class:`repro.hardware.thermal.ThermalModel`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
 
 from repro.hardware.config import HardwareConfig
-from repro.hardware.perf import KernelTiming
+from repro.hardware.perf import KernelTiming, KernelTimingMatrix
+from repro.hardware.table import ConfigTable
 from repro.hardware.thermal import ThermalModel
 
-__all__ = ["PowerBreakdown", "PowerModel", "PowerModelParams"]
+__all__ = [
+    "PowerBreakdown",
+    "PowerBreakdownMatrix",
+    "PowerModel",
+    "PowerModelParams",
+]
 
 
 @dataclass(frozen=True)
@@ -56,6 +65,31 @@ class PowerBreakdown:
     @property
     def total_w(self) -> float:
         """Total chip power."""
+        return self.gpu_w + self.cpu_w
+
+
+@dataclass(frozen=True)
+class PowerBreakdownMatrix:
+    """Per-config power columns: struct-of-arrays :class:`PowerBreakdown`.
+
+    Each field is a float64 array over a :class:`ConfigTable` row set;
+    every element equals the scalar breakdown's field float for float.
+    """
+
+    gpu_dynamic_w: np.ndarray
+    gpu_leakage_w: np.ndarray
+    nb_w: np.ndarray
+    cpu_w: np.ndarray
+    temperature_c: np.ndarray
+
+    @property
+    def gpu_w(self) -> np.ndarray:
+        """GPU-rail power column (GPU + NB)."""
+        return self.gpu_dynamic_w + self.gpu_leakage_w + self.nb_w
+
+    @property
+    def total_w(self) -> np.ndarray:
+        """Total chip power column."""
         return self.gpu_w + self.cpu_w
 
 
@@ -182,6 +216,80 @@ class PowerModel:
             gpu_leakage_w=self.gpu_leakage_power(config, factor),
             nb_w=nb_base,
             cpu_w=self.cpu_power(config, busy_cores=1, leak_factor=factor),
+            temperature_c=temp,
+        )
+
+    def kernel_power_matrix(
+        self, table: ConfigTable, timing: KernelTimingMatrix,
+        activity: float = 1.0, indices: Optional[np.ndarray] = None,
+    ) -> PowerBreakdownMatrix:
+        """Columnar :meth:`kernel_power` over a :class:`ConfigTable`.
+
+        Elementwise float64 with the same operation order as the scalar
+        path (including the coefficient groupings and the thermal
+        fixed-point), so each row is float-for-float identical to
+        ``kernel_power(configs[i], timing_i, activity)``.
+
+        Args:
+            table: Columnar configuration set.
+            timing: Timing columns for the same rows (from
+                :meth:`TimingModel.kernel_timing_matrix`).
+            activity: The kernel's switching activity factor.
+            indices: Optional flat row indices; all rows when ``None``.
+        """
+        p = self.params
+        if indices is None:
+            v_rail = table.rail_voltage
+            cu = table.cu_count
+            f_gpu = table.gpu_freq_ghz
+            nb_freq = table.nb_freq_ghz
+            cpu_voltage = table.cpu_voltage
+            cpu_freq = table.cpu_freq_ghz
+        else:
+            v_rail = table.rail_voltage[indices]
+            cu = table.cu_count[indices]
+            f_gpu = table.gpu_freq_ghz[indices]
+            nb_freq = table.nb_freq_ghz[indices]
+            cpu_voltage = table.cpu_voltage[indices]
+            cpu_freq = table.cpu_freq_ghz[indices]
+
+        gpu_dyn = (
+            p.gpu_dyn_w_per_cu_v2ghz
+            * cu
+            * v_rail**2
+            * f_gpu
+            * timing.compute_utilization
+            * activity
+        )
+
+        nb_dynamic = p.nb_dyn_w_per_v2ghz * v_rail**2 * nb_freq
+        nb_leakage = p.nb_leak_w_per_v * v_rail * 1.0
+        dram = p.dram_base_w + p.dram_w_per_gbps * timing.achieved_bandwidth_gbps
+        nb_base = nb_dynamic + nb_leakage + dram
+
+        # cpu_power(config, busy_cores=1, leak_factor=...): the same
+        # coefficient grouping as the scalar path, leakage split out so
+        # the leak factor applies per element.
+        cpu_coef = (
+            1 * p.cpu_busy_w_per_v2ghz
+            + (p.cpu_cores - 1) * p.cpu_idle_w_per_v2ghz
+        )
+        v2f = cpu_voltage**2 * cpu_freq
+        cpu_dynamic = cpu_coef * v2f
+        cpu_dyn_only = cpu_dynamic + p.cpu_leak_w_per_v * cpu_voltage * 0.0
+
+        gpu_leak_nominal = (
+            p.gpu_leak_base_w_per_v + p.gpu_leak_w_per_cu_v * cu
+        ) * v_rail
+        nominal_leak = gpu_leak_nominal * 1.0 + p.cpu_leak_w_per_v * cpu_voltage
+        dynamic = gpu_dyn + nb_base + cpu_dyn_only
+        temp, factor = self.thermal.solve_many(dynamic, nominal_leak)
+
+        return PowerBreakdownMatrix(
+            gpu_dynamic_w=gpu_dyn,
+            gpu_leakage_w=gpu_leak_nominal * factor,
+            nb_w=nb_base,
+            cpu_w=cpu_dynamic + p.cpu_leak_w_per_v * cpu_voltage * factor,
             temperature_c=temp,
         )
 

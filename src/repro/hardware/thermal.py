@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = ["ThermalModel"]
 
 
@@ -68,4 +70,31 @@ class ThermalModel:
         for _ in range(iterations):
             factor = self.leakage_factor(temp)
             temp = self.temperature(dynamic_power_w + nominal_leakage_w * factor)
+        return temp, factor
+
+    def solve_many(self, dynamic_power_w: np.ndarray,
+                   nominal_leakage_w: np.ndarray,
+                   iterations: int = 3) -> tuple:
+        """Vectorized :meth:`solve` over arrays of power points.
+
+        Elementwise float64 with the same operation order and iteration
+        count as the scalar solve, so results are float-for-float
+        identical per element (the columnar decide path depends on
+        this).  Inputs are assumed non-negative — the scalar path's
+        negative-power guard is the caller's job here.
+
+        Returns:
+            Tuple ``(temperature_c, leakage_factor)`` of arrays.
+        """
+        temp = self.ambient_c + self.theta_c_per_w * (
+            dynamic_power_w + nominal_leakage_w
+        )
+        factor = np.ones_like(temp)
+        for _ in range(iterations):
+            factor = np.maximum(
+                0.5, 1.0 + self.leakage_tc_per_c * (temp - self.reference_c)
+            )
+            temp = self.ambient_c + self.theta_c_per_w * (
+                dynamic_power_w + nominal_leakage_w * factor
+            )
         return temp, factor

@@ -29,7 +29,8 @@ import numpy as np
 from repro.hardware.apu import APUModel
 from repro.hardware.config import ConfigSpace, HardwareConfig
 from repro.hardware.dvfs import CPU_PSTATES
-from repro.ml.dataset import build_dataset, build_features
+from repro.hardware.table import ConfigTable
+from repro.ml.dataset import build_dataset
 from repro.ml.forest import RandomForestRegressor, mean_absolute_percentage_error
 from repro.workloads.counters import CounterSynthesizer, CounterVector
 from repro.workloads.generator import training_population
@@ -37,6 +38,7 @@ from repro.workloads.kernel import KernelSpec
 
 __all__ = [
     "KernelEstimate",
+    "EstimateBatch",
     "CpuPowerModel",
     "PerfPowerPredictor",
     "RandomForestPredictor",
@@ -69,6 +71,65 @@ class KernelEstimate:
     def gpu_energy_j(self) -> float:
         """Predicted GPU-rail energy of the launch."""
         return self.gpu_power_w * self.time_s
+
+
+class EstimateBatch:
+    """Struct-of-arrays estimates for one kernel over many configurations.
+
+    The columnar twin of a ``List[KernelEstimate]``: three float64
+    columns plus the vectorized energy column, row ``i`` float-for-float
+    equal to the scalar estimate of the same (counters, config) query.
+
+    Attributes:
+        times_s: Predicted kernel execution times.
+        gpu_power_w: Predicted GPU-rail powers.
+        cpu_power_w: Predicted CPU-plane powers.
+        energy_j: Predicted total chip energies, ``(gpu + cpu) * time``.
+    """
+
+    __slots__ = ("times_s", "gpu_power_w", "cpu_power_w", "energy_j")
+
+    def __init__(self, times_s, gpu_power_w, cpu_power_w) -> None:
+        self.times_s = np.asarray(times_s, dtype=float)
+        self.gpu_power_w = np.asarray(gpu_power_w, dtype=float)
+        self.cpu_power_w = np.asarray(cpu_power_w, dtype=float)
+        self.energy_j = (self.gpu_power_w + self.cpu_power_w) * self.times_s
+
+    def __len__(self) -> int:
+        return self.times_s.shape[0]
+
+    def estimate(self, i: int) -> KernelEstimate:
+        """The scalar :class:`KernelEstimate` of one row."""
+        return KernelEstimate(
+            time_s=float(self.times_s[i]),
+            gpu_power_w=float(self.gpu_power_w[i]),
+            cpu_power_w=float(self.cpu_power_w[i]),
+        )
+
+    def to_estimates(self) -> List[KernelEstimate]:
+        """Materialize all rows as scalar estimates."""
+        return [
+            KernelEstimate(time_s=t, gpu_power_w=g, cpu_power_w=c)
+            for t, g, c in zip(
+                self.times_s.tolist(),
+                self.gpu_power_w.tolist(),
+                self.cpu_power_w.tolist(),
+            )
+        ]
+
+    @classmethod
+    def from_estimates(cls, estimates: Sequence[KernelEstimate]) -> "EstimateBatch":
+        """Columnar view of scalar estimates (adapter for stub predictors)."""
+        return cls(
+            times_s=[e.time_s for e in estimates],
+            gpu_power_w=[e.gpu_power_w for e in estimates],
+            cpu_power_w=[e.cpu_power_w for e in estimates],
+        )
+
+    @classmethod
+    def empty(cls) -> "EstimateBatch":
+        """A zero-row batch."""
+        return cls(np.empty(0), np.empty(0), np.empty(0))
 
 
 class CpuPowerModel:
@@ -137,6 +198,33 @@ class PerfPowerPredictor(abc.ABC):
         """
         return [self.estimate(counters, config) for config in configs]
 
+    def estimate_matrix(self, counters: CounterVector, table: ConfigTable,
+                        indices: Optional[np.ndarray] = None) -> EstimateBatch:
+        """Columnar estimates for one kernel over table rows.
+
+        This is the decide hot path's native interface: the optimizer
+        hands a :class:`~repro.hardware.table.ConfigTable` plus flat row
+        indices and gets struct-of-arrays estimates back.  The default
+        loops over the scalar :meth:`estimate` (so wrapper predictors
+        like :class:`~repro.ml.errors.SyntheticErrorPredictor` stay
+        correct for free); the Random Forest and the oracle override it
+        with genuinely vectorized models.  Overrides must stay
+        float-for-float identical to the scalar path — the golden-result
+        suite depends on that.
+
+        Args:
+            counters: The kernel's Table-III counters.
+            table: Columnar configuration set.
+            indices: Optional flat row indices; all rows when ``None``.
+        """
+        if indices is None:
+            configs: Sequence[HardwareConfig] = table.configs
+        else:
+            configs = [table.config_at(int(i)) for i in indices]
+        return EstimateBatch.from_estimates(
+            [self.estimate(counters, config) for config in configs]
+        )
+
 
 class RandomForestPredictor(PerfPowerPredictor):
     """The paper's Random Forest kernel time / GPU power model.
@@ -156,31 +244,42 @@ class RandomForestPredictor(PerfPowerPredictor):
 
     def estimate(self, counters: CounterVector,
                  config: HardwareConfig) -> KernelEstimate:
-        features = build_features(counters, config).reshape(1, -1)
-        log_time = float(self.time_forest.predict(features)[0])
-        power = float(self.power_forest.predict(features)[0])
-        return KernelEstimate(
-            time_s=float(np.exp(log_time)),
-            gpu_power_w=max(0.1, power),
-            cpu_power_w=self.cpu_model.predict(config),
-        )
+        """Scalar estimate; thin wrapper over :meth:`estimate_matrix`."""
+        table = ConfigTable.from_configs((config,))
+        return self.estimate_matrix(counters, table).estimate(0)
 
     def estimate_batch(self, counters: CounterVector,
                        configs: Sequence[HardwareConfig]) -> List[KernelEstimate]:
-        """Vectorized estimates for one kernel over many configurations."""
+        """Vectorized estimates; thin wrapper over :meth:`estimate_matrix`."""
         if not configs:
             return []
-        X = np.vstack([build_features(counters, c) for c in configs])
+        table = ConfigTable.from_configs(configs)
+        return self.estimate_matrix(counters, table).to_estimates()
+
+    def estimate_matrix(self, counters: CounterVector, table: ConfigTable,
+                        indices: Optional[np.ndarray] = None) -> EstimateBatch:
+        """Native columnar path: one forest traversal per batch.
+
+        The feature matrix is assembled by broadcasting the kernel's
+        counter row next to the table's precomputed hardware feature
+        block — the same floats :func:`~repro.ml.dataset.build_features`
+        concatenates per config, without the per-row Python work.  CPU
+        power is a gather from the table's memoized per-P-state column.
+        """
+        block = table.feature_block if indices is None else table.feature_block[indices]
+        n = block.shape[0]
+        if n == 0:
+            return EstimateBatch.empty()
+        counter_row = counters.as_array()
+        X = np.empty((n, counter_row.shape[0] + block.shape[1]))
+        X[:, : counter_row.shape[0]] = counter_row
+        X[:, counter_row.shape[0]:] = block
         times = np.exp(self.time_forest.predict(X))
         powers = np.maximum(0.1, self.power_forest.predict(X))
-        return [
-            KernelEstimate(
-                time_s=float(t),
-                gpu_power_w=float(p),
-                cpu_power_w=self.cpu_model.predict(c),
-            )
-            for t, p, c in zip(times, powers, configs)
-        ]
+        cpu = table.cpu_power_column(self.cpu_model)
+        if indices is not None:
+            cpu = cpu[indices]
+        return EstimateBatch(times_s=times, gpu_power_w=powers, cpu_power_w=cpu)
 
 
 class OraclePredictor(PerfPowerPredictor):
@@ -225,6 +324,35 @@ class OraclePredictor(PerfPowerPredictor):
             time_s=measurement.time_s,
             gpu_power_w=measurement.gpu_power_w,
             cpu_power_w=measurement.cpu_power_w,
+        )
+
+    def estimate_batch(self, counters: CounterVector,
+                       configs: Sequence[HardwareConfig]) -> List[KernelEstimate]:
+        """Batch estimates resolving the kernel once per batch.
+
+        The base-class default would re-run nearest-counter resolution
+        per config; the answer cannot change within one batch, so this
+        resolves once and evaluates the ground-truth model columnwise.
+        """
+        if not configs:
+            return []
+        spec = self.resolve(counters)
+        matrix = self.apu.execute_matrix(spec, ConfigTable.from_configs(configs))
+        return EstimateBatch(
+            times_s=matrix.times_s,
+            gpu_power_w=matrix.gpu_power_w,
+            cpu_power_w=matrix.cpu_power_w,
+        ).to_estimates()
+
+    def estimate_matrix(self, counters: CounterVector, table: ConfigTable,
+                        indices: Optional[np.ndarray] = None) -> EstimateBatch:
+        """Native columnar path: one ground-truth matrix evaluation."""
+        spec = self.resolve(counters)
+        matrix = self.apu.execute_matrix(spec, table, indices)
+        return EstimateBatch(
+            times_s=matrix.times_s,
+            gpu_power_w=matrix.gpu_power_w,
+            cpu_power_w=matrix.cpu_power_w,
         )
 
 

@@ -1,0 +1,19 @@
+"""RL007 bad fixture: per-config scalar predictor calls in core loops."""
+
+
+def sweep(predictor, counters, configs):
+    estimates = []
+    for config in configs:
+        estimates.append(predictor.estimate(counters, config))
+    return estimates
+
+
+def sweep_comprehension(self, counters, configs):
+    return [self.predictor.estimate(counters, c) for c in configs]
+
+
+def climb(self, counters, start):
+    current = start
+    while self.predictor.estimate(counters, current).energy_j > 1.0:
+        current = current.step()
+    return current

@@ -1,0 +1,29 @@
+"""RL007 good fixture: columnar batches and sanctioned scalar fallbacks."""
+
+import numpy as np
+
+
+def sweep(predictor, counters, table, candidate_indices):
+    # The hot-path contract: one columnar call for the whole batch.
+    return predictor.estimate_matrix(
+        counters, table, np.asarray(candidate_indices)
+    )
+
+
+def single(predictor, counters, config):
+    # A lone scalar call outside any loop is fine.
+    return predictor.estimate(counters, config)
+
+
+def fallback_loop(predictor, counters, configs):
+    # Deliberate scalar fallback wrapped in a helper: the call site in
+    # the loop is the helper, a new execution context per RL007.
+    def fetch_one(config):
+        return predictor.estimate(counters, config)
+
+    return [fetch_one(config) for config in configs]
+
+
+def non_predictor_loop(estimator, counters, configs):
+    # Receivers not named like predictors are out of scope.
+    return [estimator.estimate(counters, config) for config in configs]

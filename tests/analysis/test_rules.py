@@ -97,6 +97,23 @@ def test_rl006_allows_none_and_default_factory():
     assert lint_fixture("rl006/good_defaults.py").findings == []
 
 
+def test_rl007_flags_scalar_estimate_loops_in_core():
+    result = lint_fixture("rl007/repro/core/bad_scalar_loop.py")
+    findings = _by_rule(result, "RL007")
+    assert len(findings) == 3
+    assert all("estimate_matrix" in f.message for f in findings)
+
+
+def test_rl007_allows_matrix_batches_and_helper_fallbacks():
+    assert lint_fixture("rl007/repro/core/good_matrix_loop.py").findings == []
+
+
+def test_rl007_ignores_scalar_loops_outside_core():
+    # The same bad code outside repro/core/ is out of the rule's scope.
+    result = lint_fixture("rl001/repro/sim/good_clock.py", select=["RL007"])
+    assert result.findings == []
+
+
 def test_shipped_tree_is_clean():
     """The acceptance bar: ``repro lint src`` exits 0 on the repo itself."""
     result = run_lint([str(REPO_ROOT / "src")], root=str(REPO_ROOT))

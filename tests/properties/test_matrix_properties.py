@@ -1,0 +1,137 @@
+"""Property tests: the columnar decision core is float-identical to scalar.
+
+The refactor's contract is *exact* equality, not tolerance: every row of
+an ``estimate_matrix`` batch must carry the same float64 values the
+pre-refactor scalar path computed, because the golden-result suite
+pins simulation outputs byte-for-byte.  These tests compare against
+independently reconstructed references (``build_features`` + per-row
+forest calls, ``apu.execute``) rather than against the facades under
+test, so a drift in either path fails loudly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.apu import APUModel
+from repro.hardware.config import KNOBS, ConfigSpace
+from repro.hardware.table import ConfigTable
+from repro.ml.dataset import build_features
+from repro.ml.predictors import OraclePredictor, train_predictor
+from repro.workloads.counters import CounterSynthesizer
+from repro.workloads.kernel import KernelSpec, ScalingClass
+
+APU = APUModel()
+SPACE = ConfigSpace()
+TABLE = ConfigTable(SPACE)
+SYNTH = CounterSynthesizer(noise=0.0)
+
+KERNELS = [
+    KernelSpec("mat-a", ScalingClass.COMPUTE, 5.0, 0.1, parallel_fraction=0.99),
+    KernelSpec("mat-b", ScalingClass.MEMORY, 0.5, 1.0, parallel_fraction=0.9),
+]
+COUNTERS = [SYNTH.nominal(spec) for spec in KERNELS]
+
+# Small forests keep the module import cheap; exactness does not depend
+# on model size.
+RF = train_predictor(apu=APU, kernels=KERNELS, n_estimators=3, max_depth=5)
+ORACLE = OraclePredictor(APU, KERNELS)
+
+index_st = st.integers(0, len(TABLE) - 1)
+kernel_st = st.integers(0, len(KERNELS) - 1)
+knob_st = st.sampled_from(KNOBS)
+direction_st = st.sampled_from([-1, 1])
+
+
+def _rf_reference(counters, config):
+    """The pre-refactor scalar Random Forest estimate, reconstructed."""
+    features = build_features(counters, config).reshape(1, -1)
+    time_s = float(np.exp(float(RF.time_forest.predict(features)[0])))
+    gpu_power_w = max(0.1, float(RF.power_forest.predict(features)[0]))
+    cpu_power_w = RF.cpu_model.predict(config)
+    return time_s, gpu_power_w, cpu_power_w
+
+
+@settings(max_examples=60, deadline=None)
+@given(kernel_st, index_st)
+def test_rf_matrix_row_equals_scalar_reference(k, i):
+    counters = COUNTERS[k]
+    batch = RF.estimate_matrix(counters, TABLE)
+    time_s, gpu_power_w, cpu_power_w = _rf_reference(
+        counters, TABLE.config_at(i)
+    )
+    assert float(batch.times_s[i]) == time_s
+    assert float(batch.gpu_power_w[i]) == gpu_power_w
+    assert float(batch.cpu_power_w[i]) == cpu_power_w
+    assert float(batch.energy_j[i]) == (gpu_power_w + cpu_power_w) * time_s
+
+
+@settings(max_examples=60, deadline=None)
+@given(kernel_st, index_st)
+def test_rf_scalar_facades_equal_matrix_rows(k, i):
+    counters = COUNTERS[k]
+    config = TABLE.config_at(i)
+    row = RF.estimate_matrix(counters, TABLE).estimate(i)
+    single = RF.estimate(counters, config)
+    [batched] = RF.estimate_batch(counters, [config])
+    subset = RF.estimate_matrix(
+        counters, TABLE, np.asarray([i], dtype=np.intp)
+    ).estimate(0)
+    for other in (single, batched, subset):
+        assert other.time_s == row.time_s
+        assert other.gpu_power_w == row.gpu_power_w
+        assert other.cpu_power_w == row.cpu_power_w
+        assert other.energy_j == row.energy_j
+
+
+@settings(max_examples=60, deadline=None)
+@given(kernel_st, index_st)
+def test_oracle_matrix_row_equals_scalar_estimate(k, i):
+    counters = COUNTERS[k]
+    config = TABLE.config_at(i)
+    row = ORACLE.estimate_matrix(counters, TABLE).estimate(i)
+    single = ORACLE.estimate(counters, config)
+    assert single.time_s == row.time_s
+    assert single.gpu_power_w == row.gpu_power_w
+    assert single.cpu_power_w == row.cpu_power_w
+    assert single.energy_j == row.energy_j
+
+
+def test_oracle_matrix_matches_ground_truth_execution():
+    spec, counters = KERNELS[0], COUNTERS[0]
+    batch = ORACLE.estimate_matrix(counters, TABLE)
+    for i in (0, len(TABLE) // 2, len(TABLE) - 1):
+        truth = APU.execute(spec, TABLE.config_at(i))
+        assert float(batch.times_s[i]) == pytest.approx(truth.time_s)
+        assert float(batch.gpu_power_w[i]) == pytest.approx(truth.gpu_power_w)
+
+
+def test_config_table_roundtrip_covers_full_lattice():
+    assert TABLE.configs == tuple(SPACE.all_configs())
+    for i, config in enumerate(TABLE.configs):
+        assert TABLE.index_of_config(config) == i
+        assert TABLE.config_at(i) == config
+
+
+@given(index_st, knob_st, direction_st)
+def test_step_index_matches_space_step(i, knob, direction):
+    stepped = TABLE.step_index(i, knob, direction)
+    expected = SPACE.step(TABLE.config_at(i), knob, direction)
+    if expected is None:
+        assert stepped is None
+    else:
+        assert stepped is not None
+        assert TABLE.config_at(stepped) == expected
+
+
+@given(index_st, knob_st)
+def test_set_knob_changes_only_that_axis(i, knob):
+    moved = TABLE.set_knob(i, knob, 0)
+    before = TABLE.config_at(i)
+    after = TABLE.config_at(moved)
+    for other in KNOBS:
+        if other == knob:
+            assert after.knob(other) == SPACE.axis(knob)[0]
+        else:
+            assert after.knob(other) == before.knob(other)

@@ -37,6 +37,18 @@ class TestParser:
         args = build_parser().parse_args(["report", "-o", "out.md"])
         assert args.output == "out.md"
 
+    def test_bench_decide_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "decide", "--quick", "--output", "b.json", "--label", "x"]
+        )
+        assert args.command == "bench"
+        assert args.bench_command == "decide"
+        assert args.quick and args.output == "b.json" and args.label == "x"
+
+    def test_bench_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
 
 class TestCommands:
     def test_list_prints_all_benchmarks(self, capsys):

@@ -99,3 +99,32 @@ class TestContext:
         assert ctx.target_throughput("NBody") == pytest.approx(
             turbo.instructions / turbo.kernel_time_s
         )
+
+
+class TestBenchDecide:
+    def test_trajectory_appends_and_survives_schema_mismatch(self, tmp_path):
+        from repro.experiments.bench_decide import SCHEMA, _load_trajectory
+
+        path = tmp_path / "bench.json"
+        assert _load_trajectory(str(path)) == []
+        path.write_text('{"schema": "other/v0", "trajectory": [1]}')
+        assert _load_trajectory(str(path)) == []
+        path.write_text(
+            '{"schema": "%s", "trajectory": [{"label": "seed"}]}' % SCHEMA
+        )
+        assert _load_trajectory(str(path)) == [{"label": "seed"}]
+
+    def test_format_entry_lists_every_backend(self):
+        from repro.experiments.bench_decide import format_entry
+
+        entry = {
+            "label": "seed", "benchmark": "kmeans", "cases": 2,
+            "backends": {
+                "rf": {
+                    "scalar_decisions_per_s": 10.0,
+                    "matrix_decisions_per_s": 40.0, "speedup": 4.0,
+                },
+            },
+        }
+        text = format_entry(entry)
+        assert "rf" in text and "4.00x" in text
