@@ -9,6 +9,7 @@ Rule ids:
 * ``RL005`` obs-purity (:mod:`.obs`)
 * ``RL006`` mutable-default-config (:mod:`.config`)
 * ``RL007`` scalar-path-drift (:mod:`.hotpath`)
+* ``RL008`` trace-schema-coverage (:mod:`.traces`)
 """
 
 from repro.analysis.rules import (  # noqa: F401
@@ -18,6 +19,7 @@ from repro.analysis.rules import (  # noqa: F401
     fingerprint,
     hotpath,
     obs,
+    traces,
 )
 
 __all__ = [
@@ -27,4 +29,5 @@ __all__ = [
     "fingerprint",
     "hotpath",
     "obs",
+    "traces",
 ]

@@ -1,0 +1,141 @@
+"""RL008 trace-schema-coverage: the trace format must track its inputs.
+
+The kernel-launch trace format (``workloads/traces/format.py``) is the
+durable interface between recorded runs and every downstream consumer:
+the replayer, the differential harness, and the checked-in golden
+traces.  Two drift hazards are checked statically, both cross-module:
+
+1. **Kernel-field coverage.**  ``kernel_to_dict``/``kernel_from_dict``
+   serialize :class:`~repro.workloads.kernel.KernelSpec` field by
+   field.  A field added to a kernel dataclass but never mentioned in
+   the format module would be silently dropped from every trace — the
+   round-trip property ("record -> serialize -> parse -> replay yields
+   identical decisions") would quietly stop covering that dimension of
+   the workload.  Every field of every dataclass in the kernel module
+   must therefore appear (as a string, attribute, or keyword) in the
+   paired format module.
+
+2. **Comparator coverage.**  The differential harness trusts
+   ``replay.py`` to compare *every* field of a recorded decision
+   against the re-executed outcome.  A ``RecordedDecision`` field the
+   replay module never mentions is a field tampering cannot be detected
+   on — the "float-identical replay" guarantee would be vacuous for it.
+
+Pairing is by tree prefix (the convention from RL003), so fixture trees
+mirroring the layout pair with themselves rather than the real sources.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.index import ModuleInfo, ProjectIndex
+from repro.analysis.registry import rule
+
+__all__ = ["check_trace_schema_coverage"]
+
+#: The format/kernel module pair checked by facet 1.
+FORMAT_PATH = "repro/workloads/traces/format.py"
+KERNEL_PATH = "repro/workloads/kernel.py"
+
+#: The replay module paired with the format module by facet 2.
+REPLAY_PATH = "repro/workloads/traces/replay.py"
+
+#: The decision dataclass whose fields the replay comparator must cover.
+DECISION_TYPE = "RecordedDecision"
+
+
+def _mentioned_names(module: ModuleInfo) -> Set[str]:
+    """Every identifier-ish name the module mentions.
+
+    String constants, attribute accesses, and keyword-argument names all
+    count, matching how serializers and comparators actually reference
+    fields (``payload["time_s"]``, ``record.time_s``, ``time_s=...``).
+    """
+    names: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            names.add(node.value)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+        elif isinstance(node, ast.keyword) and node.arg is not None:
+            names.add(node.arg)
+    return names
+
+
+def _module_pairs(
+    index: ProjectIndex, anchor: str, partner: str
+) -> Iterator[Dict[str, ModuleInfo]]:
+    """Each module matching ``anchor`` paired with its sibling ``partner``.
+
+    Pairing is by tree prefix, so a fixture tree that mirrors the layout
+    pairs with its own partner module rather than the real sources.
+    """
+    for module in index.modules_matching(anchor):
+        prefix = module.rel_path[: -len(anchor)]
+        sibling = index.module_for(prefix + partner)
+        if sibling is not None:
+            yield {"anchor": module, "partner": sibling}
+
+
+def _check_kernel_coverage(index: ProjectIndex) -> Iterator[Finding]:
+    for pair in _module_pairs(index, FORMAT_PATH, KERNEL_PATH):
+        format_mod, kernel_mod = pair["anchor"], pair["partner"]
+        covered = _mentioned_names(format_mod)
+        for dc in index.dataclasses:
+            if dc.module_rel_path != kernel_mod.rel_path:
+                continue
+            for field in dc.fields:
+                if field.name not in covered:
+                    yield Finding(
+                        path=kernel_mod.path,
+                        line=field.line,
+                        col=field.col,
+                        rule_id="RL008",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"field {dc.name}.{field.name} is not mentioned "
+                            f"in {format_mod.rel_path}; traces would silently "
+                            "drop it and replay could not reproduce it"
+                        ),
+                    )
+
+
+def _check_comparator_coverage(index: ProjectIndex) -> Iterator[Finding]:
+    for pair in _module_pairs(index, FORMAT_PATH, REPLAY_PATH):
+        format_mod, replay_mod = pair["anchor"], pair["partner"]
+        covered = _mentioned_names(replay_mod)
+        for dc in index.dataclasses:
+            if dc.module_rel_path != format_mod.rel_path:
+                continue
+            if dc.name != DECISION_TYPE:
+                continue
+            for field in dc.fields:
+                if field.name not in covered:
+                    yield Finding(
+                        path=format_mod.path,
+                        line=field.line,
+                        col=field.col,
+                        rule_id="RL008",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"field {dc.name}.{field.name} is not mentioned "
+                            f"in {replay_mod.rel_path}; the differential "
+                            "replay comparator would never detect drift in it"
+                        ),
+                    )
+
+
+@rule(
+    "RL008",
+    "trace-schema-coverage",
+    "trace format must cover kernel fields; replay must compare all "
+    "recorded-decision fields",
+    scope="project",
+)
+def check_trace_schema_coverage(index: ProjectIndex) -> Iterator[Finding]:
+    """Cross-module trace-format/comparator coverage check."""
+    yield from _check_kernel_coverage(index)
+    yield from _check_comparator_coverage(index)

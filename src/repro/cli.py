@@ -11,6 +11,9 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli report -o EXPERIMENTS.md     # full markdown report
     python -m repro.cli run kmeans --trace-out t.jsonl --metrics-out m.prom
     python -m repro.cli obs summarize t.jsonl        # per-run decision summary
+    python -m repro.cli trace record kmeans -o k.jsonl   # capture a run
+    python -m repro.cli trace replay k.jsonl         # re-check it float-for-float
+    python -m repro.cli trace generate -o traces/    # adversarial corpus
 """
 
 from __future__ import annotations
@@ -135,6 +138,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=".cache",
         help="predictor cache directory (default: .cache)",
     )
+
+    trace = sub.add_parser(
+        "trace", help="record, replay, validate, and generate kernel-launch traces"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    record = trace_sub.add_parser(
+        "record", help="capture a benchmark run as a decision-stamped trace"
+    )
+    record.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    record.add_argument("-o", "--output", default=None, metavar="FILE",
+                        help="trace file (default: <benchmark>-<policy>.jsonl)")
+    record.add_argument("--policy", choices=("mpc", "ppk", "turbo"), default="mpc")
+    record.add_argument("--invocations", type=int, default=2,
+                        help="back-to-back invocations to trace (default: 2)")
+    record.add_argument("--predictor", choices=("oracle", "forest"),
+                        default="oracle")
+    record.add_argument("--cache-dir", default=".cache",
+                        help="Random Forest cache directory")
+    replay = trace_sub.add_parser(
+        "replay",
+        help="replay a trace; recorded decisions are checked float-for-float",
+    )
+    replay.add_argument("trace", help="JSONL kernel-launch trace file")
+    replay.add_argument("--no-check", action="store_true",
+                        help="skip comparing against recorded decisions")
+    replay.add_argument("--scalar", action="store_true",
+                        help="force the scalar decision-core path")
+    replay.add_argument("--cache-dir", default=".cache",
+                        help="Random Forest cache directory")
+    _add_obs_flags(replay)
+    tvalidate = trace_sub.add_parser(
+        "validate", help="check a trace file structurally and semantically"
+    )
+    tvalidate.add_argument("trace", help="JSONL kernel-launch trace file")
+    tvalidate.add_argument(
+        "--schema", default="docs/kernel_trace.schema.json",
+        help="record schema (default: docs/kernel_trace.schema.json)",
+    )
+    generate = trace_sub.add_parser(
+        "generate", help="generate the adversarial scenario corpus"
+    )
+    generate.add_argument(
+        "families", nargs="*", metavar="FAMILY",
+        help="scenario families (default: all)",
+    )
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("-o", "--output-dir", default="traces",
+                          help="output directory (default: traces/)")
 
     obs = sub.add_parser(
         "obs", help="inspect traces/metrics written by --trace-out"
@@ -446,6 +497,107 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )  # pragma: no cover
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.workloads.traces import (
+        FAMILIES,
+        ScenarioGenerator,
+        Trace,
+        TraceReplayer,
+        stamp_decisions,
+        trace_from_benchmark,
+    )
+
+    if args.trace_command == "record":
+        trace = trace_from_benchmark(
+            args.benchmark,
+            policy=args.policy,
+            invocations=args.invocations,
+            predictor=args.predictor,
+        )
+        stamped = stamp_decisions(trace, cache_dir=args.cache_dir)
+        output = args.output or f"{args.benchmark}-{args.policy}.jsonl"
+        stamped.dump(output)
+        print(
+            f"recorded {stamped.header.name}: {len(stamped.events)} launches "
+            f"across {args.invocations} invocation(s) -> {output}"
+        )
+        return 0
+
+    if args.trace_command == "replay":
+        try:
+            trace = Trace.load(args.trace)
+        except ValueError as exc:
+            print(f"{args.trace}: {exc}", file=sys.stderr)
+            return 2
+        problems = trace.validate()
+        if problems:
+            for problem in problems:
+                print(f"{args.trace}: {problem}", file=sys.stderr)
+            return 2
+        report = TraceReplayer(
+            trace,
+            check=not args.no_check,
+            use_matrix=not args.scalar,
+            cache_dir=args.cache_dir,
+        ).replay()
+        print(
+            f"replayed {trace.header.name}: {len(report.outcomes)} launches, "
+            f"{len(report.stats)} session(s), {report.checked} decision(s) checked"
+        )
+        for session_id, stats in sorted(report.stats.items()):
+            print(f"  {session_id}: {stats.format()}")
+        for result in report.assertion_results:
+            print(f"  {result}")
+        for mismatch in report.mismatches:
+            print(f"  MISMATCH {mismatch}")
+        if args.trace_out or args.metrics_out:
+            from repro.obs.exporters import write_jsonl, write_prometheus
+
+            if args.trace_out:
+                count = write_jsonl(report.spans, args.trace_out)
+                print(f"wrote {count} spans to {args.trace_out}")
+            if args.metrics_out:
+                write_prometheus(report.registry, args.metrics_out)
+                print(f"wrote metrics to {args.metrics_out}")
+        return 0 if report.passed else 1
+
+    if args.trace_command == "validate":
+        import json
+
+        from repro.obs.exporters import validate_trace_file
+
+        with open(args.schema, encoding="utf-8") as handle:
+            schema = json.load(handle)
+        problems = validate_trace_file(args.trace, schema)
+        try:
+            problems.extend(Trace.load(args.trace).validate())
+        except ValueError as exc:
+            problems.append(str(exc))
+        for problem in problems:
+            print(problem)
+        if problems:
+            print(f"{args.trace}: {len(problems)} problem(s)")
+            return 1
+        print(f"{args.trace}: valid")
+        return 0
+
+    if args.trace_command == "generate":
+        families = args.families or list(FAMILIES)
+        generator = ScenarioGenerator(seed=args.seed)
+        try:
+            paths = generator.dump_corpus(args.output_dir, families)
+        except (KeyError, RuntimeError) as exc:
+            print(f"repro trace generate: {exc}", file=sys.stderr)
+            return 2
+        for path in paths:
+            print(f"wrote {path}")
+        return 0
+
+    raise ValueError(
+        f"unknown trace command {args.trace_command!r}"
+    )  # pragma: no cover
+
+
 def _cmd_obs(args: argparse.Namespace) -> int:
     from repro.obs.exporters import (
         format_summary,
@@ -496,6 +648,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_lint(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "obs":
         return _cmd_obs(args)
     raise ValueError(f"unknown command {args.command!r}")  # pragma: no cover

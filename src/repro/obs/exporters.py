@@ -310,11 +310,19 @@ def validate_span(span: Dict[str, Any], schema: Dict[str, Any],
                   path: str = "$") -> List[str]:
     """Structurally validate one span against a mini JSON schema.
 
-    Supports the subset used by the checked-in trace schema: ``type``
-    (a name or list of names), ``required``, and nested ``properties``.
+    Supports the subset used by the checked-in trace schemas: ``type``
+    (a name or list of names), ``required``, nested ``properties``, and
+    a top-level ``oneOf`` branch list (a value is valid when any branch
+    accepts it; on failure the closest branch's problems are reported).
     Returns a list of human-readable problems (empty when valid), so no
     third-party jsonschema dependency is needed.
     """
+    branches = schema.get("oneOf")
+    if branches is not None:
+        attempts = [validate_span(span, branch, path) for branch in branches]
+        best = min(attempts, key=len)
+        suffix = f" (closest of {len(branches)} oneOf branches)"
+        return [problem + suffix for problem in best]
     problems: List[str] = []
     expected: Union[str, List[str], None] = schema.get("type")
     if expected is not None:

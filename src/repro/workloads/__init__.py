@@ -47,3 +47,7 @@ __all__ = [
     "CorpusStats",
     "corpus_stats",
 ]
+
+# The traces subpackage (repro.workloads.traces) is *not* re-exported
+# here: it builds on the runtime and core layers, which import these
+# leaf modules — import it explicitly where needed.

@@ -1,0 +1,60 @@
+"""Kernel-launch traces: recorded and generated first-class workloads.
+
+The paper's evaluation runs 15 regex-encoded benchmark suites
+(:mod:`repro.workloads.suites`).  This package generalizes the input
+side: any kernel-launch sequence — recorded from a suite run, written by
+hand, or produced by the adversarial :class:`ScenarioGenerator` — can be
+stored as a versioned JSONL trace (:mod:`.format`) and replayed through
+the streaming runtime's event protocol (:mod:`.replay`), with optional
+recorded decisions checked float-for-float and machine-checkable
+coverage assertions evaluated against the replay's statistics.
+"""
+
+from repro.workloads.traces.format import (
+    ASSERTION_METRICS,
+    ASSERTION_OPS,
+    GLOBAL_ONLY_METRICS,
+    TRACE_SCHEMA,
+    CoverageAssertion,
+    PolicySpec,
+    RecordedDecision,
+    SessionSpec,
+    Trace,
+    TraceEvent,
+    TraceHeader,
+    kernel_from_dict,
+    kernel_to_dict,
+)
+from repro.workloads.traces.replay import (
+    AssertionResult,
+    ReplayReport,
+    TraceReplayer,
+    build_policy,
+    stamp_decisions,
+    trace_from_benchmark,
+)
+from repro.workloads.traces.scenarios import FAMILIES, ScenarioGenerator
+
+__all__ = [
+    "ASSERTION_METRICS",
+    "ASSERTION_OPS",
+    "GLOBAL_ONLY_METRICS",
+    "TRACE_SCHEMA",
+    "CoverageAssertion",
+    "PolicySpec",
+    "RecordedDecision",
+    "SessionSpec",
+    "Trace",
+    "TraceEvent",
+    "TraceHeader",
+    "kernel_from_dict",
+    "kernel_to_dict",
+    "AssertionResult",
+    "ReplayReport",
+    "TraceReplayer",
+    "build_policy",
+    "stamp_decisions",
+    "trace_from_benchmark",
+    "FAMILIES",
+    "ScenarioGenerator",
+]

@@ -1,0 +1,392 @@
+"""Seeded adversarial scenario generator.
+
+Each family builds launch sequences the paper's benchmarks never
+exercise — exactly the out-of-distribution inputs the portable-predictor
+and DSO lines of work (PAPERS.md) warn about — and stamps the trace
+header with the :class:`~repro.workloads.traces.format.CoverageAssertion`
+contract the scenario must provoke:
+
+* ``phase-shift`` — the application's second half mutates into
+  unscalable kernels after the profile froze, so the MPC window predicts
+  from stale patterns and the tracker forces fail-safes.
+* ``input-storm`` — one kernel, wildly varying inputs, and *more*
+  launches than the profile recorded: every overflow launch must push
+  the manager into its PPK degradation path (the "pattern extractor
+  fallback ≥ N times" assertion).
+* ``mispredict-cascade`` — srad-style progressive drift: each launch is
+  a little heavier and a little less parallel than its profiled
+  ancestor, so mispredictions compound into fail-safe cascades.
+* ``bursty`` — serverless-style arrivals: three concurrent sessions
+  under different policies, interleaved in random bursts, exercising
+  the session-routing transparency invariant.
+* ``tdp-storm`` — high-activity compute kernels pinned at the fastest
+  configuration with TDP enforcement on: the throttle must engage.
+
+All randomness flows through ``random.Random(f"{seed}:{family}")`` —
+one derived stream per family, so generating a single family or the
+whole corpus yields identical traces (the seeded-RNG invariant, RL002).
+Every generated trace is replayed once before being returned; a family
+whose coverage assertions do not hold raises instead of shipping a
+vacuous scenario.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.hardware.config import ConfigSpace
+from repro.sim.simulator import Simulator
+from repro.sim.turbocore import TurboCorePolicy
+from repro.workloads.app import Application, Category
+from repro.workloads.kernel import KernelSpec, ScalingClass
+from repro.workloads.traces.format import (
+    CoverageAssertion,
+    PolicySpec,
+    SessionSpec,
+    Trace,
+    TraceEvent,
+    TraceHeader,
+)
+from repro.workloads.traces.replay import TraceReplayer
+
+__all__ = ["FAMILIES", "ScenarioGenerator"]
+
+#: The adversarial scenario families, in generation order.
+FAMILIES = (
+    "phase-shift",
+    "input-storm",
+    "mispredict-cascade",
+    "bursty",
+    "tdp-storm",
+)
+
+
+def _turbo_target(kernels: Sequence[KernelSpec], name: str) -> float:
+    """The Turbo Core throughput of one invocation's kernels.
+
+    Computed once at generation time and stored in the policy spec;
+    replays never recompute it.
+    """
+    app = Application(
+        name, "trace", Category.IRREGULAR_NON_REPEATING, kernels=tuple(kernels)
+    )
+    sim = Simulator()
+    turbo = sim.run(app, TurboCorePolicy(tdp_w=sim.apu.tdp_w))
+    return turbo.instructions / turbo.kernel_time_s
+
+
+def _compute_kernel(name: str, rng: random.Random, input_id: int = 0) -> KernelSpec:
+    return KernelSpec(
+        name,
+        ScalingClass.COMPUTE,
+        compute_work=rng.uniform(2.0, 6.0),
+        memory_traffic=rng.uniform(0.05, 0.2),
+        parallel_fraction=0.99,
+        input_id=input_id,
+    )
+
+
+def _memory_kernel(name: str, rng: random.Random, input_id: int = 0) -> KernelSpec:
+    return KernelSpec(
+        name,
+        ScalingClass.MEMORY,
+        compute_work=rng.uniform(0.2, 0.8),
+        memory_traffic=rng.uniform(0.5, 1.2),
+        parallel_fraction=0.9,
+        input_id=input_id,
+    )
+
+
+def _events(session: str, *invocations: Sequence[KernelSpec]) -> List[TraceEvent]:
+    out: List[TraceEvent] = []
+    for kernels in invocations:
+        for index, spec in enumerate(kernels):
+            out.append(TraceEvent(index=index, session=session, spec=spec))
+    return out
+
+
+class ScenarioGenerator:
+    """Deterministic adversarial-trace factory.
+
+    Args:
+        seed: Master seed.  Each family derives its own stream from
+            ``f"{seed}:{family}"``, so per-family output is independent
+            of which other families are generated.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._builders: Dict[str, Callable[[random.Random], Trace]] = {
+            "phase-shift": self._phase_shift,
+            "input-storm": self._input_storm,
+            "mispredict-cascade": self._mispredict_cascade,
+            "bursty": self._bursty,
+            "tdp-storm": self._tdp_storm,
+        }
+
+    # ----- public API ------------------------------------------------------
+
+    def generate(self, family: str) -> Trace:
+        """Build, validate, and coverage-check one family's trace.
+
+        Raises:
+            KeyError: Unknown family.
+            RuntimeError: The generated trace does not provoke its own
+                coverage assertions (a vacuous adversarial scenario).
+        """
+        try:
+            builder = self._builders[family]
+        except KeyError:
+            known = ", ".join(sorted(self._builders))
+            raise KeyError(f"unknown family {family!r}; known: {known}") from None
+        trace = builder(random.Random(f"{self.seed}:{family}")).ensure_valid()
+        report = TraceReplayer(trace, check=False).replay()
+        failed = [r for r in report.assertion_results if not r.passed]
+        if failed:
+            lines = "\n  ".join(str(r) for r in failed)
+            raise RuntimeError(
+                f"family {family!r} (seed {self.seed}) does not provoke its "
+                f"coverage assertions:\n  {lines}"
+            )
+        return trace
+
+    def corpus(self, families: Sequence[str] = FAMILIES) -> List[Trace]:
+        """Every family's trace, in the given order."""
+        return [self.generate(family) for family in families]
+
+    def dump_corpus(
+        self, out_dir: str, families: Sequence[str] = FAMILIES
+    ) -> List[str]:
+        """Write one trace file per family; returns the paths."""
+        os.makedirs(out_dir, exist_ok=True)
+        paths = []
+        for family in families:
+            trace = self.generate(family)
+            path = os.path.join(out_dir, f"{family}-seed{self.seed}.jsonl")
+            paths.append(trace.dump(path))
+        return paths
+
+    # ----- families --------------------------------------------------------
+
+    def _phase_shift(self, rng: random.Random) -> Trace:
+        """Mid-pattern phase shift: the profiled pattern goes stale."""
+        session = "phase-shift"
+        compute = _compute_kernel("ps-compute", rng)
+        memory = _memory_kernel("ps-memory", rng)
+        profile = [compute, memory] * 6
+        # After the profile freezes, positions 6..11 mutate into
+        # unscalable serial-dominated kernels the extractor never saw.
+        shifted = list(profile[:6]) + [
+            KernelSpec(
+                "ps-shift",
+                ScalingClass.UNSCALABLE,
+                compute_work=0.05,
+                memory_traffic=0.02,
+                parallel_fraction=0.2,
+                serial_time_s=rng.uniform(0.8e-3, 2.0e-3),
+                input_id=position + 1,
+            )
+            for position in range(6)
+        ]
+        target = _turbo_target(profile, session)
+        header = TraceHeader(
+            name="phase-shift",
+            source=f"generator:phase-shift seed={self.seed}",
+            seed=self.seed,
+            sessions=(
+                SessionSpec(
+                    session_id=session,
+                    app_name=session,
+                    policy=PolicySpec(kind="mpc", target_throughput=target),
+                ),
+            ),
+            assertions=(
+                CoverageAssertion("launches", "==", 36.0),
+                CoverageAssertion("runs", "==", 3.0),
+                CoverageAssertion("mpc_decisions", ">=", 1.0),
+                CoverageAssertion("fail_safe_total", ">=", 1.0, session=session),
+                CoverageAssertion("distinct_configs", ">=", 2.0),
+            ),
+        )
+        return Trace(
+            header=header,
+            events=tuple(_events(session, profile, shifted, shifted)),
+        )
+
+    def _input_storm(self, rng: random.Random) -> Trace:
+        """Input-varying storm with more launches than the profile."""
+        session = "input-storm"
+        base = _compute_kernel("storm", rng)
+        profile = [
+            base.with_input(i + 1, work_scale=rng.uniform(0.5, 2.0))
+            for i in range(8)
+        ]
+        # The second invocation launches 12 kernels against an 8-launch
+        # profile: every overflow launch must degrade to PPK.
+        storm = [
+            base.with_input(101 + i, work_scale=rng.uniform(0.2, 5.0))
+            for i in range(12)
+        ]
+        target = _turbo_target(profile, session)
+        header = TraceHeader(
+            name="input-storm",
+            source=f"generator:input-storm seed={self.seed}",
+            seed=self.seed,
+            sessions=(
+                SessionSpec(
+                    session_id=session,
+                    app_name=session,
+                    policy=PolicySpec(kind="mpc", target_throughput=target),
+                ),
+            ),
+            assertions=(
+                CoverageAssertion("launches", "==", 20.0),
+                CoverageAssertion("runs", "==", 2.0),
+                # 8 profiling decisions + >= 4 beyond-profile fallbacks.
+                CoverageAssertion("ppk_decisions", ">=", 12.0),
+                CoverageAssertion("mpc_decisions", ">=", 1.0),
+            ),
+        )
+        return Trace(header=header, events=tuple(_events(session, profile, storm)))
+
+    def _mispredict_cascade(self, rng: random.Random) -> Trace:
+        """Progressive drift: every launch is heavier and less parallel."""
+        session = "mispredict-cascade"
+        compute = _compute_kernel("drift-c", rng)
+        memory = _memory_kernel("drift-m", rng)
+        # Alternating compute/memory profile: the memory-bound half
+        # gives the optimizer genuine slack, so healthy decisions leave
+        # the fail-safe configuration (distinct_configs coverage).
+        profile = [
+            (compute if i % 2 == 0 else memory).with_input(
+                i + 1, work_scale=rng.uniform(0.9, 1.1)
+            )
+            for i in range(10)
+        ]
+        drifted = []
+        for i in range(10):
+            base = compute if i % 2 == 0 else memory
+            grow = (1.25 ** (i + 1)) * rng.uniform(0.95, 1.05)
+            drifted.append(
+                KernelSpec(
+                    base.name,
+                    base.scaling_class,
+                    compute_work=base.compute_work * grow,
+                    memory_traffic=base.memory_traffic * grow,
+                    parallel_fraction=max(0.5, base.parallel_fraction - 0.04 * (i + 1)),
+                    compute_efficiency=base.compute_efficiency,
+                    input_id=11 + i,
+                )
+            )
+        target = _turbo_target(profile, session)
+        header = TraceHeader(
+            name="mispredict-cascade",
+            source=f"generator:mispredict-cascade seed={self.seed}",
+            seed=self.seed,
+            sessions=(
+                SessionSpec(
+                    session_id=session,
+                    app_name=session,
+                    policy=PolicySpec(kind="mpc", target_throughput=target),
+                ),
+            ),
+            assertions=(
+                CoverageAssertion("launches", "==", 20.0),
+                CoverageAssertion("runs", "==", 2.0),
+                CoverageAssertion("fail_safe_total", ">=", 1.0, session=session),
+                CoverageAssertion("distinct_configs", ">=", 2.0),
+            ),
+        )
+        return Trace(header=header, events=tuple(_events(session, profile, drifted)))
+
+    def _bursty(self, rng: random.Random) -> Trace:
+        """Serverless-style bursts across three concurrent sessions."""
+        streams: Dict[str, List[TraceEvent]] = {}
+        sessions: List[SessionSpec] = []
+        kinds: List[Tuple[str, str]] = [
+            ("svc-0", "mpc"),
+            ("svc-1", "ppk"),
+            ("svc-2", "turbo"),
+        ]
+        for ordinal, (session, kind) in enumerate(kinds):
+            compute = _compute_kernel(f"burst-c{ordinal}", rng)
+            memory = _memory_kernel(f"burst-m{ordinal}", rng)
+            invocation = [compute, memory] * 3
+            if kind == "turbo":
+                policy = PolicySpec(kind="turbo")
+            else:
+                policy = PolicySpec(
+                    kind=kind,
+                    target_throughput=_turbo_target(invocation, session),
+                )
+            sessions.append(
+                SessionSpec(session_id=session, app_name=session, policy=policy)
+            )
+            streams[session] = _events(session, invocation, invocation)
+        # Interleave in bursts of 1-4 consecutive launches per pick:
+        # arrival order across sessions is random, order within each
+        # session is preserved (the runtime rejects anything else).
+        interleaved: List[TraceEvent] = []
+        pending = {sid: list(events) for sid, events in streams.items()}
+        while any(pending.values()):
+            alive = sorted(sid for sid, queue in pending.items() if queue)
+            choice = rng.choice(alive)
+            for _ in range(rng.randint(1, 4)):
+                if not pending[choice]:
+                    break
+                interleaved.append(pending[choice].pop(0))
+        header = TraceHeader(
+            name="bursty",
+            source=f"generator:bursty seed={self.seed}",
+            seed=self.seed,
+            sessions=tuple(sessions),
+            assertions=(
+                CoverageAssertion("sessions", "==", 3.0),
+                CoverageAssertion("launches", "==", 36.0),
+                CoverageAssertion("runs", "==", 6.0),
+                CoverageAssertion("launches", "==", 12.0, session="svc-0"),
+                CoverageAssertion("launches", "==", 12.0, session="svc-1"),
+                CoverageAssertion("launches", "==", 12.0, session="svc-2"),
+            ),
+        )
+        return Trace(header=header, events=tuple(interleaved))
+
+    def _tdp_storm(self, rng: random.Random) -> Trace:
+        """High-activity kernels pinned at the fastest configuration."""
+        session = "tdp-storm"
+        kernels = [
+            KernelSpec(
+                "inferno",
+                ScalingClass.COMPUTE,
+                compute_work=rng.uniform(20.0, 40.0),
+                memory_traffic=0.1,
+                parallel_fraction=0.995,
+                compute_efficiency=0.95,
+                activity_factor=rng.uniform(3.0, 3.5),
+                input_id=i + 1,
+            )
+            for i in range(8)
+        ]
+        header = TraceHeader(
+            name="tdp-storm",
+            source=f"generator:tdp-storm seed={self.seed}",
+            seed=self.seed,
+            enforce_tdp=True,
+            sessions=(
+                SessionSpec(
+                    session_id=session,
+                    app_name=session,
+                    policy=PolicySpec(
+                        kind="fixed", config=ConfigSpace().fastest()
+                    ),
+                ),
+            ),
+            assertions=(
+                CoverageAssertion("launches", "==", 8.0),
+                CoverageAssertion("tdp_throttles", ">=", 1.0),
+                CoverageAssertion("tdp_throttles", ">=", 1.0, session=session),
+            ),
+        )
+        return Trace(header=header, events=tuple(_events(session, kernels)))

@@ -1,0 +1,10 @@
+"""RL008 fixture kernel module: one field missing from the format."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FixtureKernel:
+    name: str
+    compute_work: float
+    warp_occupancy: float = 1.0

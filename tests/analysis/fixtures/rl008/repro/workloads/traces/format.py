@@ -1,0 +1,18 @@
+"""Format side of the RL008 fixture (misses warp_occupancy)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RecordedDecision:
+    config: str
+    time_s: float
+    cache_energy_j: float = 0.0
+
+
+def kernel_to_dict(spec):
+    return {"name": spec.name, "compute_work": spec.compute_work}
+
+
+def kernel_from_dict(payload):
+    return payload["name"], payload["compute_work"]

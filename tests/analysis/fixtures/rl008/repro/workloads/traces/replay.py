@@ -1,0 +1,10 @@
+"""Replay side of the RL008 fixture (never compares cache_energy_j)."""
+
+
+def compare(recorded, outcome):
+    mismatches = []
+    if recorded.config != outcome.config:
+        mismatches.append("config")
+    if recorded.time_s != outcome.time_s:
+        mismatches.append("time_s")
+    return mismatches

@@ -114,6 +114,32 @@ def test_rl007_ignores_scalar_loops_outside_core():
     assert result.findings == []
 
 
+def test_rl008_flags_trace_format_and_comparator_gaps():
+    result = lint_fixture("rl008")
+    findings = _by_rule(result, "RL008")
+    assert len(findings) == 2
+    messages = " ".join(f.message for f in findings)
+    # Facet 1: a kernel field the format module never serializes.
+    assert "FixtureKernel.warp_occupancy" in messages
+    assert "format.py" in messages
+    # Facet 2: a decision field the replay comparator never checks.
+    assert "RecordedDecision.cache_energy_j" in messages
+    assert "replay.py" in messages
+    # Fields both sides mention stay clean.
+    assert "compute_work" not in messages
+    assert "time_s" not in messages
+
+
+def test_rl008_real_trace_format_covers_kernel_fields():
+    """The shipped format/replay modules cover every field (RL008 clean)."""
+    result = run_lint(
+        [str(REPO_ROOT / "src" / "repro" / "workloads")],
+        select=["RL008"],
+        root=str(REPO_ROOT),
+    )
+    assert result.findings == []
+
+
 def test_shipped_tree_is_clean():
     """The acceptance bar: ``repro lint src`` exits 0 on the repo itself."""
     result = run_lint([str(REPO_ROOT / "src")], root=str(REPO_ROOT))

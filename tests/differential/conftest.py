@@ -1,0 +1,21 @@
+"""Shared fixtures for the differential test harness.
+
+The quick corpus — one generated trace per adversarial family at seed
+0 — is built once per test session and shared by every differential
+module; generation already coverage-checks each trace once.
+"""
+
+import pytest
+
+from repro.workloads.traces import FAMILIES, ScenarioGenerator
+
+#: The seed the whole differential harness (and the checked-in golden
+#: traces, see ``golden/generate.py``) runs at.
+SEED = 0
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """Every adversarial family's trace at the harness seed."""
+    generator = ScenarioGenerator(seed=SEED)
+    return {family: generator.generate(family) for family in FAMILIES}

@@ -1,0 +1,33 @@
+"""Regenerate the checked-in golden adversarial traces.
+
+Each golden file is a seed-0 scenario trace with its full decision
+sequence stamped in.  ``test_golden_traces.py`` replays them with
+checking on: any change to the decision core, predictor, hardware
+model, or runtime that moves a single float shows up as a mismatch.
+
+When such a change is *intentional*, regenerate and commit:
+
+    PYTHONPATH=src python tests/differential/golden/generate.py
+"""
+
+import os
+
+from repro.workloads.traces import ScenarioGenerator, stamp_decisions
+
+#: Families pinned as golden traces (seed 0).
+GOLDEN_FAMILIES = ("phase-shift", "input-storm", "mispredict-cascade")
+
+GOLDEN_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def main() -> None:
+    generator = ScenarioGenerator(seed=0)
+    for family in GOLDEN_FAMILIES:
+        stamped = stamp_decisions(generator.generate(family))
+        path = os.path.join(GOLDEN_DIR, f"{family}.jsonl")
+        stamped.dump(path)
+        print(f"wrote {path} ({len(stamped.events)} stamped launches)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Streaming replayer vs. batch simulator, differentially, per family.
+
+The runtime layer promises driver transparency: feeding launches one
+event at a time through a session produces exactly the trace a batch
+``Simulator.run`` produces.  Here that promise is checked on every
+adversarial scenario — including multi-session interleavings, where
+each session's stream must be unaffected by the others' arrivals.
+"""
+
+import pytest
+
+from repro.sim.simulator import Simulator
+from repro.workloads.traces import FAMILIES, TraceReplayer, build_policy
+
+pytestmark = pytest.mark.traces
+
+
+def _batch_records(trace, session_id):
+    """The session replayed invocation-by-invocation on the batch driver."""
+    spec = trace.session(session_id)
+    sim = Simulator(enforce_tdp=trace.header.enforce_tdp)
+    policy = build_policy(
+        spec.policy,
+        trace.unique_kernels(session_id),
+        apu=sim.apu,
+        overhead=sim.overhead,
+    )
+    records = []
+    for app in trace.applications(session_id):
+        records.extend(sim.run(app, policy).launches)
+    return records
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_streaming_replay_matches_batch_runs(corpus, family):
+    trace = corpus[family]
+    report = TraceReplayer(trace, check=False).replay()
+    for session_id in trace.session_ids():
+        streamed = [
+            o.record for o in report.outcomes if o.session_id == session_id
+        ]
+        assert streamed == _batch_records(trace, session_id), session_id
+
+
+def test_bursty_interleaving_is_transparent(corpus):
+    """Arrival interleaving must not leak between sessions: replaying
+    the multi-session burst schedule equals replaying each session's
+    stream in isolation."""
+    trace = corpus["bursty"]
+    together = TraceReplayer(trace, check=False).replay()
+    for session_id in trace.session_ids():
+        alone = _batch_records(trace, session_id)
+        streamed = [
+            o.record for o in together.outcomes if o.session_id == session_id
+        ]
+        assert streamed == alone

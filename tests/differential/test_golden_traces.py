@@ -1,0 +1,62 @@
+"""Golden-trace regression pins for the decision core.
+
+Each checked-in trace under ``golden/`` carries the exact decision
+sequence (configurations, times, energies, horizons, fail-safe
+provenance) a seed-0 adversarial scenario produced when it was
+committed.  Replaying must reproduce every decision float-for-float;
+the traces double as expected-decision-sequence documentation.
+
+Regenerate with ``python tests/differential/golden/generate.py`` when a
+numeric change is intentional.
+"""
+
+import os
+
+import pytest
+
+from repro.workloads.traces import (
+    ScenarioGenerator,
+    Trace,
+    TraceReplayer,
+    stamp_decisions,
+)
+
+from .conftest import SEED
+from .golden.generate import GOLDEN_DIR, GOLDEN_FAMILIES
+
+pytestmark = pytest.mark.traces
+
+
+def _golden_path(family):
+    return os.path.join(GOLDEN_DIR, f"{family}.jsonl")
+
+
+@pytest.mark.parametrize("family", GOLDEN_FAMILIES)
+def test_golden_trace_replays_float_exactly(family):
+    trace = Trace.load(_golden_path(family))
+    assert trace.validate() == []
+    report = TraceReplayer(trace).replay()
+    assert report.checked == len(trace.events)
+    assert report.mismatches == []
+    assert all(r.passed for r in report.assertion_results)
+    assert report.passed
+
+
+@pytest.mark.parametrize("family", GOLDEN_FAMILIES)
+def test_golden_trace_is_regenerable_byte_for_byte(corpus, family):
+    """The committed bytes equal a fresh seed-0 generation + stamping."""
+    with open(_golden_path(family), encoding="utf-8") as handle:
+        committed = handle.read()
+    assert stamp_decisions(corpus[family]).dumps() == committed
+
+
+def test_golden_corpus_matches_harness_seed():
+    """The golden traces pin the same seed the live corpus runs at."""
+    generator = ScenarioGenerator(seed=SEED)
+    for family in GOLDEN_FAMILIES:
+        trace = Trace.load(_golden_path(family))
+        assert trace.header.seed == SEED
+        fresh = generator.generate(family)
+        assert [e.spec for e in fresh.events] == [
+            e.spec for e in trace.events
+        ]

@@ -1,0 +1,32 @@
+"""Scalar vs. columnar decision core, differentially, per family.
+
+The vectorization contract (PR 5, see docs/VECTORIZATION.md) promises
+the columnar hill-climb is float-identical to the scalar original.  The
+unit suite checks that promise on curated inputs; here every
+adversarial scenario family is stamped under the matrix path and then
+replayed — with checking on — under the scalar path.  Any drift in any
+decision, measurement, or provenance flag is a hard failure.
+"""
+
+import pytest
+
+from repro.workloads.traces import FAMILIES, TraceReplayer, stamp_decisions
+
+pytestmark = pytest.mark.traces
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_scalar_path_reproduces_matrix_decisions(corpus, family):
+    stamped = stamp_decisions(corpus[family], use_matrix=True)
+    scalar = TraceReplayer(stamped, use_matrix=False).replay()
+    assert scalar.checked == len(stamped.events)
+    assert scalar.mismatches == []
+    assert scalar.passed
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_scalar_and_matrix_stats_agree(corpus, family):
+    matrix = TraceReplayer(corpus[family], use_matrix=True).replay()
+    scalar = TraceReplayer(corpus[family], use_matrix=False).replay()
+    assert matrix.stats == scalar.stats
+    assert matrix.decisions() == scalar.decisions()

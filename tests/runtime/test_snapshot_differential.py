@@ -1,0 +1,84 @@
+"""Differential test: periodic snapshot/restore vs. uninterrupted replay.
+
+``test_snapshot.py`` migrates a session once, at one hand-picked cut.
+This harness is adversarial about *where* the cut lands: the session is
+snapshotted, JSON round-tripped, and restored onto a fresh host after
+every k-th launch, for several k — covering cuts inside profiling,
+at invocation boundaries, and mid-steady-state.  Every decision must be
+identical to the uninterrupted run's.
+"""
+
+import json
+
+import pytest
+
+from repro.runtime.events import launch_events
+
+from .conftest import APP, make_manager, turbo_target
+
+pytestmark = [pytest.mark.runtime, pytest.mark.traces]
+
+#: Invocations each differential run covers (profiling + steady state).
+INVOCATIONS = 3
+
+
+def _uninterrupted(sim, target):
+    session = sim.session(make_manager(sim, target=target))
+    records = []
+    for _ in range(INVOCATIONS):
+        for event in launch_events(APP):
+            records.append(session.process(event).record)
+    return records
+
+
+def _migrating_every(sim, target, k):
+    """Replay, moving to a fresh host after every k-th launch."""
+    session = sim.session(make_manager(sim, target=target), session_id="m0")
+    records = []
+    processed = 0
+    for _ in range(INVOCATIONS):
+        for event in launch_events(APP):
+            records.append(session.process(event).record)
+            processed += 1
+            if processed % k == 0:
+                payload = json.loads(json.dumps(session.snapshot()))
+                session = sim.session(
+                    make_manager(sim, target=target),
+                    session_id=f"m{processed}",
+                )
+                session.restore(payload)
+    return records
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 5])
+def test_snapshot_every_kth_launch_is_decision_invariant(sim, k):
+    target = turbo_target(sim)
+    reference = _uninterrupted(sim, target)
+    migrated = _migrating_every(sim, target, k)
+    assert len(reference) == INVOCATIONS * len(APP)
+    assert migrated == reference
+
+
+def test_snapshot_at_every_single_launch_covers_all_lifecycle_states(sim):
+    """k=1 migrates inside profiling, across the freeze, and in MPC
+    steady state; the end-state statistics must match too."""
+    target = turbo_target(sim)
+    session = sim.session(make_manager(sim, target=target), session_id="s")
+    for _ in range(INVOCATIONS):
+        for event in launch_events(APP):
+            session.process(event)
+    reference_stats = session.stats
+
+    migrating = sim.session(make_manager(sim, target=target), session_id="m")
+    processed = 0
+    for _ in range(INVOCATIONS):
+        for event in launch_events(APP):
+            migrating.process(event)
+            processed += 1
+            payload = json.loads(json.dumps(migrating.snapshot()))
+            fresh = sim.session(
+                make_manager(sim, target=target), session_id=f"m{processed}"
+            )
+            fresh.restore(payload)
+            migrating = fresh
+    assert migrating.stats == reference_stats

@@ -1,0 +1,65 @@
+"""Shared fixtures for the trace-format/replay test suite.
+
+Everything runs on a tiny two-kernel alternating stream (the same
+shape as the runtime suite), so stamping and replaying stays well
+inside tier-1 time budgets.
+"""
+
+import functools
+
+import pytest
+
+from repro.sim.simulator import Simulator
+from repro.sim.turbocore import TurboCorePolicy
+from repro.workloads.app import Application, Category
+from repro.workloads.kernel import KernelSpec, ScalingClass
+from repro.workloads.traces import (
+    PolicySpec,
+    SessionSpec,
+    Trace,
+    TraceEvent,
+    TraceHeader,
+    stamp_decisions,
+)
+
+COMPUTE = KernelSpec("c", ScalingClass.COMPUTE, 4.0, 0.1, parallel_fraction=0.99)
+MEMORY = KernelSpec("m", ScalingClass.MEMORY, 0.5, 0.9, parallel_fraction=0.9)
+
+#: One invocation of the alternating compute/memory stream.
+KERNELS = (COMPUTE, MEMORY) * 4
+
+
+@functools.lru_cache(maxsize=1)
+def turbo_target():
+    """Turbo Core throughput of the small stream (computed once)."""
+    app = Application(
+        "alt", "trace", Category.IRREGULAR_NON_REPEATING, kernels=KERNELS
+    )
+    sim = Simulator()
+    turbo = sim.run(app, TurboCorePolicy(tdp_w=sim.apu.tdp_w))
+    return turbo.instructions / turbo.kernel_time_s
+
+
+def small_trace(policy_kind="mpc", invocations=2, session="alt", **header_kw):
+    """A hand-built single-session trace over the small stream."""
+    policy = PolicySpec(kind=policy_kind, target_throughput=turbo_target())
+    events = [
+        TraceEvent(index=index, session=session, spec=spec)
+        for _ in range(invocations)
+        for index, spec in enumerate(KERNELS)
+    ]
+    header = TraceHeader(
+        name=header_kw.pop("name", "small"),
+        source="test:small",
+        sessions=(
+            SessionSpec(session_id=session, app_name="alt", policy=policy),
+        ),
+        **header_kw,
+    )
+    return Trace(header=header, events=tuple(events)).ensure_valid()
+
+
+@pytest.fixture(scope="session")
+def small_stamped():
+    """The small MPC trace with its decisions recorded."""
+    return stamp_decisions(small_trace())

@@ -1,0 +1,117 @@
+"""Tests for the adversarial scenario generator families."""
+
+import pytest
+
+from repro.workloads.kernel import ScalingClass
+from repro.workloads.traces import (
+    FAMILIES,
+    ScenarioGenerator,
+    Trace,
+    TraceReplayer,
+)
+
+pytestmark = pytest.mark.traces
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """One generated trace per family (seed 0), keyed by family."""
+    generator = ScenarioGenerator(seed=0)
+    return {family: generator.generate(family) for family in FAMILIES}
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_family_is_semantically_valid(corpus, family):
+    trace = corpus[family]
+    assert trace.validate() == []
+    assert trace.header.name == family
+    assert trace.header.seed == 0
+    assert trace.header.assertions  # never a vacuous scenario
+
+
+@pytest.mark.parametrize("family", FAMILIES)
+def test_family_provokes_its_coverage_assertions(corpus, family):
+    report = TraceReplayer(corpus[family], check=False).replay()
+    assert [str(r) for r in report.assertion_results if not r.passed] == []
+    assert report.passed
+
+
+def test_unknown_family_raises():
+    with pytest.raises(KeyError, match="unknown family"):
+        ScenarioGenerator().generate("quiet-day")
+
+
+def test_phase_shift_mutates_after_profile(corpus):
+    trace = corpus["phase-shift"]
+    assert len(trace.events) == 36
+    invocations = trace.applications("phase-shift")
+    assert len(invocations) == 3
+    profile, shifted = invocations[0], invocations[1]
+    assert all(
+        spec.scaling_class is not ScalingClass.UNSCALABLE
+        for spec in profile.kernels
+    )
+    # The back half of the shifted invocations goes serial-dominated.
+    assert all(
+        spec.scaling_class is ScalingClass.UNSCALABLE
+        for spec in shifted.kernels[6:]
+    )
+
+
+def test_input_storm_overflows_the_profile(corpus):
+    trace = corpus["input-storm"]
+    invocations = trace.applications("input-storm")
+    assert [len(app.kernels) for app in invocations] == [8, 12]
+    # Storm inputs are all previously unseen.
+    profile_ids = {spec.input_id for spec in invocations[0].kernels}
+    storm_ids = {spec.input_id for spec in invocations[1].kernels}
+    assert profile_ids.isdisjoint(storm_ids)
+
+
+def test_mispredict_cascade_drifts_monotonically(corpus):
+    trace = corpus["mispredict-cascade"]
+    invocations = trace.applications("mispredict-cascade")
+    profile, drifted = invocations
+    # Same kernel names, progressively heavier and less parallel.
+    for before, after in zip(profile.kernels, drifted.kernels):
+        assert after.name == before.name
+        assert after.compute_work > before.compute_work
+        assert after.parallel_fraction <= before.parallel_fraction
+    works = [spec.compute_work for spec in drifted.kernels[::2]]
+    assert works == sorted(works)
+
+
+def test_bursty_preserves_per_session_order(corpus):
+    trace = corpus["bursty"]
+    assert sorted(trace.session_ids()) == ["svc-0", "svc-1", "svc-2"]
+    kinds = {
+        spec.session_id: spec.policy.kind for spec in trace.header.sessions
+    }
+    assert kinds == {"svc-0": "mpc", "svc-1": "ppk", "svc-2": "turbo"}
+    for session in trace.session_ids():
+        indices = [e.index for e in trace.events_for(session)]
+        assert indices == [0, 1, 2, 3, 4, 5] * 2
+    # The interleaving genuinely mixes sessions (not three back-to-back
+    # blocks).
+    order = [e.session for e in trace.events]
+    switches = sum(1 for a, b in zip(order, order[1:]) if a != b)
+    assert switches > 2
+
+
+def test_tdp_storm_enforces_tdp(corpus):
+    trace = corpus["tdp-storm"]
+    assert trace.header.enforce_tdp
+    assert trace.header.sessions[0].policy.kind == "fixed"
+    assert {e.spec.name for e in trace.events} == {"inferno"}
+    assert all(spec.activity_factor >= 3.0 for spec in
+               (e.spec for e in trace.events))
+
+
+def test_corpus_and_dump_corpus(tmp_path):
+    generator = ScenarioGenerator(seed=1)
+    families = ("tdp-storm",)
+    traces = generator.corpus(families)
+    assert [t.header.name for t in traces] == ["tdp-storm"]
+    paths = generator.dump_corpus(str(tmp_path), families)
+    assert paths == [str(tmp_path / "tdp-storm-seed1.jsonl")]
+    assert Trace.load(paths[0]) == traces[0]

@@ -1,0 +1,119 @@
+"""Property tests for trace round-trips (seeded stdlib random).
+
+Each property runs over a batch of randomly built traces: serialization
+must be byte-stable, parsing must invert dumping exactly, and a stamped
+trace must replay to identical event streams and session statistics no
+matter how many times it passes through the serializer.
+"""
+
+import random
+
+import pytest
+
+from repro.hardware.config import FAILSAFE_CONFIG
+from repro.workloads.kernel import KernelSpec, ScalingClass
+from repro.workloads.traces import (
+    PolicySpec,
+    SessionSpec,
+    Trace,
+    TraceEvent,
+    TraceHeader,
+    TraceReplayer,
+    stamp_decisions,
+)
+
+pytestmark = pytest.mark.traces
+
+#: How many random traces each property sweeps.
+CASES = 12
+
+
+def _random_kernel(rng, name, input_id):
+    scaling = rng.choice([ScalingClass.COMPUTE, ScalingClass.MEMORY])
+    return KernelSpec(
+        name,
+        scaling,
+        compute_work=rng.uniform(0.1, 8.0),
+        memory_traffic=rng.uniform(0.05, 1.5),
+        parallel_fraction=rng.uniform(0.6, 0.999),
+        serial_time_s=rng.uniform(0.0, 1e-4),
+        cache_interference=rng.uniform(0.0, 0.3),
+        compute_efficiency=rng.uniform(0.5, 1.0),
+        activity_factor=rng.uniform(0.8, 1.5),
+        input_id=input_id,
+    )
+
+
+def _random_trace(seed):
+    """A random multi-session trace under cheap (stateless) policies."""
+    rng = random.Random(seed)
+    sessions = []
+    streams = {}
+    for ordinal in range(rng.randint(1, 3)):
+        session = f"s{ordinal}"
+        if rng.random() < 0.5:
+            policy = PolicySpec(kind="turbo")
+        else:
+            policy = PolicySpec(kind="fixed", config=FAILSAFE_CONFIG)
+        sessions.append(
+            SessionSpec(session_id=session, app_name=session, policy=policy)
+        )
+        kernels = [
+            _random_kernel(rng, f"k{ordinal}-{i}", i + 1)
+            for i in range(rng.randint(1, 5))
+        ]
+        streams[session] = [
+            TraceEvent(index=index, session=session, spec=spec)
+            for _ in range(rng.randint(1, 3))
+            for index, spec in enumerate(kernels)
+        ]
+    # Random arrival interleaving; per-session order preserved.
+    interleaved = []
+    pending = {sid: list(events) for sid, events in streams.items()}
+    while any(pending.values()):
+        alive = sorted(sid for sid, queue in pending.items() if queue)
+        interleaved.append(pending[rng.choice(alive)].pop(0))
+    header = TraceHeader(
+        name=f"prop-{seed}",
+        source=f"property:{seed}",
+        seed=seed,
+        enforce_tdp=rng.random() < 0.3,
+        sessions=tuple(sessions),
+    )
+    return Trace(header=header, events=tuple(interleaved)).ensure_valid()
+
+
+def test_random_traces_dump_byte_stably():
+    for seed in range(CASES):
+        trace = _random_trace(seed)
+        text = trace.dumps()
+        assert Trace.loads(text).dumps() == text, f"seed {seed}"
+
+
+def test_random_traces_parse_losslessly():
+    for seed in range(CASES):
+        trace = _random_trace(seed)
+        assert Trace.loads(trace.dumps()) == trace, f"seed {seed}"
+
+
+def test_stamped_random_traces_round_trip_and_replay_exactly():
+    """record -> serialize -> parse -> replay: identical event streams
+    and identical per-session statistics."""
+    for seed in range(0, CASES, 3):
+        stamped = stamp_decisions(_random_trace(seed))
+        reloaded = Trace.loads(stamped.dumps())
+        assert reloaded == stamped, f"seed {seed}"
+        first = TraceReplayer(stamped).replay()
+        second = TraceReplayer(reloaded).replay()
+        assert first.mismatches == [], f"seed {seed}"
+        assert second.mismatches == [], f"seed {seed}"
+        assert first.stats == second.stats, f"seed {seed}"
+        assert first.decisions() == second.decisions(), f"seed {seed}"
+
+
+def test_stamping_is_idempotent():
+    for seed in (1, 5):
+        trace = _random_trace(seed)
+        once = stamp_decisions(trace)
+        twice = stamp_decisions(once)
+        assert once == twice, f"seed {seed}"
