@@ -16,6 +16,15 @@ Deliberate scalar fallbacks (duck-typed predictors without
 ``estimate_matrix``) stay legal: wrap the call in a helper function —
 a nested ``def`` is a new execution context, not a per-iteration call
 site — exactly what ``GreedyHillClimbOptimizer`` does.
+
+A second facet guards the forest flattening: ``RandomForest.predict``
+descends every tree of the ensemble in one iterative vectorized pass
+over contiguous node arrays, so decision-path code must never reach
+past the forest to individual trees.  Any ``<something named
+*tree*>.predict(...)`` call in ``repro/core/`` or ``repro/runtime/`` —
+looped or not, including subscripted receivers like
+``forest.trees[i].predict(X)`` — reintroduces the per-tree Python loop
+the flattening removed and is flagged.
 """
 
 from __future__ import annotations
@@ -33,6 +42,10 @@ __all__ = ["check_scalar_path_drift"]
 #: interface is the hot-path contract.
 CORE_PATHS = ("repro/core/",)
 
+#: Paths where the flattened-forest contract applies: predictions go
+#: through ``RandomForest.predict``, never per-tree ``tree.predict``.
+TREE_PATHS = ("repro/core/", "repro/runtime/")
+
 #: Execution-context boundaries: code inside these runs when *called*,
 #: not once per loop iteration, so a loop outside them is irrelevant.
 _CONTEXT_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
@@ -41,11 +54,17 @@ _COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
 
 
 def _receiver_tail(expr: ast.expr) -> str:
-    """Last component of a ``Name``/``Attribute`` receiver chain."""
+    """Last named component of a receiver chain.
+
+    Subscripts are transparent — ``forest.trees[i]`` names ``trees`` —
+    so indexing into a tree collection cannot hide the receiver.
+    """
     if isinstance(expr, ast.Name):
         return expr.id
     if isinstance(expr, ast.Attribute):
         return expr.attr
+    if isinstance(expr, ast.Subscript):
+        return _receiver_tail(expr.value)
     return ""
 
 
@@ -56,6 +75,24 @@ def _is_scalar_estimate_call(node: ast.Call) -> bool:
         and func.attr == "estimate"
         and "predictor" in _receiver_tail(func.value).lower()
     )
+
+
+def _is_tree_predict_call(node: ast.Call) -> bool:
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "predict"
+        and "tree" in _receiver_tail(func.value).lower()
+    )
+
+
+def _tree_predict_calls(tree: ast.Module) -> List[ast.Call]:
+    """Every per-tree predict call, looped or not: one is already drift."""
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call) and _is_tree_predict_call(node)
+    ]
 
 
 def _per_iteration_calls(tree: ast.Module) -> List[ast.Call]:
@@ -106,26 +143,42 @@ def _per_iteration_calls(tree: ast.Module) -> List[ast.Call]:
 @rule(
     "RL007",
     "scalar-path-drift",
-    "repro/core/ loops must use the columnar estimate_matrix API, not "
-    "per-config predictor.estimate() calls",
+    "repro/core/ loops must use the columnar estimate_matrix API (not "
+    "per-config predictor.estimate() calls), and repro/core/ + "
+    "repro/runtime/ must predict through the flattened forest, never "
+    "per-tree tree.predict()",
 )
 def check_scalar_path_drift(
     module: ModuleInfo, index: ProjectIndex
 ) -> Iterator[Finding]:
-    """Flag per-config scalar predictor calls in decision-core loops."""
-    if not any(path_matches(module.rel_path, core) for core in CORE_PATHS):
-        return
-    for node in _per_iteration_calls(module.tree):
-        yield Finding(
-            path=module.path,
-            line=node.lineno,
-            col=node.col_offset,
-            rule_id="RL007",
-            severity=Severity.ERROR,
-            message=(
-                "per-config predictor.estimate() inside a loop on the "
-                "decision core; batch the candidates through "
-                "estimate_matrix(counters, table, indices) (or move the "
-                "deliberate scalar fallback into a helper function)"
-            ),
-        )
+    """Flag scalar-estimate loops and per-tree predicts on hot paths."""
+    if any(path_matches(module.rel_path, core) for core in CORE_PATHS):
+        for node in _per_iteration_calls(module.tree):
+            yield Finding(
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id="RL007",
+                severity=Severity.ERROR,
+                message=(
+                    "per-config predictor.estimate() inside a loop on the "
+                    "decision core; batch the candidates through "
+                    "estimate_matrix(counters, table, indices) (or move the "
+                    "deliberate scalar fallback into a helper function)"
+                ),
+            )
+    if any(path_matches(module.rel_path, path) for path in TREE_PATHS):
+        for node in _tree_predict_calls(module.tree):
+            yield Finding(
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id="RL007",
+                severity=Severity.ERROR,
+                message=(
+                    "per-tree tree.predict() on the decision hot path; "
+                    "predict through the forest (RandomForest.predict), "
+                    "whose flattened node arrays descend every tree in "
+                    "one vectorized pass"
+                ),
+            )

@@ -154,12 +154,17 @@ class AdaptiveHorizonGenerator:
         """Rebuild mutable state from :meth:`snapshot` output."""
         self._elapsed_s = float(payload["elapsed_s"])
 
-    def horizon(self, index: int) -> int:
+    def horizon(self, index: int, *, emit_obs: bool = True) -> int:
         """H_i for the upcoming kernel.
 
         Args:
             index: Zero-based execution index of the upcoming kernel
                 (the paper's i is ``index + 1``).
+            emit_obs: Suppress span annotations and registry counters
+                when ``False``.  The computation itself is pure, so
+                speculative callers (the batched prefetch hook) can
+                evaluate H_i without double-counting the real
+                decision's telemetry.
 
         Returns:
             The admissible horizon length, in [0, N].
@@ -187,7 +192,7 @@ class AdaptiveHorizonGenerator:
         if not math.isfinite(h):
             return n
         horizon = int(min(n, max(0.0, math.floor(h))))
-        if self.obs.enabled:
+        if emit_obs and self.obs.enabled:
             self.obs.tracer.annotate("horizon_budget_s", budget)
             registry = self.obs.registry
             registry.counter(

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.horizon import AdaptiveHorizonGenerator
 from repro.core.optimizer import GreedyHillClimbOptimizer
@@ -40,6 +40,7 @@ from repro.obs import Instrumentation, or_noop
 from repro.runtime.lifecycle import PolicyLifecycle, PolicyState
 from repro.sim.policy import Decision, Observation, PowerPolicy
 from repro.sim.simulator import OverheadModel
+from repro.workloads.counters import CounterVector
 
 __all__ = ["MPCPowerManager"]
 
@@ -323,28 +324,9 @@ class MPCPowerManager(PowerPolicy):
 
         if self.obs.enabled:
             self._count_decision("mpc")
-        positions = self._stats.search_order.window(index, horizon)
-        window: List[KernelRecord] = []
-        for position in positions:
-            record = self.extractor.expected_record(position)
-            if record is not None:
-                window.append(record)
+        window, reserved = self._window_records(index, horizon)
         if not window:
             return Decision(config=self._fail_safe, fail_safe=True, horizon=horizon)
-
-        # Window-range kernels not in the optimization prefix (they run
-        # within the horizon but are decided on a later shift) are
-        # reserved at fail-safe so Equation 3's whole-window constraint
-        # holds.
-        in_prefix = set(positions)
-        reserved: List[KernelRecord] = []
-        if self.window_reserve:
-            for position in range(index, min(index + horizon, n)):
-                if position in in_prefix:
-                    continue
-                record = self.extractor.expected_record(position)
-                if record is not None:
-                    reserved.append(record)
 
         result = self.optimizer.optimize_window(
             window, self.tracker, reserved=reserved,
@@ -358,6 +340,72 @@ class MPCPowerManager(PowerPolicy):
             horizon=horizon,
             fail_safe=result.fail_safe,
         )
+
+    def _window_records(
+        self, index: int, horizon: int
+    ) -> Tuple[List[KernelRecord], List[KernelRecord]]:
+        """The optimization window and its fail-safe reserve.
+
+        ``window`` holds the search-order prefix records ending with the
+        current kernel; ``reserved`` holds window-range kernels outside
+        the optimization prefix (they run within the horizon but are
+        decided on a later shift) that Equation 3's whole-window
+        constraint reserves at fail-safe.  Pure — shared by the real
+        decision and the side-effect-free prefetch hook.
+        """
+        assert self._stats is not None
+        positions = self._stats.search_order.window(index, horizon)
+        window: List[KernelRecord] = []
+        for position in positions:
+            record = self.extractor.expected_record(position)
+            if record is not None:
+                window.append(record)
+        in_prefix = set(positions)
+        reserved: List[KernelRecord] = []
+        if self.window_reserve:
+            n = self._stats.num_kernels
+            for position in range(index, min(index + horizon, n)):
+                if position in in_prefix:
+                    continue
+                record = self.extractor.expected_record(position)
+                if record is not None:
+                    reserved.append(record)
+        return window, reserved
+
+    def prefetch_counters(self, index: int) -> Tuple[CounterVector, ...]:
+        """Counter vectors the next :meth:`decide` will sweep.
+
+        Recomputes the upcoming decision's window — lifecycle
+        transitions, telemetry, and tracker state untouched — so
+        ``SessionManager.step_batch`` can stack this session's sweeps
+        with every other ready session's into one predictor call.
+        Estimates are pure functions of (counters, lattice, predictor),
+        so a preloaded sweep stays valid no matter what other sessions
+        do in between.
+        """
+        if self._lifecycle.state is PolicyState.PROFILING:
+            record = self.extractor.last_record()
+            return (record.counters,) if record is not None else ()
+        assert self._stats is not None and self._horizon_gen is not None
+        n = self._stats.num_kernels
+        if index >= n:
+            # decide() degrades to PPK behaviour past the profile.
+            record = self.extractor.last_record()
+            return (record.counters,) if record is not None else ()
+        horizon = (
+            self._horizon_gen.horizon(index, emit_obs=False)
+            if self.adaptive_horizon
+            else n
+        )
+        if horizon <= 0:
+            return ()  # the skip branch makes no model calls
+        window, reserved = self._window_records(index, horizon)
+        wanted: Dict[CounterVector, None] = {}
+        for record in window:
+            wanted.setdefault(record.counters)
+        for record in reserved:
+            wanted.setdefault(record.counters)
+        return tuple(wanted)
 
     # ----- feedback -------------------------------------------------------------------
 

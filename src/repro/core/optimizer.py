@@ -34,6 +34,7 @@ from repro.hardware.config import FAILSAFE_CONFIG, ConfigSpace, HardwareConfig, 
 from repro.hardware.table import ConfigTable
 from repro.ml.predictors import EstimateBatch, KernelEstimate, PerfPowerPredictor
 from repro.obs import Instrumentation, or_noop
+from repro.workloads.counters import CounterVector
 
 __all__ = ["OptimizationResult", "GreedyHillClimbOptimizer"]
 
@@ -96,6 +97,69 @@ class GreedyHillClimbOptimizer:
         self.use_matrix = use_matrix
         self.table = ConfigTable(space)
         self._fail_safe_index = self.table.index_of_config(self.fail_safe)
+        # Whole-lattice estimate batches preloaded by a batched caller
+        # (SessionManager.step_batch / optimize_kernel_batch), keyed by
+        # counter vector.  Searches consult it before issuing their own
+        # sweep; eval charging and telemetry are identical either way.
+        self._preloaded: Dict[CounterVector, EstimateBatch] = {}
+
+    @property
+    def matrix_enabled(self) -> bool:
+        """Whether searches will run on the columnar predictor path."""
+        return self._matrix_path() is not None
+
+    @property
+    def lattice_key(self) -> Tuple:
+        """Hashable identity of the search lattice.
+
+        Two optimizers with equal keys sweep identical tables, so a
+        batched caller may share one predictor sweep between them.
+        """
+        space = self.space
+        return (
+            tuple(space.cpu_axis),
+            tuple(space.nb_axis),
+            tuple(space.gpu_axis),
+            tuple(space.cu_axis),
+        )
+
+    def sweep_many(
+        self, counters_list: Sequence[CounterVector]
+    ) -> List[EstimateBatch]:
+        """One whole-lattice estimate batch per counter vector.
+
+        Uses the predictor's stacked ``estimate_matrix_many`` when it
+        has one, else one ``estimate_matrix`` call per vector.  No
+        evaluations are charged here — charging happens when a search
+        consumes rows, exactly as on the lazy path.
+
+        Raises:
+            RuntimeError: If the columnar path is disabled or absent.
+        """
+        matrix_fn = self._matrix_path()
+        if matrix_fn is None:
+            raise RuntimeError("sweep_many requires the columnar predictor path")
+        many = getattr(self.predictor, "estimate_matrix_many", None)
+        if many is not None:
+            return list(many(list(counters_list), self.table))
+        return [matrix_fn(counters, self.table) for counters in counters_list]
+
+    def preload_lattice(
+        self, batches: Dict[CounterVector, EstimateBatch]
+    ) -> None:
+        """Install whole-lattice sweeps for upcoming searches to reuse.
+
+        A no-op when the columnar path is disabled (the scalar baseline
+        must keep its exact call shapes).  Callers pair this with
+        :meth:`clear_preload` in a ``try``/``finally``.
+        """
+        if self._matrix_path() is None:
+            return
+        self._preloaded.update(batches)
+
+    def clear_preload(self) -> None:
+        """Drop all preloaded lattice sweeps."""
+        self._preloaded.clear()
 
     def _matrix_path(
         self,
@@ -114,6 +178,9 @@ class GreedyHillClimbOptimizer:
         """
         matrix_fn = self._matrix_path()
         if matrix_fn is not None:
+            preloaded = self._preloaded.get(record.counters)
+            if preloaded is not None:
+                return preloaded.estimate(self._fail_safe_index)
             batch = matrix_fn(
                 record.counters, self.table,
                 np.asarray([self._fail_safe_index], dtype=np.intp),
@@ -161,7 +228,13 @@ class GreedyHillClimbOptimizer:
                 nonlocal evals, full
                 evals += len(indices)
                 if full is None:
-                    full = matrix_fn(record.counters, table)
+                    # A batched caller may have preloaded this kernel's
+                    # whole-lattice sweep; rows are float-identical to
+                    # an own sweep, and the batch/row telemetry charges
+                    # exactly as if the sweep ran here.
+                    full = self._preloaded.get(record.counters)
+                    if full is None:
+                        full = matrix_fn(record.counters, table)
                     stats["batches"] += 1
                     stats["rows"] += len(full)
                 out = []
@@ -338,6 +411,47 @@ class GreedyHillClimbOptimizer:
                 "repro_optimizer_memo_hits_total",
                 "Predictor requests served from the per-search memo",
             ).inc(stats["memo_hits"])
+
+    def optimize_kernel_batch(
+        self,
+        cases: Sequence[Tuple[KernelRecord, PerformanceTracker]],
+    ) -> List[OptimizationResult]:
+        """Optimize many independent kernels from one stacked sweep.
+
+        All distinct counter vectors in the batch are swept in a single
+        ``estimate_matrix_many`` call and preloaded, then each case runs
+        the ordinary :meth:`optimize_kernel` against its own tracker —
+        results, evaluation charges, and telemetry are identical to
+        per-case calls.  This is the multi-session decision hot path
+        benchmarked by ``repro bench decide``'s ``batched`` backend.
+
+        Args:
+            cases: ``(record, tracker)`` pairs; trackers not modified.
+
+        Returns:
+            One :class:`OptimizationResult` per case, in order.
+        """
+        cases = list(cases)
+        if not cases or self._matrix_path() is None:
+            return [
+                self.optimize_kernel(record, tracker)
+                for record, tracker in cases
+            ]
+        unique: Dict[CounterVector, None] = {}
+        for record, _ in cases:
+            if record.counters not in self._preloaded:
+                unique.setdefault(record.counters)
+        if unique:
+            self.preload_lattice(
+                dict(zip(unique, self.sweep_many(list(unique))))
+            )
+        try:
+            return [
+                self.optimize_kernel(record, tracker)
+                for record, tracker in cases
+            ]
+        finally:
+            self.clear_preload()
 
     def exhaustive_kernel_search(self, record: KernelRecord,
                                  tracker: PerformanceTracker) -> OptimizationResult:

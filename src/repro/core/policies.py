@@ -19,6 +19,7 @@ from repro.core.tracker import PerformanceTracker
 from repro.hardware.config import FAILSAFE_CONFIG, ConfigSpace, HardwareConfig
 from repro.ml.predictors import PerfPowerPredictor
 from repro.sim.policy import Decision, Observation, PowerPolicy
+from repro.workloads.counters import CounterVector
 
 __all__ = ["FixedConfigPolicy", "PlannedPolicy", "PPKPolicy"]
 
@@ -130,6 +131,11 @@ class PPKPolicy(PowerPolicy):
             horizon=1,
             fail_safe=result.fail_safe,
         )
+
+    def prefetch_counters(self, index: int) -> Sequence[CounterVector]:
+        """PPK's next decision always sweeps the previous kernel."""
+        record = self.extractor.last_record()
+        return (record.counters,) if record is not None else ()
 
     def observe(self, observation: Observation) -> None:
         self.tracker.update(

@@ -1,0 +1,159 @@
+"""POSIX shared-memory transport for read-only numpy blocks.
+
+The parallel engine ships the ConfigTable's static hardware feature
+block — a pure function of the config lattice, identical in every
+worker — to pool workers through one named shared-memory segment
+instead of a per-worker pickled copy.  The lifecycle is strictly
+owner-driven:
+
+* The **parent** calls :func:`export_block` before starting the pool
+  and gets a :class:`SharedBlockExport`; its picklable ``handle``
+  travels to workers inside the pool-initializer spec.  After the pool
+  exits, the parent calls :meth:`SharedBlockExport.close`, which
+  unlinks the segment — the only unlink in the system.
+* Each **worker** calls :func:`attach_block` in its initializer and
+  gets a read-only ndarray view over the mapping.  Workers never
+  unlink; their mappings die with the process.  Attachments are cached
+  per handle name so repeated attaches in one process share a mapping.
+
+Segment names are deterministic (``repro-shm-<pid>-<counter>``) so a
+leak check is one directory listing: after an engine run, no
+``/dev/shm/repro-shm-*`` entries may remain (asserted in CI).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SHM_PREFIX",
+    "SharedBlockExport",
+    "SharedBlockHandle",
+    "attach_block",
+    "detach_all",
+    "export_block",
+]
+
+#: Every segment this module creates is named ``<SHM_PREFIX><pid>-<n>``.
+SHM_PREFIX = "repro-shm-"
+
+_COUNTER = itertools.count()
+
+#: Per-process attachment cache: handle name -> (segment, array view).
+_ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+@dataclass(frozen=True)
+class SharedBlockHandle:
+    """Picklable reference to an exported block.
+
+    Attributes:
+        name: The shared-memory segment name.
+        shape: Array shape of the block.
+        dtype: ``numpy.dtype`` string (e.g. ``"float64"``).
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+class SharedBlockExport:
+    """Owner side of one exported block; unlinks on :meth:`close`."""
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 handle: SharedBlockHandle) -> None:
+        self._shm: shared_memory.SharedMemory | None = shm
+        self.handle = handle
+
+    def close(self) -> None:
+        """Unlink and unmap the segment (idempotent)."""
+        shm = self._shm
+        if shm is None:
+            return
+        self._shm = None
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        shm.close()
+
+
+def export_block(block: np.ndarray) -> SharedBlockExport:
+    """Copy an array into a fresh named segment owned by the caller.
+
+    The caller must :meth:`SharedBlockExport.close` the export once all
+    consumers have attached-or-died, or the segment leaks until reboot.
+    """
+    array = np.ascontiguousarray(block)
+    name = f"{SHM_PREFIX}{os.getpid()}-{next(_COUNTER)}"
+    while True:
+        try:
+            shm = shared_memory.SharedMemory(
+                create=True, size=array.nbytes, name=name
+            )
+            break
+        except FileExistsError:
+            # A stale segment from a crashed earlier run with the same
+            # pid; the counter is process-local, so step past it.
+            name = f"{SHM_PREFIX}{os.getpid()}-{next(_COUNTER)}"
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+    view[...] = array
+    handle = SharedBlockHandle(
+        name=shm.name, shape=array.shape, dtype=str(array.dtype)
+    )
+    return SharedBlockExport(shm, handle)
+
+
+def attach_block(handle: SharedBlockHandle) -> np.ndarray:
+    """Map an exported block read-only in this process.
+
+    The returned array aliases the shared mapping directly (zero-copy);
+    it stays valid until :func:`detach_all` or process exit.  Attaching
+    never registers with the multiprocessing resource tracker — the
+    exporting parent owns the unlink, and a tracker-driven cleanup from
+    a worker would tear the segment down under the other workers.
+    """
+    cached = _ATTACHED.get(handle.name)
+    if cached is not None:
+        return cached[1]
+    # Attach WITHOUT resource-tracker registration.  Registering would
+    # either (spawned worker, private tracker) unlink the segment under
+    # the other workers when this process exits, or (forked worker,
+    # shared tracker) require an unregister that also erases the
+    # parent's own registration, making the owner's unlink a tracked
+    # KeyError.  Suppressing the register during attach avoids both;
+    # the exporting parent remains the one tracked owner.
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda name, rtype: None  # type: ignore[assignment]
+    try:
+        shm = shared_memory.SharedMemory(name=handle.name)
+    finally:
+        resource_tracker.register = original_register
+    view = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype),
+                      buffer=shm.buf)
+    view.setflags(write=False)
+    _ATTACHED[handle.name] = (shm, view)
+    return view
+
+
+def detach_all() -> None:
+    """Unmap every cached attachment in this process (no unlinks).
+
+    A mapping whose view is still referenced elsewhere (e.g. adopted by
+    a live ConfigTable) cannot be unmapped and is skipped; it unmaps at
+    process exit instead.
+    """
+    while _ATTACHED:
+        _, (shm, _view) = _ATTACHED.popitem()
+        del _view
+        try:
+            shm.close()
+        except BufferError:
+            pass

@@ -90,6 +90,34 @@ def _time_path(
     return decisions / elapsed, decisions
 
 
+#: Interleaved-session counts timed by the batched backend path.
+BATCH_SESSIONS = (8, 64)
+
+
+def _time_batched(
+    optimizer: GreedyHillClimbOptimizer,
+    cases: List[Tuple[KernelRecord, PerformanceTracker]],
+    sessions: int,
+    min_decisions: int,
+) -> Tuple[float, int]:
+    """(decisions/sec, decisions timed) for batched multi-session steps.
+
+    Models ``SessionManager.step_batch``: each step decides once for
+    ``sessions`` interleaved sessions whose pending kernels cycle
+    through the benchmark's unique kernels, so the batch dedups to the
+    same few lattice sweeps a real multi-tenant step would.
+    """
+    batch = [cases[i % len(cases)] for i in range(sessions)]
+    optimizer.optimize_kernel_batch(batch)  # warm predictor/table caches
+    decisions = 0
+    start = time.perf_counter()
+    while decisions < min_decisions:
+        optimizer.optimize_kernel_batch(batch)
+        decisions += sessions
+    elapsed = time.perf_counter() - start
+    return decisions / elapsed, decisions
+
+
 def _bench_backend(
     name: str,
     predictor: PerfPowerPredictor,
@@ -97,17 +125,26 @@ def _bench_backend(
     cases: List[Tuple[KernelRecord, PerformanceTracker]],
     min_decisions: int,
 ) -> Dict[str, object]:
-    """Scalar-vs-matrix decisions/sec for one predictor backend."""
+    """Scalar-vs-matrix-vs-batched decisions/sec for one backend."""
     matrix = GreedyHillClimbOptimizer(space, predictor, use_matrix=True)
     scalar = GreedyHillClimbOptimizer(space, predictor, use_matrix=False)
     matrix_rate, timed = _time_path(matrix, cases, min_decisions)
     scalar_rate, _ = _time_path(scalar, cases, min_decisions)
+    batched: Dict[str, object] = {}
+    for sessions in BATCH_SESSIONS:
+        rate, _ = _time_batched(matrix, cases, sessions, min_decisions)
+        batched[str(sessions)] = {
+            "decisions_per_s": round(rate, 2),
+            "speedup_vs_matrix": round(rate / matrix_rate, 2),
+            "speedup_vs_scalar": round(rate / scalar_rate, 2),
+        }
     return {
         "backend": name,
         "scalar_decisions_per_s": round(scalar_rate, 2),
         "matrix_decisions_per_s": round(matrix_rate, 2),
         "speedup": round(matrix_rate / scalar_rate, 2),
         "decisions_timed": timed,
+        "batched": batched,
     }
 
 
@@ -190,4 +227,12 @@ def format_entry(entry: Dict[str, object]) -> str:
             f"{stats['matrix_decisions_per_s']:>10.1f} "
             f"{stats['speedup']:>7.2f}x"
         )
+    for name, stats in backends.items():
+        for sessions, batch in stats.get("batched", {}).items():
+            lines.append(
+                f"{name:8s} batched@{sessions:>2s}: "
+                f"{batch['decisions_per_s']:>9.1f}/s "
+                f"({batch['speedup_vs_matrix']:.2f}x vs matrix, "
+                f"{batch['speedup_vs_scalar']:.2f}x vs scalar)"
+            )
     return "\n".join(lines)

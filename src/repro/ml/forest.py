@@ -5,18 +5,114 @@ The paper selects Random Forest for its performance/power model because
 implementation follows the classic recipe: each tree is fit on a
 bootstrap resample of the training set, considers a random feature
 subset at every split, and the forest predicts the mean of its trees.
+
+Prediction runs on a *flattened* forest: every fitted tree's node
+arrays are concatenated into one contiguous block (child pointers
+shifted by per-tree offsets) so a whole batch descends all trees in a
+single vectorized loop instead of one Python call per tree.  The flat
+arrays are derived state — rebuilt at fit/unpickle time and memoized in
+a module-level WeakKeyDictionary — so pickles and structural
+fingerprints of the forest are byte-identical to the per-tree layout.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Union
+import sys
+import weakref
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.ml.tree import DecisionTreeRegressor
 
 __all__ = ["RandomForestRegressor", "mean_absolute_percentage_error"]
+
+
+@dataclass(frozen=True)
+class _FlatForest:
+    """One forest's trees concatenated into contiguous node arrays.
+
+    ``feature[i] == -1`` marks node ``i`` as a leaf; internal nodes
+    carry global (offset-shifted) ``left``/``right`` child indices, so
+    a descent never needs to know which tree a lane belongs to.
+    """
+
+    feature: np.ndarray  # int64, -1 marks a leaf
+    threshold: np.ndarray  # float64 split thresholds
+    left: np.ndarray  # int64 global child indices, -1 for leaves
+    right: np.ndarray  # int64 global child indices, -1 for leaves
+    value: np.ndarray  # float64 node means (leaf predictions)
+    roots: np.ndarray  # int64 per-tree root offsets
+    trees: Tuple[DecisionTreeRegressor, ...]
+    node_arrays: Tuple[np.ndarray, ...]
+
+    def matches(self, trees: Sequence[DecisionTreeRegressor]) -> bool:
+        """Whether this flattening is still current for ``trees``.
+
+        Identity of both the tree objects and their node arrays is
+        checked: replacing a tree *or* refitting one in place (which
+        swaps its ``_feature`` array) invalidates the flattening.
+        """
+        return len(trees) == len(self.trees) and all(
+            tree is kept and tree._feature is nodes
+            for tree, kept, nodes in zip(trees, self.trees, self.node_arrays)
+        )
+
+
+def _flatten(trees: Sequence[DecisionTreeRegressor]) -> _FlatForest:
+    """Concatenate fitted trees into one contiguous node block."""
+    offsets: List[int] = []
+    total = 0
+    for tree in trees:
+        if tree._feature is None:
+            raise RuntimeError("tree is not fitted")
+        offsets.append(total)
+        total += tree._feature.size
+    feature = np.empty(total, dtype=np.int64)
+    threshold = np.empty(total, dtype=float)
+    left = np.empty(total, dtype=np.int64)
+    right = np.empty(total, dtype=np.int64)
+    value = np.empty(total, dtype=float)
+    for tree, offset in zip(trees, offsets):
+        assert tree._feature is not None  # checked above
+        span = slice(offset, offset + tree._feature.size)
+        feature[span] = tree._feature
+        threshold[span] = tree._threshold
+        value[span] = tree._value
+        # Child pointers shift by the tree's node offset; -1 leaf
+        # markers must stay -1.
+        left[span] = np.where(tree._left >= 0, tree._left + offset, -1)
+        right[span] = np.where(tree._right >= 0, tree._right + offset, -1)
+    return _FlatForest(
+        feature=feature,
+        threshold=threshold,
+        left=left,
+        right=right,
+        value=value,
+        roots=np.asarray(offsets, dtype=np.int64),
+        trees=tuple(trees),
+        node_arrays=tuple(t._feature for t in trees),  # type: ignore[misc]
+    )
+
+
+#: Derived flat arrays per forest.  A module-level weak-key memo — never
+#: an instance attribute — so flattening neither changes pickle bytes
+#: nor perturbs structural fingerprints (same discipline as
+#: ``repro.hardware.table._CPU_POWER_COLUMNS``).
+_FLAT_FORESTS: "weakref.WeakKeyDictionary[RandomForestRegressor, _FlatForest]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _flat_forest(forest: "RandomForestRegressor") -> _FlatForest:
+    """The current flattening of ``forest``, (re)built when stale."""
+    flat = _FLAT_FORESTS.get(forest)
+    if flat is None or not flat.matches(forest.trees):
+        flat = _flatten(forest.trees)
+        _FLAT_FORESTS[forest] = flat
+    return flat
 
 
 class RandomForestRegressor:
@@ -101,7 +197,26 @@ class RandomForestRegressor:
 
         self._target_min = float(y.min())
         self._target_max = float(y.max())
+        # Prime the flattened node arrays so the first prediction after
+        # a fit lands straight on the vectorized descent.
+        _flat_forest(self)
         return self
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        # Intern string keys exactly as pickle's default load_build
+        # does, so adding this hook leaves re-pickle bytes untouched.
+        for key, value in state.items():
+            if type(key) is str:
+                key = sys.intern(key)
+            self.__dict__[key] = value
+        # Rebuild the flattened arrays eagerly at unpickle time:
+        # deserialized forests (engine workers, the on-disk predictor
+        # cache) go straight onto the hot path.  Legacy or hand-built
+        # pickles with unfitted trees fall back to the lazy rebuild in
+        # predict().
+        trees = self.__dict__.get("trees") or []
+        if trees and all(t._feature is not None for t in trees):
+            _flat_forest(self)
 
     @property
     def is_fitted(self) -> bool:
@@ -114,14 +229,42 @@ class RandomForestRegressor:
         return self._target_min, self._target_max
 
     def predict(self, X: np.ndarray) -> np.ndarray:
-        """Mean prediction across all trees for a batch of samples."""
+        """Mean prediction across all trees for a batch of samples.
+
+        One iterative vectorized descent walks every (tree, sample)
+        lane of the flattened forest simultaneously; per-tree values
+        are then accumulated in tree order (sequential ``+=``, exactly
+        the float semantics of the historical per-tree loop) and
+        averaged.
+        """
         if not self.trees:
             raise RuntimeError("forest is not fitted")
         X = np.atleast_2d(np.asarray(X, dtype=float))
-        acc = np.zeros(X.shape[0], dtype=float)
-        for tree in self.trees:
-            acc += tree.predict(X)
-        return acc / len(self.trees)
+        flat = _flat_forest(self)
+        n = X.shape[0]
+        n_trees = len(self.trees)
+        # Lane i*n + j descends tree i with sample j.
+        nodes = np.repeat(flat.roots, n)
+        cols = np.tile(np.arange(n), n_trees)
+        active = flat.feature[nodes] >= 0
+        # Each iteration pushes every still-internal lane one level
+        # down; terminates after at most max(tree depth) iterations.
+        while np.any(active):
+            current = nodes[active]
+            feats = flat.feature[current]
+            go_left = X[cols[active], feats] <= flat.threshold[current]
+            nodes[active] = np.where(
+                go_left, flat.left[current], flat.right[current]
+            )
+            active = flat.feature[nodes] >= 0
+        per_tree = flat.value[nodes].reshape(n_trees, n)
+        # Sequential accumulation in tree order: float-for-float
+        # identical to `for tree: acc += tree.predict(X)` (np.sum's
+        # pairwise reduction would drift in the last ulp).
+        acc = np.zeros(n, dtype=float)
+        for row in per_tree:
+            acc += row
+        return acc / n_trees
 
     def predict_one(self, x: np.ndarray) -> float:
         """Prediction for a single sample vector."""

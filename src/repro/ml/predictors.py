@@ -225,6 +225,38 @@ class PerfPowerPredictor(abc.ABC):
             [self.estimate(counters, config) for config in configs]
         )
 
+    def estimate_matrix_many(
+        self,
+        counters_list: Sequence[CounterVector],
+        table: ConfigTable,
+        indices: Optional[np.ndarray] = None,
+    ) -> List[EstimateBatch]:
+        """Columnar estimates for *many* kernels over the same table rows.
+
+        The multi-session hot path: ``SessionManager.step_batch``
+        collects the counter vectors of every ready session and sweeps
+        them in one call.  The default loops over
+        :meth:`estimate_matrix` (one batch per counter vector — always
+        correct); the Random Forest overrides it to stack all kernels
+        into a single ``(sessions × configs)`` feature matrix and one
+        flattened-forest descent.  Overrides must return batches
+        float-for-float identical to per-kernel :meth:`estimate_matrix`
+        calls — the differential step_batch suite depends on that.
+
+        Args:
+            counters_list: One Table-III counter vector per kernel.
+            table: Columnar configuration set, shared by all kernels.
+            indices: Optional flat row indices; all rows when ``None``.
+
+        Returns:
+            One :class:`EstimateBatch` per input counter vector, in
+            order.
+        """
+        return [
+            self.estimate_matrix(counters, table, indices)
+            for counters in counters_list
+        ]
+
 
 class RandomForestPredictor(PerfPowerPredictor):
     """The paper's Random Forest kernel time / GPU power model.
@@ -280,6 +312,48 @@ class RandomForestPredictor(PerfPowerPredictor):
         if indices is not None:
             cpu = cpu[indices]
         return EstimateBatch(times_s=times, gpu_power_w=powers, cpu_power_w=cpu)
+
+    def estimate_matrix_many(
+        self,
+        counters_list: Sequence[CounterVector],
+        table: ConfigTable,
+        indices: Optional[np.ndarray] = None,
+    ) -> List[EstimateBatch]:
+        """Native multi-kernel path: one stacked descent for all sessions.
+
+        All kernels' feature rows are stacked into one
+        ``(kernels · configs, features)`` matrix, so each forest is
+        descended once for the whole batch.  Tree traversal is
+        row-independent and the per-batch slices are views of the same
+        prediction arrays, so every returned batch is float-for-float
+        identical to a per-kernel :meth:`estimate_matrix` call.
+        """
+        if not counters_list:
+            return []
+        block = table.feature_block if indices is None else table.feature_block[indices]
+        n = block.shape[0]
+        if n == 0:
+            return [EstimateBatch.empty() for _ in counters_list]
+        m = len(counters_list)
+        width = counters_list[0].as_array().shape[0]
+        X = np.empty((m * n, width + block.shape[1]))
+        for i, counters in enumerate(counters_list):
+            span = slice(i * n, (i + 1) * n)
+            X[span, :width] = counters.as_array()
+            X[span, width:] = block
+        times = np.exp(self.time_forest.predict(X))
+        powers = np.maximum(0.1, self.power_forest.predict(X))
+        cpu = table.cpu_power_column(self.cpu_model)
+        if indices is not None:
+            cpu = cpu[indices]
+        return [
+            EstimateBatch(
+                times_s=times[i * n:(i + 1) * n],
+                gpu_power_w=powers[i * n:(i + 1) * n],
+                cpu_power_w=cpu,
+            )
+            for i in range(m)
+        ]
 
 
 class OraclePredictor(PerfPowerPredictor):

@@ -16,7 +16,7 @@ and resumed by a different worker (``persist`` / ``resume``).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.hardware.apu import APUModel
 from repro.hardware.config import FAILSAFE_CONFIG, HardwareConfig
@@ -146,6 +146,113 @@ class SessionManager:
         """Consume an interleaved multi-session event stream."""
         for event in events:
             yield self.dispatch(event)
+
+    def step_batch(self, events: Sequence[KernelLaunch]) -> List[LaunchOutcome]:
+        """Process one launch per session with their sweeps stacked.
+
+        Each ready session's policy is asked (side-effect free) which
+        counter vectors its upcoming decision will sweep; sessions whose
+        optimizers share a predictor and search lattice are grouped, the
+        deduplicated counters of each group go to the predictor as one
+        stacked ``estimate_matrix_many`` call, and the shared
+        whole-lattice estimates are preloaded into every member
+        optimizer before the events are dispatched normally, in order.
+
+        Decisions, per-session statistics, evaluation charges, and
+        per-decision telemetry are identical to dispatching the events
+        one at a time — preloaded rows are float-for-float what each
+        session's own sweep would have produced, and fault isolation is
+        unchanged (a failing prefetch just drops that session back to
+        its lazy path).
+
+        Args:
+            events: At most one launch per session; sessions are
+                independent, so within-batch order is irrelevant to the
+                results but preserved in the returned outcomes.
+
+        Returns:
+            One :class:`LaunchOutcome` per event, in input order.
+
+        Raises:
+            ValueError: If two events target the same session (their
+                relative order would matter — stream those instead).
+            KeyError: If an event names an unregistered session.
+        """
+        events = list(events)
+        seen: set = set()
+        for event in events:
+            if event.session_id in seen:
+                raise ValueError(
+                    "step_batch events must target distinct sessions; "
+                    f"{event.session_id!r} appears more than once"
+                )
+            seen.add(event.session_id)
+        sessions = [self.session(event.session_id) for event in events]
+
+        # Group prefetch requests by (predictor, lattice): one stacked
+        # sweep per group serves every member session.
+        groups: Dict[Any, List[Any]] = {}
+        requests: Dict[Any, List[Any]] = {}
+        for event, session in zip(events, sessions):
+            optimizer = getattr(session.policy, "optimizer", None)
+            if optimizer is None or not getattr(optimizer, "matrix_enabled", False):
+                continue
+            try:
+                wanted = tuple(session.prefetch_counters(event))
+            except Exception:
+                # Fault isolation: a failing prefetch must not take the
+                # batch down — the session decides on its lazy path and
+                # any real fault surfaces through process() as usual.
+                continue
+            if not wanted:
+                continue
+            key = (id(optimizer.predictor), optimizer.lattice_key)
+            groups.setdefault(key, []).append(optimizer)
+            requests.setdefault(key, []).append(wanted)
+
+        preloaded: List[Any] = []
+        swept = 0
+        requested = 0
+        for key, members in groups.items():
+            unique: Dict[Any, None] = {}
+            for wanted in requests[key]:
+                requested += len(wanted)
+                for counters in wanted:
+                    unique.setdefault(counters)
+            try:
+                batches = members[0].sweep_many(list(unique))
+            except Exception:
+                continue  # every member falls back to its lazy sweep
+            swept += len(unique)
+            mapping = dict(zip(unique, batches))
+            for optimizer in members:
+                optimizer.preload_lattice(mapping)
+                preloaded.append(optimizer)
+
+        if self.obs.enabled:
+            registry = self.obs.registry
+            registry.counter(
+                "repro_runtime_batched_steps_total",
+                "step_batch calls processed",
+            ).inc()
+            registry.counter(
+                "repro_runtime_batched_launches_total",
+                "Launches processed through step_batch",
+            ).inc(len(events))
+            registry.counter(
+                "repro_runtime_batched_sweeps_total",
+                "Distinct whole-lattice sweeps computed for batches",
+            ).inc(swept)
+            registry.counter(
+                "repro_runtime_batched_dedup_hits_total",
+                "Prefetched sweep requests served by another session's sweep",
+            ).inc(requested - swept)
+
+        try:
+            return [self.dispatch(event) for event in events]
+        finally:
+            for optimizer in preloaded:
+                optimizer.clear_preload()
 
     def stats(self) -> Dict[str, SessionStats]:
         """Per-session statistics keyed by session id."""

@@ -304,6 +304,24 @@ class SessionRuntime:
 
     # ----- the control loop ------------------------------------------------------
 
+    def prefetch_counters(self, event: KernelLaunch):
+        """Counter vectors the policy expects to sweep for ``event``.
+
+        The batched dispatch path (``SessionManager.step_batch``) calls
+        this before :meth:`process` to stack many sessions' predictor
+        sweeps into one call.  Events that start a new run (or arrive
+        out of order) predict nothing: ``process`` will change policy
+        state (``begin_run``) before deciding, so any guess made now
+        could be wrong — the decision then simply uses its own lazy
+        sweep.  Side-effect free.
+        """
+        expected = self._next_index()
+        if expected is None or (event.index == 0 and expected > 0):
+            return ()
+        if event.index != expected:
+            return ()
+        return tuple(self.policy.prefetch_counters(event.index))
+
     def process(self, event: KernelLaunch, *,
                 charge_overhead: Optional[bool] = None) -> LaunchOutcome:
         """Execute one kernel-launch event end to end.

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, Sequence
 
 from repro.hardware.apu import Measurement
 from repro.hardware.config import HardwareConfig
@@ -93,6 +93,21 @@ class PowerPolicy(abc.ABC):
         paper's framework keeps its pattern store between invocations);
         this hook only resets per-run cursors.
         """
+
+    def prefetch_counters(self, index: int) -> Sequence[CounterVector]:
+        """Counter vectors :meth:`decide` is expected to sweep next.
+
+        The batched runtime path (``SessionManager.step_batch``) asks
+        each ready session which kernels its upcoming decision will
+        query, stacks the answers of all sessions into one predictor
+        call, and preloads the shared results.  The hook must be
+        **side-effect free** — no lifecycle transitions, no telemetry,
+        no mutation — because :meth:`decide` still runs in full
+        afterwards.  A wrong or empty answer is always safe: decisions
+        simply fall back to their own lazy sweep.  The default predicts
+        nothing (model-free policies).
+        """
+        return ()
 
     # ----- migration (the runtime's session snapshot protocol) -------------------
 

@@ -30,6 +30,7 @@ from repro.workloads.traces.replay import (
     ReplayReport,
     TraceReplayer,
     build_policy,
+    outcome_decision,
     stamp_decisions,
     trace_from_benchmark,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "ReplayReport",
     "TraceReplayer",
     "build_policy",
+    "outcome_decision",
     "stamp_decisions",
     "trace_from_benchmark",
     "FAMILIES",

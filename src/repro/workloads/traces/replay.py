@@ -20,7 +20,7 @@ harness in ``tests/differential/``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.manager import MPCPowerManager
 from repro.core.policies import FixedConfigPolicy, PPKPolicy
@@ -238,6 +238,10 @@ class TraceReplayer:
         overhead: Decision-overhead model; defaults to the standard one.
         use_matrix: Decision-core path for MPC/PPK sessions (``False``
             selects the scalar hill-climb).
+        batched: Feed events through ``SessionManager.step_batch`` in
+            maximal distinct-session chunks instead of one at a time.
+            Decisions and stats are identical to streaming (asserted by
+            ``tests/differential/test_step_batch.py``).
         check: Compare outcomes against recorded decisions, when the
             trace carries them.
         cache_dir: Random Forest cache directory for ``forest``
@@ -252,6 +256,7 @@ class TraceReplayer:
         counters: Optional[CounterSynthesizer] = None,
         overhead: Optional[OverheadModel] = None,
         use_matrix: bool = True,
+        batched: bool = False,
         check: bool = True,
         cache_dir: str = ".cache",
     ) -> None:
@@ -260,6 +265,7 @@ class TraceReplayer:
         self.counters = counters if counters is not None else CounterSynthesizer()
         self.overhead = overhead if overhead is not None else OverheadModel()
         self.use_matrix = use_matrix
+        self.batched = batched
         self.check = check
         self.cache_dir = cache_dir
         # Replays always run instrumented: coverage assertions read the
@@ -319,16 +325,48 @@ class TraceReplayer:
             )
         return drift
 
+    def _event_chunks(self) -> List[List[Tuple[int, TraceEvent]]]:
+        """Maximal distinct-session runs of the event stream, in order.
+
+        A chunk closes as soon as a session repeats, so each chunk is a
+        legal ``step_batch`` input and per-session event order is
+        preserved across chunks.
+        """
+        chunks: List[List[Tuple[int, TraceEvent]]] = []
+        chunk: List[Tuple[int, TraceEvent]] = []
+        sessions: set = set()
+        for position, event in enumerate(self.trace.events):
+            if event.session in sessions:
+                chunks.append(chunk)
+                chunk, sessions = [], set()
+            chunk.append((position, event))
+            sessions.add(event.session)
+        if chunk:
+            chunks.append(chunk)
+        return chunks
+
     def replay(self) -> ReplayReport:
         """Run the whole trace; returns the full report."""
         manager = self._build_manager()
         report = ReplayReport(trace=self.trace, registry=self.obs.registry)
-        for position, event in enumerate(self.trace.events):
-            outcome = manager.dispatch(event.as_launch())
+
+        def consume(position: int, event: TraceEvent,
+                    outcome: LaunchOutcome) -> None:
             report.outcomes.append(outcome)
             if self.check and event.decision is not None:
                 report.checked += 1
                 report.mismatches.extend(self._compare(position, event, outcome))
+
+        if self.batched:
+            for chunk in self._event_chunks():
+                outcomes = manager.step_batch(
+                    [event.as_launch() for _, event in chunk]
+                )
+                for (position, event), outcome in zip(chunk, outcomes):
+                    consume(position, event, outcome)
+        else:
+            for position, event in enumerate(self.trace.events):
+                consume(position, event, manager.dispatch(event.as_launch()))
         report.stats = {
             sid: manager.session(sid).stats for sid in manager.session_ids()
         }

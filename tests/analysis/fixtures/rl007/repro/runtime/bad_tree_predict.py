@@ -1,0 +1,22 @@
+"""RL007 bad fixture: per-tree predicts bypassing the flattened forest."""
+
+import numpy as np
+
+
+def ensemble_mean(forest, X):
+    # Looping the ensemble re-creates the per-tree Python loop the
+    # flattened node arrays removed.
+    total = np.zeros(len(X))
+    for tree in forest.trees:
+        total += tree.predict(X)
+    return total / len(forest.trees)
+
+
+def first_tree_only(forest, X):
+    # Even a single un-looped call is drift: subscripts are transparent
+    # to the receiver check, so indexing into the collection is seen.
+    return forest.trees[0].predict(X)
+
+
+def aliased_tree(decision_tree, X):
+    return decision_tree.predict(X)

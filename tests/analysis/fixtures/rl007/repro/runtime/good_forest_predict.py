@@ -1,0 +1,14 @@
+"""RL007 good fixture: predictions flow through the forest interface."""
+
+import numpy as np
+
+
+def ensemble_mean(forest, X):
+    # The sanctioned entry point: one flattened iterative descent for
+    # the whole ensemble.
+    return forest.predict(X)
+
+
+def model_predict_loop(models, X):
+    # Receivers not named like trees are out of the rule's scope.
+    return np.array([model.predict(X) for model in models])

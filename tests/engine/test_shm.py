@@ -1,0 +1,144 @@
+"""Tests for the shared-memory feature-block transport (engine/shm).
+
+Covers the segment lifecycle (export, attach, owner-only unlink), the
+zero-copy adoption path in ``ConfigTable``, and the invariant the
+engine relies on: adoption changes no observable table state — floats,
+pickles — only where the bytes live.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine.shm import (
+    SHM_PREFIX,
+    attach_block,
+    detach_all,
+    export_block,
+)
+from repro.hardware.config import ConfigSpace
+from repro.hardware.table import (
+    ConfigTable,
+    clear_shared_feature_blocks,
+    lattice_feature_key,
+    register_shared_feature_block,
+    shared_feature_block,
+)
+
+pytestmark = pytest.mark.engine
+
+
+def _segments():
+    return sorted(
+        name for name in os.listdir("/dev/shm") if name.startswith(SHM_PREFIX)
+    )
+
+
+@pytest.fixture(autouse=True)
+def _clean_shared_state():
+    try:
+        yield
+    finally:
+        clear_shared_feature_blocks()
+        detach_all()
+
+
+class TestSegmentLifecycle:
+    def test_export_attach_round_trip(self):
+        block = np.arange(21.0).reshape(3, 7)
+        export = export_block(block)
+        try:
+            view = attach_block(export.handle)
+            assert np.array_equal(view, block)
+            assert not view.flags.writeable
+        finally:
+            detach_all()
+            export.close()
+
+    def test_handle_survives_pickling(self):
+        export = export_block(np.ones((2, 7)))
+        try:
+            handle = pickle.loads(pickle.dumps(export.handle))
+            assert np.array_equal(attach_block(handle), np.ones((2, 7)))
+        finally:
+            detach_all()
+            export.close()
+
+    def test_attach_is_cached_per_process(self):
+        export = export_block(np.zeros((2, 7)))
+        try:
+            assert attach_block(export.handle) is attach_block(export.handle)
+        finally:
+            detach_all()
+            export.close()
+
+    def test_close_unlinks_and_is_idempotent(self):
+        export = export_block(np.zeros((2, 7)))
+        name = export.handle.name
+        assert name in _segments()
+        export.close()
+        assert name not in _segments()
+        export.close()  # second close is a no-op
+
+    def test_no_orphaned_segments_after_lifecycle(self):
+        before = _segments()
+        export = export_block(np.arange(14.0).reshape(2, 7))
+        attach_block(export.handle)
+        detach_all()
+        export.close()
+        assert _segments() == before
+
+
+class TestConfigTableAdoption:
+    def test_adopted_table_is_zero_copy_and_float_identical(self):
+        space = ConfigSpace()
+        plain = ConfigTable(space)
+        export = export_block(plain.feature_block)
+        try:
+            key = lattice_feature_key(space)
+            register_shared_feature_block(key, attach_block(export.handle))
+            adopted = ConfigTable(space)
+            assert np.shares_memory(
+                adopted.feature_block, shared_feature_block(key)
+            )
+            assert np.array_equal(adopted.feature_block, plain.feature_block)
+            for name in (
+                "cpu_freq_ghz", "cpu_voltage", "nb_freq_ghz",
+                "memory_bw_gbps", "gpu_freq_ghz", "rail_voltage", "cu_count",
+            ):
+                assert np.array_equal(
+                    getattr(adopted, name), getattr(plain, name)
+                ), name
+        finally:
+            clear_shared_feature_blocks()
+            detach_all()
+            export.close()
+
+    def test_adoption_does_not_change_pickles(self):
+        space = ConfigSpace()
+        plain = ConfigTable(space)
+        register_shared_feature_block(
+            lattice_feature_key(space), plain.feature_block.copy()
+        )
+        adopted = ConfigTable(space)
+        assert pickle.dumps(adopted) == pickle.dumps(plain)
+
+    def test_wrong_shape_registration_rejected(self):
+        space = ConfigSpace()
+        with pytest.raises(ValueError):
+            register_shared_feature_block(
+                lattice_feature_key(space), np.zeros((3, 6))
+            )
+
+    def test_cleared_registry_restores_private_blocks(self):
+        space = ConfigSpace()
+        plain = ConfigTable(space)
+        register_shared_feature_block(
+            lattice_feature_key(space), plain.feature_block.copy()
+        )
+        clear_shared_feature_blocks()
+        rebuilt = ConfigTable(space)
+        assert not np.shares_memory(rebuilt.feature_block, plain.feature_block)
+        assert np.array_equal(rebuilt.feature_block, plain.feature_block)

@@ -1,0 +1,130 @@
+"""Property tests: the flattened forest is float-identical to per-tree.
+
+The flattening's contract is *exact* equality: the iterative vectorized
+descent over concatenated node arrays must return the same float64
+values as the historical per-tree loop (sequential accumulation in tree
+order), because the golden-result suite pins simulation outputs
+byte-for-byte.  The references here are reconstructed independently —
+per-tree ``tree.predict`` calls and a pure-Python recursive descent of
+the tree arrays — so a drift in either layout fails loudly.  Pickle
+bytes are asserted invariant under prediction: flat arrays are derived
+state and must never leak into serialized forests.
+"""
+
+import pickle
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.forest import RandomForestRegressor
+
+forest_params_st = st.tuples(
+    st.integers(1, 6),  # n_estimators
+    st.integers(1, 8),  # max_depth
+    st.integers(1, 4),  # min_samples_leaf
+    st.integers(0, 2**16),  # seed
+)
+
+dataset_st = st.integers(8, 60).flatmap(
+    lambda n: st.tuples(
+        arrays(np.float64, (n, 4), elements=st.floats(-50, 50)),
+        arrays(np.float64, (n,), elements=st.floats(-100, 100)),
+    )
+)
+
+
+def _fit(params, data):
+    n_estimators, max_depth, min_samples_leaf, seed = params
+    X, y = data
+    forest = RandomForestRegressor(
+        n_estimators=n_estimators,
+        max_depth=max_depth,
+        min_samples_leaf=min_samples_leaf,
+        seed=seed,
+    )
+    return forest.fit(X, y), X
+
+
+def _per_tree_reference(forest, X):
+    """The historical predict: one tree.predict per tree, sequential sum."""
+    acc = np.zeros(X.shape[0], dtype=float)
+    for tree in forest.trees:
+        acc += tree.predict(X)
+    return acc / len(forest.trees)
+
+
+def _recursive_reference(forest, X):
+    """Pure-Python recursive descent of each tree's node arrays."""
+
+    def descend(tree, node, x):
+        feature = int(tree._feature[node])
+        if feature < 0:
+            return float(tree._value[node])
+        if x[feature] <= tree._threshold[node]:
+            return descend(tree, int(tree._left[node]), x)
+        return descend(tree, int(tree._right[node]), x)
+
+    acc = np.zeros(X.shape[0], dtype=float)
+    for tree in forest.trees:
+        acc += np.array([descend(tree, 0, x) for x in X])
+    return acc / len(forest.trees)
+
+
+@settings(max_examples=40, deadline=None)
+@given(forest_params_st, dataset_st)
+def test_flattened_predict_equals_per_tree_reference(params, data):
+    forest, X = _fit(params, data)
+    assert np.array_equal(forest.predict(X), _per_tree_reference(forest, X))
+
+
+@settings(max_examples=15, deadline=None)
+@given(forest_params_st, dataset_st)
+def test_flattened_predict_equals_recursive_reference(params, data):
+    forest, X = _fit(params, data)
+    assert np.array_equal(forest.predict(X), _recursive_reference(forest, X))
+
+
+@settings(max_examples=25, deadline=None)
+@given(forest_params_st, dataset_st)
+def test_unpickled_forest_predicts_identically(params, data):
+    forest, X = _fit(params, data)
+    clone = pickle.loads(pickle.dumps(forest))
+    assert np.array_equal(clone.predict(X), forest.predict(X))
+
+
+@settings(max_examples=25, deadline=None)
+@given(forest_params_st, dataset_st)
+def test_prediction_never_changes_pickle_bytes(params, data):
+    # Flat arrays are derived state in a module-level weak-key memo:
+    # predicting (which builds/uses them) must leave pickles untouched.
+    forest, X = _fit(params, data)
+    before = pickle.dumps(forest)
+    forest.predict(X)
+    assert pickle.dumps(forest) == before
+
+
+@settings(max_examples=25, deadline=None)
+@given(forest_params_st, dataset_st)
+def test_legacy_unpickle_without_primed_arrays(params, data):
+    # A pickle predates the flattening iff its trees carry node arrays
+    # but no flat block was ever built; __setstate__ must prime it and
+    # predict must match a freshly fitted twin exactly.
+    forest, X = _fit(params, data)
+    legacy = pickle.loads(pickle.dumps(forest))
+    from repro.ml.forest import _FLAT_FORESTS
+
+    _FLAT_FORESTS.pop(legacy, None)  # simulate a cold, legacy unpickle
+    assert np.array_equal(legacy.predict(X), forest.predict(X))
+
+
+@settings(max_examples=20, deadline=None)
+@given(forest_params_st, dataset_st)
+def test_refit_invalidates_stale_flat_arrays(params, data):
+    forest, X = _fit(params, data)
+    forest.predict(X)  # memoize the first flattening
+    rng = np.random.default_rng(1234)
+    y2 = rng.normal(size=X.shape[0])
+    forest.fit(X, y2)  # refit in place: new node arrays
+    assert np.array_equal(forest.predict(X), _per_tree_reference(forest, X))

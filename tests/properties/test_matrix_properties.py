@@ -135,3 +135,47 @@ def test_set_knob_changes_only_that_axis(i, knob):
             assert after.knob(other) == SPACE.axis(knob)[0]
         else:
             assert after.knob(other) == before.knob(other)
+
+
+# ----- stacked multi-counter sweeps ------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(kernel_st, min_size=0, max_size=4))
+def test_rf_estimate_matrix_many_equals_per_counter_sweeps(ks):
+    # The stacked sweep feeds all counters through one forest call; its
+    # per-counter slices must be float-identical to one-at-a-time
+    # estimate_matrix sweeps (the batched step_batch contract).
+    counters_list = [COUNTERS[k] for k in ks]
+    stacked = RF.estimate_matrix_many(counters_list, TABLE)
+    assert len(stacked) == len(counters_list)
+    for counters, batch in zip(counters_list, stacked):
+        single = RF.estimate_matrix(counters, TABLE)
+        assert np.array_equal(batch.times_s, single.times_s)
+        assert np.array_equal(batch.gpu_power_w, single.gpu_power_w)
+        assert np.array_equal(batch.cpu_power_w, single.cpu_power_w)
+        assert np.array_equal(batch.energy_j, single.energy_j)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(kernel_st, min_size=1, max_size=3), st.lists(index_st, min_size=1, max_size=8))
+def test_rf_estimate_matrix_many_with_indices(ks, idx):
+    counters_list = [COUNTERS[k] for k in ks]
+    indices = np.asarray(idx, dtype=np.intp)
+    stacked = RF.estimate_matrix_many(counters_list, TABLE, indices)
+    for counters, batch in zip(counters_list, stacked):
+        single = RF.estimate_matrix(counters, TABLE, indices)
+        assert np.array_equal(batch.times_s, single.times_s)
+        assert np.array_equal(batch.energy_j, single.energy_j)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(kernel_st, min_size=0, max_size=3))
+def test_oracle_estimate_matrix_many_equals_per_counter_sweeps(ks):
+    # The oracle inherits the generic loop default; same contract.
+    counters_list = [COUNTERS[k] for k in ks]
+    stacked = ORACLE.estimate_matrix_many(counters_list, TABLE)
+    for counters, batch in zip(counters_list, stacked):
+        single = ORACLE.estimate_matrix(counters, TABLE)
+        assert np.array_equal(batch.times_s, single.times_s)
+        assert np.array_equal(batch.energy_j, single.energy_j)
