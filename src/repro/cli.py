@@ -138,6 +138,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=".cache",
         help="predictor cache directory (default: .cache)",
     )
+    decide.add_argument(
+        "--max-health-overhead", default=None, type=float, metavar="PCT",
+        help="fail if the health-vs-NOOP hot-path overhead exceeds PCT",
+    )
 
     trace = sub.add_parser(
         "trace", help="record, replay, validate, and generate kernel-launch traces"
@@ -204,6 +208,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--schema", default="docs/trace.schema.json",
         help="span schema (default: docs/trace.schema.json)",
     )
+    health = obs_sub.add_parser(
+        "health",
+        help="model-health report (error ledgers, drift, states) of a "
+             "JSONL span trace",
+    )
+    health.add_argument("trace", help="JSONL trace file (from --trace-out)")
+    health.add_argument("--json", action="store_true",
+                        help="emit the raw health report as JSON")
+    health.add_argument(
+        "--min-drift", type=int, default=None, metavar="N",
+        help="exit 1 unless at least N drift events were detected",
+    )
+    health.add_argument(
+        "--max-drift", type=int, default=None, metavar="N",
+        help="exit 1 if more than N drift events were detected",
+    )
 
     return parser
 
@@ -235,14 +255,25 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         "--metrics-out", default=None, metavar="FILE",
         help="write the metrics registry in Prometheus text format to FILE",
     )
+    parser.add_argument(
+        "--health", action="store_true",
+        help="install the streaming model-health monitor (repro_health_* "
+             "metrics, health transition spans; implies live "
+             "instrumentation)",
+    )
 
 
 def _obs_from_args(args: argparse.Namespace):
     """A live Instrumentation when any obs output was requested."""
     from repro.obs import NOOP, make_instrumentation
 
-    if getattr(args, "trace_out", None) or getattr(args, "metrics_out", None):
-        return make_instrumentation()
+    health = bool(getattr(args, "health", False))
+    if (
+        getattr(args, "trace_out", None)
+        or getattr(args, "metrics_out", None)
+        or health
+    ):
+        return make_instrumentation(health=health)
     return NOOP
 
 
@@ -258,6 +289,10 @@ def _export_obs(obs, args: argparse.Namespace) -> None:
     if args.metrics_out:
         write_prometheus(obs.registry, args.metrics_out)
         print(f"wrote metrics to {args.metrics_out}")
+    if obs.health.enabled:
+        from repro.obs import format_health_report
+
+        print(format_health_report(obs.health.report()))
 
 
 def _engine_context(args: argparse.Namespace):
@@ -488,9 +523,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             label=args.label,
             benchmark_name=args.benchmark or DEFAULT_BENCHMARK,
             cache_dir=args.cache_dir,
+            max_health_overhead_pct=args.max_health_overhead,
         )
         print(format_entry(entry))
         print(f"appended to {args.output or DEFAULT_OUTPUT}")
+        overhead = entry["health_overhead"]
+        assert isinstance(overhead, dict)
+        if not overhead["decisions_identical"]:
+            print("bench decide: health arm diverged from NOOP", file=sys.stderr)
+            return 1
+        budget = overhead.get("budget_pct")
+        if budget is not None and overhead["overhead_pct"] > budget:
+            print(
+                f"bench decide: health overhead {overhead['overhead_pct']}% "
+                f"exceeds the {budget}% budget",
+                file=sys.stderr,
+            )
+            return 1
         return 0
     raise ValueError(
         f"unknown bench command {args.bench_command!r}"
@@ -546,6 +595,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         )
         for session_id, stats in sorted(report.stats.items()):
             print(f"  {session_id}: {stats.format()}")
+        if report.health is not None:
+            for name, session in sorted(report.health.sessions.items()):
+                print(
+                    f"  health {name}: {session.state.name}, "
+                    f"{session.drift_events} drift event(s)"
+                )
         for result in report.assertion_results:
             print(f"  {result}")
         for mismatch in report.mismatches:
@@ -621,6 +676,37 @@ def _cmd_obs(args: argparse.Namespace) -> int:
             print(f"{args.trace}: {len(errors)} invalid spans")
             return 1
         print(f"{args.trace}: all spans valid")
+        return 0
+    if args.obs_command == "health":
+        import json
+
+        from repro.obs import HealthMonitor, format_health_report
+
+        # Offline recompute: feeding the recorded launch spans through
+        # a fresh monitor is the same deterministic computation the
+        # live monitor ran, so reports match a --health run exactly.
+        monitor = HealthMonitor()
+        for span in read_jsonl(args.trace):
+            monitor.observe_span(span)
+        if args.json:
+            print(json.dumps(monitor.report(), indent=2, sort_keys=True))
+        else:
+            print(format_health_report(monitor.report()))
+        drift = monitor.drift_events()
+        if args.min_drift is not None and drift < args.min_drift:
+            print(
+                f"{args.trace}: {drift} drift event(s) < required "
+                f"{args.min_drift}",
+                file=sys.stderr,
+            )
+            return 1
+        if args.max_drift is not None and drift > args.max_drift:
+            print(
+                f"{args.trace}: {drift} drift event(s) > allowed "
+                f"{args.max_drift}",
+                file=sys.stderr,
+            )
+            return 1
         return 0
     raise ValueError(f"unknown obs command {args.obs_command!r}")  # pragma: no cover
 

@@ -124,6 +124,23 @@ class AdaptiveHorizonGenerator:
                 cumulative.append(acc)
             self._baseline_cumulative = cumulative
         self.obs = or_noop(obs)
+        # Pre-bound series handles: the horizon is computed once per
+        # decision, so the per-call label canonicalization and registry
+        # lookups are hoisted to construction (no-ops under NOOP obs).
+        registry = self.obs.registry
+        self._m_requests = registry.counter(
+            "repro_horizon_requests_total", "Adaptive horizon computations"
+        ).labelled()
+        self._m_zero = registry.counter(
+            "repro_horizon_zero_total",
+            "Horizon requests resolved to zero (no overhead budget)",
+        ).labelled()
+        self._m_length = registry.histogram(
+            "repro_horizon_length",
+            "Chosen horizon lengths",
+            buckets=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+        ).labelled()
+        self._m_lock = registry.lock
         self._elapsed_s = 0.0  # Σ (T_j + T_MPC,j) over completed kernels
 
     @property
@@ -194,18 +211,9 @@ class AdaptiveHorizonGenerator:
         horizon = int(min(n, max(0.0, math.floor(h))))
         if emit_obs and self.obs.enabled:
             self.obs.tracer.annotate("horizon_budget_s", budget)
-            registry = self.obs.registry
-            registry.counter(
-                "repro_horizon_requests_total", "Adaptive horizon computations"
-            ).inc()
-            if horizon <= 0:
-                registry.counter(
-                    "repro_horizon_zero_total",
-                    "Horizon requests resolved to zero (no overhead budget)",
-                ).inc()
-            registry.histogram(
-                "repro_horizon_length",
-                "Chosen horizon lengths",
-                buckets=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
-            ).observe(horizon)
+            with self._m_lock:
+                self._m_requests.inc_unlocked()
+                if horizon <= 0:
+                    self._m_zero.inc_unlocked()
+                self._m_length.observe_unlocked(horizon)
         return horizon

@@ -140,6 +140,25 @@ class MPCPowerManager(PowerPolicy):
         self.window_reserve = window_reserve
         self._fail_safe = self.optimizer.fail_safe
 
+        # Pre-bound series handles for the per-decision telemetry: the
+        # registry lookup + label canonicalization happen once here
+        # instead of on every decision (no-ops under NOOP obs).
+        registry = self.obs.registry
+        decisions = registry.counter(
+            "repro_mpc_decisions_total", "Decisions by optimization mode"
+        )
+        self._m_decisions = {
+            mode: decisions.labelled(mode=mode) for mode in ("ppk", "mpc", "skip")
+        }
+        self._m_model_evals = registry.counter(
+            "repro_mpc_model_evaluations_total",
+            "Predictor queries spent across all decisions",
+        ).labelled()
+        self._m_pattern_misses = registry.counter(
+            "repro_mpc_pattern_misses_total",
+            "Decisions where the extractor had no expected record",
+        ).labelled()
+
         self._lifecycle = PolicyLifecycle()
         self._stats: Optional[_ProfiledStats] = None
         self._horizon_gen: Optional[AdaptiveHorizonGenerator] = None
@@ -243,25 +262,24 @@ class MPCPowerManager(PowerPolicy):
         self._last_config = decision.config
         self._last_decision_overhead_s = self.overhead_model.decision_time_s(decision)
         if self.obs.enabled:
-            self.obs.registry.counter(
-                "repro_mpc_model_evaluations_total",
-                "Predictor queries spent across all decisions",
-            ).inc(decision.model_evaluations)
+            self._m_model_evals.inc(decision.model_evaluations)
         return decision
 
     def _count_decision(self, mode: str) -> None:
-        self.obs.tracer.annotate("mode", mode)
-        self.obs.registry.counter(
-            "repro_mpc_decisions_total", "Decisions by optimization mode"
-        ).inc(mode=mode)
+        span = self.obs.tracer.current()
+        if span is not None:
+            span.attributes["mode"] = mode
+        self._m_decisions[mode].inc()
 
     def _annotate_prediction(self, record: KernelRecord, result: Any) -> None:
         """Stamp predicted IPS / power for the kernel about to launch."""
         estimate = result.estimate
         if estimate.time_s > 0:
-            tracer = self.obs.tracer
-            tracer.annotate("predicted_ips", record.instructions / estimate.time_s)
-            tracer.annotate("predicted_power_w", estimate.energy_j / estimate.time_s)
+            span = self.obs.tracer.current()
+            if span is not None:
+                attrs = span.attributes
+                attrs["predicted_ips"] = record.instructions / estimate.time_s
+                attrs["predicted_power_w"] = estimate.energy_j / estimate.time_s
 
     def _decide_ppk(self) -> Decision:
         """Profiling mode: run PPK while the pattern is being extracted."""
@@ -293,15 +311,14 @@ class MPCPowerManager(PowerPolicy):
             self._horizon_gen.horizon(index) if self.adaptive_horizon else n
         )
         if self.obs.enabled:
-            tracer = self.obs.tracer
-            tracer.annotate("horizon_cap", n)
             hit = self.extractor.expected_record(index) is not None
-            tracer.annotate("pattern_hit", hit)
+            span = self.obs.tracer.current()
+            if span is not None:
+                attrs = span.attributes
+                attrs["horizon_cap"] = n
+                attrs["pattern_hit"] = hit
             if not hit:
-                self.obs.registry.counter(
-                    "repro_mpc_pattern_misses_total",
-                    "Decisions where the extractor had no expected record",
-                ).inc()
+                self._m_pattern_misses.inc()
         if horizon <= 0:
             # No overhead budget: skip optimization (no model calls).
             # The previous configuration is only safe to reuse when the
@@ -318,6 +335,11 @@ class MPCPowerManager(PowerPolicy):
             )
             if self.obs.enabled:
                 self._count_decision("skip")
+                # Health monitors key their budget-collapse detector on
+                # runs of these exhausted-budget fail-safe skips.
+                span = self.obs.tracer.current()
+                if span is not None:
+                    span.attributes["budget_exhausted"] = True
             if same_kernel and self.tracker.above_target():
                 return Decision(config=self._last_config, horizon=0)
             return Decision(config=self._fail_safe, horizon=0, fail_safe=True)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,6 +37,17 @@ from repro.obs import Instrumentation, or_noop
 from repro.workloads.counters import CounterVector
 
 __all__ = ["OptimizationResult", "GreedyHillClimbOptimizer"]
+
+#: Memoized per-knob span-attribute keys ("climb_steps.<knob>"), so the
+#: per-search telemetry does not rebuild the strings on every decision.
+_CLIMB_STEP_KEYS: Dict[str, str] = {}
+
+
+def _climb_step_key(knob: str) -> str:
+    key = _CLIMB_STEP_KEYS.get(knob)
+    if key is None:
+        key = _CLIMB_STEP_KEYS[knob] = f"climb_steps.{knob}"
+    return key
 
 
 @dataclass(frozen=True)
@@ -94,6 +105,35 @@ class GreedyHillClimbOptimizer:
         self.fail_safe = space.clamp(fail_safe)
         self.max_passes = max_passes
         self.obs = or_noop(obs)
+        # Pre-bound series handles for the per-search telemetry: the
+        # registry lookup + label canonicalization happen once here
+        # instead of on every search (no-ops under NOOP obs).
+        registry = self.obs.registry
+        self._m_searches = registry.counter(
+            "repro_optimizer_searches_total", "Greedy hill-climb searches run"
+        ).labelled()
+        self._m_evaluations = registry.counter(
+            "repro_optimizer_evaluations_total",
+            "Predictor queries spent inside hill-climb searches",
+        ).labelled()
+        self._m_climb_steps = registry.counter(
+            "repro_optimizer_climb_steps_total",
+            "Accepted hill-climb moves by knob",
+        )
+        self._m_climb_by_knob: Dict[str, Any] = {}
+        self._m_matrix_batches = registry.counter(
+            "repro_optimizer_matrix_batches_total",
+            "Columnar predictor batches issued by hill-climb searches",
+        ).labelled()
+        self._m_matrix_rows = registry.counter(
+            "repro_optimizer_matrix_rows_total",
+            "Table rows evaluated through the columnar predictor path",
+        ).labelled()
+        self._m_memo_hits = registry.counter(
+            "repro_optimizer_memo_hits_total",
+            "Predictor requests served from the per-search memo",
+        ).labelled()
+        self._m_lock = registry.lock
         self.use_matrix = use_matrix
         self.table = ConfigTable(space)
         self._fail_safe_index = self.table.index_of_config(self.fail_safe)
@@ -373,44 +413,43 @@ class GreedyHillClimbOptimizer:
 
     def _record_search(self, evals: int, climb_steps: Dict[str, int],
                        stats: Optional[Dict[str, int]] = None) -> None:
-        """Emit one search's step/evaluation telemetry (obs enabled)."""
-        tracer = self.obs.tracer
-        registry = self.obs.registry
+        """Emit one search's step/evaluation telemetry (obs enabled).
+
+        The span is resolved once and written directly (each
+        ``tracer.inc`` call re-walks the thread-local span stack), and
+        all counter bumps happen under one registry-lock hold — this
+        runs once per search on the decision hot path.
+        """
+        span = self.obs.tracer.current()
         total_steps = sum(climb_steps.values())
-        tracer.inc("hill_climb_steps", total_steps)
-        registry.counter(
-            "repro_optimizer_searches_total", "Greedy hill-climb searches run"
-        ).inc()
-        registry.counter(
-            "repro_optimizer_evaluations_total",
-            "Predictor queries spent inside hill-climb searches",
-        ).inc(evals)
-        steps_counter = registry.counter(
-            "repro_optimizer_climb_steps_total",
-            "Accepted hill-climb moves by knob",
-        )
-        for knob in sorted(climb_steps):
-            tracer.inc(f"climb_steps.{knob}", climb_steps[knob])
-            steps_counter.inc(climb_steps[knob], knob=knob)
-        if stats is not None and self._matrix_path() is not None:
+        if span is not None:
+            span.inc("hill_climb_steps", total_steps)
+        by_knob = self._m_climb_by_knob
+        # ``sorted`` keeps the span-attribute insertion order (and so
+        # the exported trace bytes) independent of climb order.
+        knobs = sorted(climb_steps)
+        for knob in knobs:
+            if span is not None:
+                span.inc(_climb_step_key(knob), climb_steps[knob])
+            if knob not in by_knob:
+                by_knob[knob] = self._m_climb_steps.labelled(knob=knob)
+        matrix = stats is not None and self._matrix_path() is not None
+        if matrix and span is not None:
             # Columnar-path telemetry: how many predictor batches the
             # search issued, how many table rows they covered, and how
             # many requests the per-search memo absorbed.
-            tracer.inc("matrix_batches", stats["batches"])
-            tracer.inc("matrix_rows", stats["rows"])
-            tracer.inc("memo_hits", stats["memo_hits"])
-            registry.counter(
-                "repro_optimizer_matrix_batches_total",
-                "Columnar predictor batches issued by hill-climb searches",
-            ).inc(stats["batches"])
-            registry.counter(
-                "repro_optimizer_matrix_rows_total",
-                "Table rows evaluated through the columnar predictor path",
-            ).inc(stats["rows"])
-            registry.counter(
-                "repro_optimizer_memo_hits_total",
-                "Predictor requests served from the per-search memo",
-            ).inc(stats["memo_hits"])
+            span.inc("matrix_batches", stats["batches"])
+            span.inc("matrix_rows", stats["rows"])
+            span.inc("memo_hits", stats["memo_hits"])
+        with self._m_lock:
+            self._m_searches.inc_unlocked()
+            self._m_evaluations.inc_unlocked(evals)
+            for knob in knobs:
+                by_knob[knob].inc_unlocked(climb_steps[knob])
+            if matrix:
+                self._m_matrix_batches.inc_unlocked(stats["batches"])
+                self._m_matrix_rows.inc_unlocked(stats["rows"])
+                self._m_memo_hits.inc_unlocked(stats["memo_hits"])
 
     def optimize_kernel_batch(
         self,

@@ -22,6 +22,15 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional
 
+from repro.obs.health import (
+    DEFAULT_HEALTH_CONFIG,
+    HealthConfig,
+    HealthMonitor,
+    HealthState,
+    NULL_HEALTH,
+    NullHealthMonitor,
+    format_health_report,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -36,17 +45,24 @@ from repro.obs.tracing import NULL_TRACER, NullTracer, Span, Tracer
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_HEALTH_CONFIG",
     "Gauge",
+    "HealthConfig",
+    "HealthMonitor",
+    "HealthState",
     "Histogram",
     "Instrumentation",
     "MetricsRegistry",
     "NOOP",
+    "NULL_HEALTH",
     "NULL_REGISTRY",
     "NULL_TRACER",
+    "NullHealthMonitor",
     "NullMetricsRegistry",
     "NullTracer",
     "Span",
     "Tracer",
+    "format_health_report",
     "make_instrumentation",
     "publish_cache_stats",
     "publish_session_stats",
@@ -62,21 +78,25 @@ class Instrumentation:
     annotations land on the same per-launch span.
     """
 
-    __slots__ = ("registry", "tracer")
+    __slots__ = ("registry", "tracer", "health")
 
     def __init__(self, registry: Optional[Any] = None,
-                 tracer: Optional[Any] = None) -> None:
+                 tracer: Optional[Any] = None,
+                 health: Optional[Any] = None) -> None:
         self.registry = registry if registry is not None else NULL_REGISTRY
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.health = health if health is not None else NULL_HEALTH
 
     @property
     def enabled(self) -> bool:
         """Whether any part of this instrumentation is live."""
-        return bool(self.registry.enabled or self.tracer.enabled)
+        return bool(
+            self.registry.enabled or self.tracer.enabled or self.health.enabled
+        )
 
 
 #: The shared disabled instrumentation; safe to use from any thread.
-NOOP = Instrumentation(NULL_REGISTRY, NULL_TRACER)
+NOOP = Instrumentation(NULL_REGISTRY, NULL_TRACER, NULL_HEALTH)
 
 
 def or_noop(obs: Optional[Instrumentation]) -> Instrumentation:
@@ -88,8 +108,10 @@ def make_instrumentation(
     clock: Optional[Callable[[], float]] = None,
     sink: Optional[Callable[[Dict[str, Any]], None]] = None,
     keep_spans: bool = True,
+    health: bool = False,
+    health_config: Optional[HealthConfig] = None,
 ) -> Instrumentation:
-    """A live registry + tracer pair.
+    """A live registry + tracer pair (optionally with a health monitor).
 
     Args:
         clock: Injected tracer time source (defaults to a frozen zero
@@ -99,10 +121,18 @@ def make_instrumentation(
             :class:`~repro.obs.exporters.JsonlTraceSink`).
         keep_spans: Whether the tracer buffers finished spans in memory
             for post-run export.
+        health: Install a :class:`~repro.obs.health.HealthMonitor`
+            sharing this registry/tracer, so every launch decision
+            feeds the model-health ledgers and drift detectors.
+        health_config: Monitor thresholds (default
+            :data:`~repro.obs.health.DEFAULT_HEALTH_CONFIG`).
     """
-    return Instrumentation(
-        MetricsRegistry(), Tracer(clock=clock, sink=sink, keep=keep_spans)
+    registry = MetricsRegistry()
+    tracer = Tracer(clock=clock, sink=sink, keep=keep_spans)
+    monitor = (
+        HealthMonitor(registry, tracer, health_config) if health else None
     )
+    return Instrumentation(registry, tracer, monitor)
 
 
 # ----- stats bridges ---------------------------------------------------------

@@ -127,18 +127,30 @@ def _fmt(value: float) -> str:
     return str(as_int) if value == as_int else repr(float(value))
 
 
+def _escape_help(value: str) -> str:
+    # HELP text escaping per the exposition format: only backslash and
+    # newline (double quotes are legal in help text, unlike labels).
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def prometheus_text(registry: Any) -> str:
     """Render a registry (or a snapshot dict) as Prometheus text.
 
-    Histograms expose cumulative ``_bucket{le=...}`` series plus
-    ``_sum`` and ``_count``, matching the standard exposition format.
+    Every metric family gets exactly one ``# HELP``/``# TYPE`` pair
+    (help falls back to the metric name so parsers that require the
+    line never break), histograms expose cumulative ``_bucket{le=...}``
+    series ending in ``+Inf`` plus ``_sum`` and ``_count`` — the
+    ``promtool check metrics`` exposition contract.
     """
     snapshot = registry if isinstance(registry, dict) else registry.snapshot()
     lines: List[str] = []
+    seen: set = set()
     for entry in snapshot["metrics"]:
         name, kind = entry["name"], entry["kind"]
-        if entry.get("help"):
-            lines.append(f"# HELP {name} {entry['help']}")
+        if name in seen:
+            raise ValueError(f"duplicate metric family {name!r} in snapshot")
+        seen.add(name)
+        lines.append(f"# HELP {name} {_escape_help(entry.get('help') or name)}")
         lines.append(f"# TYPE {name} {kind}")
         if kind in ("counter", "gauge"):
             for key, value in entry["series"]:

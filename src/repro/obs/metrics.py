@@ -24,6 +24,9 @@ import threading
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 __all__ = [
+    "BoundCounter",
+    "BoundGauge",
+    "BoundHistogram",
     "Counter",
     "Gauge",
     "Histogram",
@@ -50,6 +53,94 @@ def _label_key(labels: Dict[str, Any]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+class _Bound:
+    """One label set of a metric with its key pre-resolved.
+
+    The ``**labels`` API canonicalizes (stringify + sort) the label set
+    on every call; hot paths that hit the same series thousands of
+    times per second (the health monitor's per-decision counters) bind
+    the series once via :meth:`_Metric.labelled` and mutate the parent
+    metric's storage directly — snapshot/merge/exposition are
+    unaffected, only the per-call label work disappears.
+    """
+
+    __slots__ = ("_lock", "_series", "_key")
+
+    def __init__(self, metric: "_Metric", key: LabelKey) -> None:
+        self._lock = metric._lock
+        self._series = metric._series
+        self._key = key
+
+
+class BoundCounter(_Bound):
+    """Pre-resolved counter series (monotonic)."""
+
+    __slots__ = ()
+
+    def inc(self, value: float = 1.0) -> None:
+        with self._lock:
+            self.inc_unlocked(value)
+
+    def inc_unlocked(self, value: float = 1.0) -> None:
+        """:meth:`inc` for callers already holding the registry lock."""
+        if value < 0:
+            raise ValueError("counters can only increase")
+        series, key = self._series, self._key
+        series[key] = series.get(key, 0.0) + value
+
+
+class BoundGauge(_Bound):
+    """Pre-resolved gauge series."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._series[self._key] = float(value)
+
+    def set_unlocked(self, value: float) -> None:
+        """:meth:`set` for callers already holding the registry lock."""
+        self._series[self._key] = float(value)
+
+    def inc(self, value: float = 1.0) -> None:
+        series, key = self._series, self._key
+        with self._lock:
+            series[key] = series.get(key, 0.0) + value
+
+
+class BoundHistogram(_Bound):
+    """Pre-resolved histogram series."""
+
+    __slots__ = ("_buckets",)
+
+    def __init__(self, metric: "Histogram", key: LabelKey) -> None:
+        super().__init__(metric, key)
+        self._buckets = metric.buckets
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.observe_unlocked(value)
+
+    def observe_unlocked(self, value: float) -> None:
+        """:meth:`observe` for callers already holding the registry lock."""
+        state = self._series.get(self._key)
+        if state is None:
+            buckets = self._buckets
+            state = self._series[self._key] = {
+                "counts": [0] * (len(buckets) + 1),
+                "sum": 0.0,
+                "count": 0,
+            }
+        for index, bound in enumerate(self._buckets):
+            if value <= bound:
+                state["counts"][index] += 1
+                break
+        else:
+            state["counts"][-1] += 1
+        state["sum"] += value
+        state["count"] += 1
+
+
 class _Metric:
     """Shared plumbing of all labelled metric kinds."""
 
@@ -72,11 +163,17 @@ class Counter(_Metric):
 
     kind = "counter"
 
+    def labelled(self, **labels: Any) -> BoundCounter:
+        """A :class:`BoundCounter` handle for one label set."""
+        return BoundCounter(self, _label_key(labels))
+
     def inc(self, value: float = 1.0, **labels: Any) -> None:
         """Add ``value`` (must be non-negative) to a label set."""
+        self._inc_key(_label_key(labels), value)
+
+    def _inc_key(self, key: LabelKey, value: float) -> None:
         if value < 0:
             raise ValueError("counters can only increase")
-        key = _label_key(labels)
         with self._lock:
             self._series[key] = self._series.get(key, 0.0) + value
 
@@ -96,14 +193,23 @@ class Gauge(_Metric):
 
     kind = "gauge"
 
+    def labelled(self, **labels: Any) -> BoundGauge:
+        """A :class:`BoundGauge` handle for one label set."""
+        return BoundGauge(self, _label_key(labels))
+
     def set(self, value: float, **labels: Any) -> None:
         """Set a label set to ``value``."""
+        self._set_key(_label_key(labels), value)
+
+    def _set_key(self, key: LabelKey, value: float) -> None:
         with self._lock:
-            self._series[_label_key(labels)] = float(value)
+            self._series[key] = float(value)
 
     def inc(self, value: float = 1.0, **labels: Any) -> None:
         """Adjust a label set by ``value`` (may be negative)."""
-        key = _label_key(labels)
+        self._inc_key(_label_key(labels), value)
+
+    def _inc_key(self, key: LabelKey, value: float) -> None:
         with self._lock:
             self._series[key] = self._series.get(key, 0.0) + value
 
@@ -135,9 +241,15 @@ class Histogram(_Metric):
             raise ValueError("bucket bounds must be strictly ascending")
         self.buckets = bounds
 
+    def labelled(self, **labels: Any) -> BoundHistogram:
+        """A :class:`BoundHistogram` handle for one label set."""
+        return BoundHistogram(self, _label_key(labels))
+
     def observe(self, value: float, **labels: Any) -> None:
         """Record one observation into a label set."""
-        key = _label_key(labels)
+        self._observe_key(_label_key(labels), value)
+
+    def _observe_key(self, key: LabelKey, value: float) -> None:
         with self._lock:
             state = self._series.get(key)
             if state is None:
@@ -181,7 +293,10 @@ class MetricsRegistry:
     enabled = True
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        #: The registry-wide lock every metric shares.  Hot paths that
+        #: make several writes per event may hold it once and use the
+        #: ``*_unlocked`` bound-metric variants.
+        self.lock = self._lock = threading.Lock()
         self._metrics: Dict[str, _Metric] = {}
         #: How many registries' worth of data this one holds (grows by
         #: the incoming snapshot's ``sources`` on every :meth:`merge`).
@@ -310,7 +425,9 @@ class MetricsRegistry:
         snap = self.snapshot()
         with self._lock:
             for metric in self._metrics.values():
-                metric._series = {}
+                # Clear in place: bound handles (``labelled()``) alias
+                # the series dict and must survive the reset.
+                metric._series.clear()
         self.sources = 1
         return snap
 
@@ -334,6 +451,18 @@ class _NullMetric:
 
     def observe(self, value: float, **labels: Any) -> None:
         pass
+
+    def inc_unlocked(self, value: float = 1.0) -> None:
+        pass
+
+    def set_unlocked(self, value: float) -> None:
+        pass
+
+    def observe_unlocked(self, value: float) -> None:
+        pass
+
+    def labelled(self, **labels: Any) -> "_NullMetric":
+        return self
 
     def value(self, **labels: Any) -> float:
         return 0.0
@@ -363,6 +492,9 @@ class NullMetricsRegistry:
 
     enabled = False
     sources = 0
+
+    #: Shared lock so ``registry.lock`` is usable without branching.
+    lock = threading.Lock()
 
     def counter(self, name: str, help: str = "") -> Any:
         return _NULL_METRIC

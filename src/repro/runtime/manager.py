@@ -22,7 +22,11 @@ from repro.hardware.apu import APUModel
 from repro.hardware.config import FAILSAFE_CONFIG, HardwareConfig
 from repro.obs import Instrumentation, or_noop, publish_session_stats
 from repro.runtime.events import KernelLaunch, LaunchOutcome
-from repro.runtime.session import SessionRuntime, SessionStats
+from repro.runtime.session import (
+    RECENT_ERRORS_LIMIT,
+    SessionRuntime,
+    SessionStats,
+)
 from repro.sim.policy import PowerPolicy
 from repro.sim.simulator import MANAGER_CONFIG, OverheadModel
 from repro.workloads.counters import CounterSynthesizer
@@ -82,7 +86,9 @@ class SessionManager:
 
     def add_session(self, session_id: str, policy: PowerPolicy, *,
                     app_name: str = "",
-                    charge_overhead: bool = True) -> SessionRuntime:
+                    charge_overhead: bool = True,
+                    recent_errors_limit: int = RECENT_ERRORS_LIMIT,
+                    ) -> SessionRuntime:
         """Register a new session hosting ``policy``.
 
         Raises:
@@ -106,6 +112,7 @@ class SessionManager:
             app_name=app_name,
             charge_overhead=charge_overhead,
             obs=self.obs,
+            recent_errors_limit=recent_errors_limit,
         )
         self._sessions[session_id] = session
         return session

@@ -109,11 +109,13 @@ class SessionStats:
         energy_j: Total chip energy including overheads.
         last_error: Formatted ``Type: message`` of the most recent
             isolated policy fault, if any.
-        recent_errors: Ring buffer of the last
-            :data:`RECENT_ERRORS_LIMIT` isolated-fault exception reprs,
-            oldest first.
+        recent_errors: Ring buffer of the last ``recent_errors_limit``
+            isolated-fault exception reprs, oldest first.
         sources: How many sessions' worth of data this object holds
             (grows under :meth:`merge`, so aggregates keep provenance).
+        recent_errors_limit: Capacity of the error ring buffer
+            (default :data:`RECENT_ERRORS_LIMIT`; configurable per
+            session through :class:`SessionRuntime`).
     """
 
     runs: int = 0
@@ -128,20 +130,22 @@ class SessionStats:
     last_error: Optional[str] = None
     recent_errors: List[str] = field(default_factory=list)
     sources: int = 1
+    recent_errors_limit: int = RECENT_ERRORS_LIMIT
 
     def record_error(self, exc: BaseException) -> None:
         """Retain an isolated policy fault (formatted + ring buffer)."""
         self.last_error = f"{type(exc).__name__}: {exc}"
         self.recent_errors.append(repr(exc))
-        if len(self.recent_errors) > RECENT_ERRORS_LIMIT:
-            del self.recent_errors[: len(self.recent_errors) - RECENT_ERRORS_LIMIT]
+        if len(self.recent_errors) > self.recent_errors_limit:
+            del self.recent_errors[: len(self.recent_errors) - self.recent_errors_limit]
 
     def merge(self, other: "SessionStats") -> None:
         """Accumulate another session's stats (e.g. across workers).
 
         Counters and totals add; ``sources`` adds so the merged object
         reports how many sessions contributed; the error ring keeps the
-        newest :data:`RECENT_ERRORS_LIMIT` entries across both.
+        newest ``recent_errors_limit`` (this object's) entries across
+        both.
         """
         self.runs += other.runs
         self.launches += other.launches
@@ -156,7 +160,7 @@ class SessionStats:
             self.last_error = other.last_error
         self.recent_errors = (
             self.recent_errors + other.recent_errors
-        )[-RECENT_ERRORS_LIMIT:]
+        )[-self.recent_errors_limit:]
         self.sources += other.sources
 
     def as_dict(self) -> Dict[str, Any]:
@@ -189,7 +193,10 @@ class SessionStats:
             line += f" [merged from {self.sources} session(s)]"
         if self.recent_errors:
             newest_first = "; ".join(reversed(self.recent_errors))
-            line += f"; recent faults: {newest_first}"
+            line += (
+                f"; recent faults (last {self.recent_errors_limit}): "
+                f"{newest_first}"
+            )
         return line
 
 
@@ -224,9 +231,12 @@ class SessionRuntime:
             shared no-op instrumentation; when live, the runtime emits
             one ``launch`` span per processed event (stamped with the
             session's *simulated* time, never the wall clock) plus
-            lifecycle/fault metrics.  Share the same object with the
-            hosted policy so its decision annotations land on the same
-            spans.
+            lifecycle/fault metrics, and feeds each finished launch
+            span to ``obs.health`` (the model-health monitor, when
+            installed).  Share the same object with the hosted policy
+            so its decision annotations land on the same spans.
+        recent_errors_limit: Capacity of the isolated-fault ring buffer
+            retained in ``stats.recent_errors``.
     """
 
     def __init__(
@@ -244,9 +254,12 @@ class SessionRuntime:
         app_name: str = "",
         charge_overhead: bool = True,
         obs: Optional[Instrumentation] = None,
+        recent_errors_limit: int = RECENT_ERRORS_LIMIT,
     ) -> None:
         if cpu_phase_s < 0:
             raise ValueError("cpu_phase_s must be non-negative")
+        if recent_errors_limit < 1:
+            raise ValueError("recent_errors_limit must be >= 1")
         self.obs = or_noop(obs)
         self.policy = policy
         self.apu = apu if apu is not None else APUModel()
@@ -260,8 +273,27 @@ class SessionRuntime:
         self.session_id = session_id
         self.app_name = app_name
         self.charge_overhead = charge_overhead
-        self.stats = SessionStats()
+        self.stats = SessionStats(recent_errors_limit=recent_errors_limit)
         self._result: Optional[RunResult] = None
+        # Pre-bound series handles for the per-launch telemetry (the
+        # session/policy labels never change after construction); the
+        # rare paths — faults, TDP throttles, fail-safe causes — keep
+        # the plain labelled API.  No-ops under NOOP obs.
+        registry = self.obs.registry
+        self._m_runs = registry.counter(
+            "repro_runtime_runs_total", "Application invocations started"
+        ).labelled(session=session_id, policy=policy.name)
+        self._m_launches = registry.counter(
+            "repro_runtime_launches_total", "Kernel launches processed"
+        ).labelled(session=session_id, policy=policy.name)
+        self._m_kernel_seconds = registry.histogram(
+            "repro_runtime_kernel_seconds", "Per-launch kernel execution time"
+        ).labelled(session=session_id)
+        self._m_overhead_seconds = registry.histogram(
+            "repro_runtime_overhead_seconds",
+            "Per-launch optimizer overhead time",
+        ).labelled(session=session_id)
+        self._m_lock = registry.lock
 
     # ----- run lifecycle --------------------------------------------------------
 
@@ -281,9 +313,7 @@ class SessionRuntime:
             self.app_name = app_name
         self.policy.begin_run()
         self.stats.runs += 1
-        self.obs.registry.counter(
-            "repro_runtime_runs_total", "Application invocations started"
-        ).inc(session=self.session_id, policy=self.policy.name)
+        self._m_runs.inc()
         self._result = RunResult(
             app_name=self.app_name, policy_name=self.policy.name
         )
@@ -454,41 +484,48 @@ class SessionRuntime:
         self.stats.overhead_time_s += overhead_time
         self.stats.energy_j += record.energy_j + record.overhead_energy_j
 
-        span.annotate("config", str(decision.config))
-        span.annotate("horizon", decision.horizon)
-        span.annotate("model_evaluations", decision.model_evaluations)
-        span.annotate("fail_safe", decision.fail_safe)
-        span.annotate("fallback", fallback)
-        span.annotate("time_s", record.time_s)
-        span.annotate("observed_ips", record.instructions / record.time_s)
-        span.annotate(
-            "observed_power_w", record.energy_j / record.time_s
-        )
-        span.annotate("energy_j", record.energy_j)
-        span.annotate("overhead_time_s", overhead_time)
-        span.annotate("overhead_energy_j", record.overhead_energy_j)
+        if tracer.enabled:
+            # Direct writes into the span's attribute dict: eleven
+            # ``span.annotate`` calls per launch are pure call overhead
+            # on the hot path.  The null span shares one class-level
+            # dict, so the disabled path must not reach these stores.
+            attrs = span.attributes
+            attrs["config"] = str(decision.config)
+            attrs["horizon"] = decision.horizon
+            attrs["model_evaluations"] = decision.model_evaluations
+            attrs["fail_safe"] = decision.fail_safe
+            attrs["fallback"] = fallback
+            attrs["time_s"] = record.time_s
+            attrs["observed_ips"] = record.instructions / record.time_s
+            attrs["observed_power_w"] = record.energy_j / record.time_s
+            attrs["energy_j"] = record.energy_j
+            attrs["overhead_time_s"] = overhead_time
+            attrs["overhead_energy_j"] = record.overhead_energy_j
+        # The health monitor (a no-op unless installed) reads the
+        # predicted-vs-observed pairs off the finished span to update
+        # error ledgers and drift detectors; handing it the attribute
+        # dict directly skips re-parsing the payload envelope.
         tracer.end_span(span, at=self.sim_time_s)
+        self.obs.health.observe_launch(span.attributes, at=self.sim_time_s)
 
-        registry.counter(
-            "repro_runtime_launches_total", "Kernel launches processed"
-        ).inc(session=self.session_id, policy=self._result.policy_name)
-        if decision.fail_safe:
-            registry.counter(
-                "repro_runtime_fail_safe_total",
-                "Fail-safe launches, by cause (policy decision vs fault "
-                "degradation)",
-            ).inc(
-                session=self.session_id,
-                cause="fault" if fallback else "policy",
-            )
-        registry.histogram(
-            "repro_runtime_kernel_seconds", "Per-launch kernel execution time"
-        ).observe(record.time_s, session=self.session_id)
-        if overhead_time > 0.0:
-            registry.histogram(
-                "repro_runtime_overhead_seconds",
-                "Per-launch optimizer overhead time",
-            ).observe(overhead_time, session=self.session_id)
+        if registry.enabled:
+            if decision.fail_safe:
+                # Rare path; stays on the labelled API (and outside the
+                # bulk lock hold below — the registry lock is not
+                # reentrant).
+                registry.counter(
+                    "repro_runtime_fail_safe_total",
+                    "Fail-safe launches, by cause (policy decision vs fault "
+                    "degradation)",
+                ).inc(
+                    session=self.session_id,
+                    cause="fault" if fallback else "policy",
+                )
+            with self._m_lock:
+                self._m_launches.inc_unlocked()
+                self._m_kernel_seconds.observe_unlocked(record.time_s)
+                if overhead_time > 0.0:
+                    self._m_overhead_seconds.observe_unlocked(overhead_time)
 
         return LaunchOutcome(
             session_id=self.session_id,

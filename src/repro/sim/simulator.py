@@ -116,6 +116,7 @@ class Simulator:
                 session_id: str = "",
                 app_name: str = "",
                 charge_overhead: bool = True,
+                recent_errors_limit: Optional[int] = None,
                 obs: Optional["Instrumentation"] = None) -> "SessionRuntime":
         """A session runtime hosting ``policy`` on this simulator's models.
 
@@ -132,8 +133,10 @@ class Simulator:
         # Imported lazily: the runtime layer is built on this module's
         # primitives (OverheadModel, the policy/trace protocol), so a
         # module-level import here would be circular.
-        from repro.runtime.session import SessionRuntime
+        from repro.runtime.session import RECENT_ERRORS_LIMIT, SessionRuntime
 
+        if recent_errors_limit is None:
+            recent_errors_limit = RECENT_ERRORS_LIMIT
         return SessionRuntime(
             policy=policy,
             apu=self.apu,
@@ -146,6 +149,7 @@ class Simulator:
             session_id=session_id,
             app_name=app_name,
             charge_overhead=charge_overhead,
+            recent_errors_limit=recent_errors_limit,
             obs=obs,
         )
 

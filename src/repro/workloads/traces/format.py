@@ -66,8 +66,13 @@ ASSERTION_OPS = (">=", "<=", "==", "!=", ">", "<")
 
 #: Metrics coverage assertions may reference.  The first block comes
 #: from per-session :class:`~repro.runtime.session.SessionStats`; the
-#: rest are derived from outcomes or read from the replay's metrics
-#: registry.
+#: second is derived from outcomes or read from the replay's metrics
+#: registry; the ``health_*`` block reads the replay's model-health
+#: monitor (:mod:`repro.obs.health`): drift events fired, the
+#: session-local decision ordinal of the first drift (``inf`` when
+#: none — assert with ``<=``), the final state level (0 healthy /
+#: 1 degraded / 2 untrusted; worst across sessions for ``"*"``), and
+#: state-machine transitions.
 ASSERTION_METRICS = (
     "launches",
     "runs",
@@ -83,6 +88,10 @@ ASSERTION_METRICS = (
     "skip_decisions",
     "pattern_misses",
     "tdp_throttles",
+    "health_drift_events",
+    "health_first_drift_decision",
+    "health_final_state",
+    "health_transitions",
 )
 
 #: Registry-backed metrics whose counters carry no ``session`` label

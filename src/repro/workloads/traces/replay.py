@@ -150,9 +150,12 @@ class ReplayReport:
         mismatches: Human-readable float-for-float drift descriptions
             (empty on a faithful replay).
         assertion_results: Every header assertion, evaluated.
-        spans: The replay's observability spans (launch spans plus the
-            trailing ``replay`` summary span), drained and JSON-able.
+        spans: The replay's observability spans (launch spans, any
+            ``health`` transition spans, plus the trailing ``replay``
+            summary span), drained and JSON-able.
         registry: The live metrics registry of the replay.
+        health: The replay's :class:`~repro.obs.health.HealthMonitor`
+            (error ledgers, drift events, per-session health states).
     """
 
     trace: Trace
@@ -163,6 +166,7 @@ class ReplayReport:
     assertion_results: List[AssertionResult] = field(default_factory=list)
     spans: List[Dict[str, Any]] = field(default_factory=list)
     registry: Any = None
+    health: Any = None
 
     @property
     def passed(self) -> bool:
@@ -183,6 +187,18 @@ class ReplayReport:
         """One coverage metric of this replay (see ASSERTION_METRICS)."""
         if name == "sessions":
             return float(len(self.stats))
+        if name == "health_drift_events":
+            return float(self.health.drift_events(session)) if self.health else 0.0
+        if name == "health_first_drift_decision":
+            if self.health is None:
+                return float("inf")
+            return self.health.first_drift_decision(session)
+        if name == "health_final_state":
+            return float(self.health.final_state(session)) if self.health else 0.0
+        if name == "health_transitions":
+            if self.health is None:
+                return 0.0
+            return float(self.health.transitions_count(session))
         if name == "distinct_configs":
             return float(
                 len(
@@ -269,8 +285,9 @@ class TraceReplayer:
         self.check = check
         self.cache_dir = cache_dir
         # Replays always run instrumented: coverage assertions read the
-        # registry, and instrumentation never affects numerics.
-        self.obs = make_instrumentation()
+        # registry (and the model-health monitor, for the health_*
+        # metrics), and instrumentation never affects numerics.
+        self.obs = make_instrumentation(health=True)
 
     def _build_manager(self) -> SessionManager:
         manager = SessionManager(
@@ -348,7 +365,11 @@ class TraceReplayer:
     def replay(self) -> ReplayReport:
         """Run the whole trace; returns the full report."""
         manager = self._build_manager()
-        report = ReplayReport(trace=self.trace, registry=self.obs.registry)
+        report = ReplayReport(
+            trace=self.trace,
+            registry=self.obs.registry,
+            health=self.obs.health,
+        )
 
         def consume(position: int, event: TraceEvent,
                     outcome: LaunchOutcome) -> None:

@@ -208,6 +208,11 @@ class ScenarioGenerator:
                 CoverageAssertion("mpc_decisions", ">=", 1.0),
                 CoverageAssertion("fail_safe_total", ">=", 1.0, session=session),
                 CoverageAssertion("distinct_configs", ">=", 2.0),
+                # The fail-safe fully contains the shift: the model
+                # never drifts on trusted samples, so the health
+                # monitor must hold HEALTHY with zero drift events.
+                CoverageAssertion("health_drift_events", "==", 0.0, session=session),
+                CoverageAssertion("health_final_state", "==", 0.0, session=session),
             ),
         )
         return Trace(
@@ -224,11 +229,18 @@ class ScenarioGenerator:
             for i in range(8)
         ]
         # The second invocation launches 12 kernels against an 8-launch
-        # profile: every overflow launch must degrade to PPK.
-        storm = [
-            base.with_input(101 + i, work_scale=rng.uniform(0.2, 5.0))
-            for i in range(12)
-        ]
+        # profile: every overflow launch must degrade to PPK.  The
+        # first six are a deterministic flood block of maximum-size
+        # inputs: elapsed time outruns the (1 + alpha) profiled
+        # baseline budget (AdaptiveHorizonGenerator), so the fail-safe
+        # skip cascade (budget collapse) fires at every seed instead
+        # of only the lucky ones.
+        storm = []
+        for i in range(12):
+            scale = rng.uniform(0.2, 5.0)
+            if i < 6:
+                scale = 5.0
+            storm.append(base.with_input(101 + i, work_scale=scale))
         target = _turbo_target(profile, session)
         header = TraceHeader(
             name="input-storm",
@@ -247,6 +259,13 @@ class ScenarioGenerator:
                 # 8 profiling decisions + >= 4 beyond-profile fallbacks.
                 CoverageAssertion("ppk_decisions", ">=", 12.0),
                 CoverageAssertion("mpc_decisions", ">=", 1.0),
+                # The storm collapses the overhead budget into a run of
+                # fail-safe skips; the budget-collapse detector must
+                # flag drift within 12 decisions (K, docs/TRACES.md).
+                CoverageAssertion("health_drift_events", ">=", 1.0, session=session),
+                CoverageAssertion(
+                    "health_first_drift_decision", "<=", 12.0, session=session
+                ),
             ),
         )
         return Trace(header=header, events=tuple(_events(session, profile, storm)))
@@ -297,6 +316,14 @@ class ScenarioGenerator:
                 CoverageAssertion("runs", "==", 2.0),
                 CoverageAssertion("fail_safe_total", ">=", 1.0, session=session),
                 CoverageAssertion("distinct_configs", ">=", 2.0),
+                # The cascade must trip the health state machine off
+                # HEALTHY within 15 decisions (K, docs/TRACES.md) with
+                # at least one drift event.
+                CoverageAssertion("health_drift_events", ">=", 1.0, session=session),
+                CoverageAssertion(
+                    "health_first_drift_decision", "<=", 15.0, session=session
+                ),
+                CoverageAssertion("health_final_state", ">=", 1.0, session=session),
             ),
         )
         return Trace(header=header, events=tuple(_events(session, profile, drifted)))

@@ -77,6 +77,61 @@ class TestObsCommands:
         assert "missing required key 'config'" in out
         assert "1 invalid spans" in out
 
+    def _skip_span(self, index):
+        return self._span(
+            session="s", index=index, mode="skip", fail_safe=True,
+            budget_exhausted=True,
+        )
+
+    def test_health_report_and_drift_gates(self, tmp_path, capsys):
+        # Three consecutive exhausted-budget fail-safe skips are one
+        # budget-collapse drift event (skip_cascade default).
+        path = self._trace(
+            tmp_path, [self._skip_span(i) for i in (1, 2, 3)]
+        )
+        assert main(["obs", "health", path]) == 0
+        out = capsys.readouterr().out
+        assert "model health: 1 session(s)" in out
+        assert "DEGRADED" in out and "budget-collapse" in out
+        assert main(["obs", "health", path, "--min-drift", "1"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "health", path, "--max-drift", "0"]) == 1
+        assert "> allowed 0" in capsys.readouterr().err
+
+    def test_health_min_drift_failure_exits_nonzero(self, tmp_path, capsys):
+        path = self._trace(tmp_path, [self._span(session="s", mode="mpc")])
+        assert main(["obs", "health", path, "--min-drift", "1"]) == 1
+        captured = capsys.readouterr()
+        assert "0 drift event(s) < required 1" in captured.err
+        assert "HEALTHY" in captured.out
+
+    def test_health_json_report(self, tmp_path, capsys):
+        import json
+
+        path = self._trace(tmp_path, [self._skip_span(i) for i in (1, 2, 3)])
+        assert main(["obs", "health", path, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        session = report["sessions"]["s"]
+        assert session["state"] == "DEGRADED"
+        assert session["drift_events"] == 1
+        assert session["first_drift_decision"] == 3
+
+    def test_offline_health_matches_live_monitor(self, tmp_path, capsys):
+        # `repro run --health --trace-out` then `repro obs health` on
+        # the written trace: identical deterministic computation.
+        import json
+
+        trace = str(tmp_path / "t.jsonl")
+        assert main(["run", "kmeans", "--policy", "turbo", "--health",
+                     "--trace-out", trace]) == 0
+        live = capsys.readouterr().out
+        assert "model health" in live
+        assert main(["obs", "health", trace, "--json"]) == 0
+        offline = json.loads(capsys.readouterr().out)
+        (session,) = offline["sessions"].values()
+        assert session["state"] == "HEALTHY"
+        assert session["drift_events"] == 0
+
 
 class TestRunWithTracing:
     def test_run_writes_trace_and_metrics(self, tmp_path, capsys):

@@ -114,6 +114,75 @@ class TestPrometheusText:
         assert "c_total 1" in open(path, encoding="utf-8").read()
 
 
+class TestPrometheusFormatLock:
+    """The ``promtool check metrics`` exposition contract, pinned.
+
+    Every family gets exactly one ``# HELP``/``# TYPE`` pair with HELP
+    first, histograms always close with a cumulative ``+Inf`` bucket
+    equal to ``_count``, and help text is escaped — so the output can
+    be scraped verbatim.
+    """
+
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "counter help").inc(mode="a")
+        registry.counter("c_total", "counter help").inc(mode="b")
+        registry.gauge("g")  # no help: HELP must fall back to the name
+        hist = registry.histogram("h_seconds", "hist help", buckets=(1.0,))
+        hist.observe(0.5, op="x")
+        hist.observe(9.0, op="x")
+        return registry
+
+    def test_one_help_and_type_per_family_help_first(self):
+        lines = prometheus_text(self._registry()).splitlines()
+        for family in ("c_total", "g", "h_seconds"):
+            help_lines = [i for i, l in enumerate(lines)
+                          if l.startswith(f"# HELP {family} ")]
+            type_lines = [i for i, l in enumerate(lines)
+                          if l.startswith(f"# TYPE {family} ")]
+            assert len(help_lines) == len(type_lines) == 1
+            assert help_lines[0] + 1 == type_lines[0]
+
+    def test_help_falls_back_to_metric_name(self):
+        assert "# HELP g g" in prometheus_text(self._registry())
+
+    def test_inf_bucket_equals_count(self):
+        text = prometheus_text(self._registry())
+        assert 'h_seconds_bucket{op="x",le="+Inf"} 2' in text
+        assert 'h_seconds_count{op="x"} 2' in text
+
+    def test_help_newlines_and_backslashes_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "line one\nline \\two").inc()
+        text = prometheus_text(registry)
+        assert "# HELP c_total line one\\nline \\\\two" in text
+
+    def test_duplicate_family_in_snapshot_rejected(self):
+        snapshot = MetricsRegistry().snapshot()
+        entry = {"name": "dup_total", "kind": "counter",
+                 "help": "", "series": []}
+        snapshot["metrics"] = [entry, dict(entry)]
+        with pytest.raises(ValueError, match="duplicate metric family"):
+            prometheus_text(snapshot)
+
+    def test_health_families_export_cleanly(self):
+        from repro.obs.health import HealthMonitor
+
+        registry = MetricsRegistry()
+        monitor = HealthMonitor(registry)
+        monitor.observe_launch({
+            "session": "s", "index": 0, "kernel": "k", "mode": "mpc",
+            "fail_safe": False, "fallback": False,
+            "predicted_ips": 110.0, "observed_ips": 100.0,
+            "predicted_power_w": 50.0, "observed_power_w": 50.0,
+        })
+        text = prometheus_text(registry)
+        assert "# TYPE repro_health_rel_error histogram" in text
+        assert ('repro_health_rel_error_bucket{kernel="k",quantity="ips",'
+                'session="s",le="+Inf"} 1') in text
+        assert "# HELP repro_health_state " in text
+
+
 class TestSummarize:
     def test_overhead_fraction_and_vs_turbo(self):
         spans = (

@@ -163,6 +163,39 @@ class TestFaultRingBuffer:
             ValueError(f"e{RECENT_ERRORS_LIMIT + 4}")
         )
 
+    def test_ring_buffer_limit_is_configurable(self):
+        stats = SessionStats(recent_errors_limit=3)
+        for i in range(10):
+            stats.record_error(ValueError(f"e{i}"))
+        assert stats.recent_errors == [
+            repr(ValueError(f"e{i}")) for i in (7, 8, 9)
+        ]
+        assert "recent faults (last 3)" in stats.format()
+
+    def test_merge_respects_target_limit(self):
+        a = SessionStats(recent_errors_limit=2)
+        b = SessionStats()
+        for i in range(5):
+            b.record_error(ValueError(f"e{i}"))
+        a.merge(b)
+        assert a.recent_errors == [
+            repr(ValueError("e3")), repr(ValueError("e4"))
+        ]
+
+    def test_session_runtime_forwards_limit(self, sim, obs):
+        policy = _RaisingObserver(FAILSAFE_CONFIG)
+        session = sim.session(
+            policy, isolate_faults=True, obs=obs, recent_errors_limit=2
+        )
+        session.run(APP)
+        assert session.stats.recent_errors_limit == 2
+        assert len(session.stats.recent_errors) == 2
+        assert "recent faults (last 2)" in session.stats.format()
+
+    def test_session_runtime_rejects_non_positive_limit(self, sim):
+        with pytest.raises(ValueError):
+            sim.session(TurboCorePolicy(), recent_errors_limit=0)
+
 
 class TestStatsProvenance:
     def test_session_stats_merge_tracks_sources(self):

@@ -56,6 +56,16 @@ class TestRegistry:
         with pytest.raises(KeyError, match="registered: a"):
             manager.session("b")
 
+    def test_recent_errors_limit_forwarded(self, manager):
+        session = manager.add_session(
+            "a", FixedConfigPolicy(FAILSAFE_CONFIG), recent_errors_limit=3
+        )
+        assert session.stats.recent_errors_limit == 3
+        with pytest.raises(ValueError):
+            manager.add_session(
+                "b", FixedConfigPolicy(FAILSAFE_CONFIG), recent_errors_limit=0
+            )
+
     def test_remove_session(self, manager):
         manager.add_session("a", FixedConfigPolicy(FAILSAFE_CONFIG))
         removed = manager.remove_session("a")

@@ -44,6 +44,13 @@ class TestParser:
         assert args.command == "bench"
         assert args.bench_command == "decide"
         assert args.quick and args.output == "b.json" and args.label == "x"
+        assert args.max_health_overhead is None
+
+    def test_bench_decide_health_budget_flag(self):
+        args = build_parser().parse_args(
+            ["bench", "decide", "--max-health-overhead", "5"]
+        )
+        assert args.max_health_overhead == 5.0
 
     def test_bench_requires_subcommand(self):
         with pytest.raises(SystemExit):

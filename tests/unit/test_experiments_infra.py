@@ -128,3 +128,27 @@ class TestBenchDecide:
         }
         text = format_entry(entry)
         assert "rf" in text and "4.00x" in text
+
+    def test_format_entry_renders_health_overhead_budget(self):
+        from repro.experiments.bench_decide import format_entry
+
+        entry = {
+            "label": "full", "benchmark": "kmeans", "cases": 2,
+            "backends": {
+                "rf": {
+                    "scalar_decisions_per_s": 10.0,
+                    "matrix_decisions_per_s": 40.0, "speedup": 4.0,
+                },
+            },
+            "health_overhead": {
+                "sessions": 64,
+                "noop_decisions_per_s": 400.0,
+                "health_decisions_per_s": 390.0,
+                "overhead_pct": 2.5,
+                "budget_pct": 5.0,
+            },
+        }
+        text = format_entry(entry)
+        assert "health" in text
+        assert "+2.50% overhead" in text
+        assert "budget 5%" in text
