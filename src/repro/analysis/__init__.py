@@ -4,9 +4,14 @@
 runtime, and obs layers rely on but cannot enforce at runtime:
 simulated-time discipline (RL001), seeded randomness (RL002),
 cache-fingerprint and serializer coverage (RL003), process-pool pickle
-safety (RL004), observability purity (RL005), and mutable-default
-hygiene (RL006).  See ``docs/ANALYSIS.md`` for the full catalogue,
-the suppression syntax, and how to add a rule.
+safety (RL004), observability purity (RL005), mutable-default
+hygiene (RL006), columnar/scalar parity (RL007), trace-schema
+coverage (RL008), and — via the flow-sensitive tier
+(:mod:`repro.analysis.flow`: per-function CFGs plus dataflow
+fixpoints) — lock discipline (RL009), shared-memory lifecycle
+(RL010), memo staleness (RL011), and unguarded shared-state mutation
+(RL012).  See ``docs/ANALYSIS.md`` for the full catalogue, the
+suppression and annotation syntax, and how to add a rule.
 
 Public API::
 
@@ -17,6 +22,7 @@ Public API::
     raise SystemExit(result.exit_code)
 """
 
+from repro.analysis.baseline import BASELINE_SCHEMA, Baseline
 from repro.analysis.engine import (
     LintResult,
     PARSE_ERROR_ID,
@@ -30,10 +36,13 @@ from repro.analysis.reporters import (
     parse_json,
     render_catalogue,
     render_json,
+    render_stats,
     render_text,
 )
 
 __all__ = [
+    "BASELINE_SCHEMA",
+    "Baseline",
     "Finding",
     "LintResult",
     "PARSE_ERROR_ID",
@@ -46,6 +55,7 @@ __all__ = [
     "parse_json",
     "render_catalogue",
     "render_json",
+    "render_stats",
     "render_text",
     "rule",
     "run_lint",

@@ -1,0 +1,124 @@
+"""JSON finding baselines: adopt new rules without a flag-day.
+
+Turning on a new rule over a mature tree usually surfaces a backlog
+of pre-existing findings.  A baseline file lets CI enforce "no *new*
+findings" while the backlog is paid down: ``repro lint
+--write-baseline lint-baseline.json`` snapshots today's findings, and
+``repro lint --baseline lint-baseline.json`` silences exactly those —
+anything not in the file still fails the run.
+
+Entries are keyed by ``(path, rule_id, message)`` with a count, not by
+line number, so unrelated edits that shift code downward do not
+invalidate the baseline; a *new* finding with the same shape in the
+same file only slips through while the old one also persists (counts
+are consumed one finding per entry).  Baselined findings are reported
+in the summary (``N baselined``) so a stale file is visible, and an
+entry that no longer matches anything is simply unused — prune by
+re-writing the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = ["BASELINE_SCHEMA", "Baseline"]
+
+#: Bump when the baseline file layout changes.
+BASELINE_SCHEMA = 1
+
+#: (path, rule_id, message) — deliberately line-number free.
+_Key = Tuple[str, str, str]
+
+
+@dataclass
+class Baseline:
+    """A multiset of accepted findings, keyed by (path, rule, message)."""
+
+    entries: Dict[_Key, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Snapshot a finding list into a baseline."""
+        entries: Dict[_Key, int] = {}
+        for finding in findings:
+            key = (finding.path, finding.rule_id, finding.message)
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries=entries)
+
+    @classmethod
+    def parse(cls, text: str) -> "Baseline":
+        """Rebuild a baseline from :meth:`render` output.
+
+        Raises:
+            ValueError: On an unknown schema or malformed entries, so a
+                truncated or hand-mangled file fails the run instead of
+                silently accepting nothing.
+        """
+        payload = json.loads(text)
+        if payload.get("schema") != BASELINE_SCHEMA:
+            raise ValueError(
+                f"unsupported baseline schema: {payload.get('schema')!r}"
+            )
+        entries: Dict[_Key, int] = {}
+        for entry in payload["entries"]:
+            key = (
+                str(entry["path"]),
+                str(entry["rule"]),
+                str(entry["message"]),
+            )
+            count = int(entry["count"])
+            if count < 1:
+                raise ValueError(f"baseline entry has count {count}: {key!r}")
+            entries[key] = entries.get(key, 0) + count
+        return cls(entries=entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read and parse a baseline file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.parse(handle.read())
+
+    def render(self) -> str:
+        """Stable JSON form (sorted, one entry per distinct finding)."""
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "tool": "repro-lint-baseline",
+            "entries": [
+                {
+                    "path": path,
+                    "rule": rule_id,
+                    "message": message,
+                    "count": count,
+                }
+                for (path, rule_id, message), count in sorted(
+                    self.entries.items()
+                )
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def apply(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], int]:
+        """Split findings into (kept, baselined-count).
+
+        Each baseline entry absorbs at most ``count`` matching
+        findings; the surplus — a *new* instance of an old shape —
+        stays in the kept list and fails the run.
+        """
+        budget = dict(self.entries)
+        kept: List[Finding] = []
+        baselined = 0
+        for finding in findings:
+            key = (finding.path, finding.rule_id, finding.message)
+            remaining = budget.get(key, 0)
+            if remaining > 0:
+                budget[key] = remaining - 1
+                baselined += 1
+            else:
+                kept.append(finding)
+        return kept, baselined

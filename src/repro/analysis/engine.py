@@ -15,9 +15,11 @@ findings in the rest of the tree.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.baseline import Baseline
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.index import ModuleInfo, ProjectIndex, build_module
 from repro.analysis.registry import Rule, resolve_selection
@@ -50,12 +52,19 @@ class LintResult:
         files_checked: Number of files parsed (or attempted).
         rules_run: Ids of the rules that executed.
         suppressed: Count of findings silenced by directives.
+        baselined: Count of findings absorbed by the ``--baseline``
+            file (zero when no baseline was given).
+        timings: Wall-clock seconds per rule id (``--stats``).
+            Excluded from equality and from the JSON report — timing
+            jitter must not break report round-trips.
     """
 
     findings: List[Finding] = field(default_factory=list)
     files_checked: int = 0
     rules_run: Tuple[str, ...] = ()
     suppressed: int = 0
+    baselined: int = 0
+    timings: Dict[str, float] = field(default_factory=dict, compare=False)
 
     @property
     def errors(self) -> int:
@@ -122,15 +131,18 @@ def _parse_all(
 
 def _run_rules(
     rules: Sequence[Rule], modules: Sequence[ModuleInfo], index: ProjectIndex
-) -> List[Finding]:
+) -> Tuple[List[Finding], Dict[str, float]]:
     findings: List[Finding] = []
+    timings: Dict[str, float] = {}
     for rule in rules:
+        start = time.perf_counter()
         if rule.module_check is not None:
             for module in modules:
                 findings.extend(rule.module_check(module, index))
         if rule.project_check is not None:
             findings.extend(rule.project_check(index))
-    return findings
+        timings[rule.id] = time.perf_counter() - start
+    return findings, timings
 
 
 def _apply_suppressions(
@@ -153,6 +165,7 @@ def run_lint(
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
     root: Optional[str] = None,
+    baseline: Optional[Baseline] = None,
 ) -> LintResult:
     """Lint a set of paths with the selected rules.
 
@@ -162,6 +175,8 @@ def run_lint(
         ignore: Rule ids to skip.
         root: Base directory for path scoping; defaults to the current
             working directory (paths outside it keep their given form).
+        baseline: Accepted pre-existing findings to absorb (applied
+            after suppressions, before sorting).
 
     Returns:
         The sorted, suppression-filtered :class:`LintResult`.
@@ -170,12 +185,18 @@ def run_lint(
     files = discover_files(paths)
     modules, findings = _parse_all(files, root)
     index = ProjectIndex.build(modules)
-    findings.extend(_run_rules(rules, modules, index))
+    rule_findings, timings = _run_rules(rules, modules, index)
+    findings.extend(rule_findings)
     kept, suppressed = _apply_suppressions(findings, modules)
+    baselined = 0
+    if baseline is not None:
+        kept, baselined = baseline.apply(kept)
     kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
     return LintResult(
         findings=kept,
         files_checked=len(files),
         rules_run=tuple(rule.id for rule in rules),
         suppressed=suppressed,
+        baselined=baselined,
+        timings=timings,
     )

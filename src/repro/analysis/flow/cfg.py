@@ -1,0 +1,445 @@
+"""Intraprocedural control-flow graphs for the flow-sensitive rules.
+
+One :class:`CFG` models one function body as *atoms* — single transfer
+units a dataflow analysis steps over — connected by normal and
+exceptional edges.  The builder understands the control constructs the
+flow rules care about:
+
+* branches (``if``/``elif``/``else``, ``match``),
+* loops (``for``/``while`` with ``break``/``continue``/``else`` and
+  back-edges, so fixpoint iteration sees loop bodies repeatedly),
+* ``with`` frames (explicit ``with-enter``/``with-exit`` atoms on every
+  way out of the frame — fall-through, ``return``, ``break``,
+  ``continue``, *and* the exceptional unwind — which is what makes
+  lock-held tracking sound),
+* ``try``/``except``/``else``/``finally`` (``finally`` bodies are
+  duplicated per continuation, the classic linearization: the normal,
+  exceptional, ``return``, ``break`` and ``continue`` paths each flow
+  through their own copy), and
+* early exits (``return``/``raise`` route through pending ``finally``
+  blocks and ``with`` exits to the function exit nodes).
+
+Exceptional edges are emitted from every atom that *may raise* — any
+atom containing a call, plus ``raise``/``assert`` and the implicit
+calls of ``with`` enters and ``for`` iteration.  They lead to the
+innermost handler (or ``finally``) and ultimately to
+:attr:`CFG.raise_exit`, so "does this resource reach its release on
+*all* paths" questions see the path where the statement between
+acquire and release blew up.
+
+The graph is deliberately intraprocedural and syntactic: no types, no
+aliasing beyond what the rules layer on top.  Nested ``def``/``class``
+bodies are opaque single atoms (they execute when *called*, not here);
+each nested function gets its own CFG.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["Atom", "Block", "CFG", "build_cfg", "calls_in", "FunctionNode"]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Statement kinds that never get their own control structure.
+_SIMPLE_STMTS = (
+    ast.Assign, ast.AnnAssign, ast.AugAssign, ast.Expr, ast.Delete,
+    ast.Pass, ast.Import, ast.ImportFrom, ast.Global, ast.Nonlocal,
+    ast.Assert, ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+)
+
+#: Subtree roots never descended into when scanning for calls: their
+#: bodies run when invoked, not at the program point being analyzed.
+_OPAQUE = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One dataflow transfer unit.
+
+    Attributes:
+        kind: ``"stmt"`` (a simple statement), ``"test"`` (a branch or
+            loop condition / ``for`` iterable expression),
+            ``"with-enter"`` / ``"with-exit"`` (one ``withitem`` each),
+            ``"for-bind"`` (the per-iteration target binding of a
+            ``for``), or ``"except"`` (an ``ExceptHandler`` entry).
+        node: The AST node the atom covers.
+    """
+
+    kind: str
+    node: ast.AST
+
+    def _positioned(self) -> ast.AST:
+        # A ``withitem`` carries no position of its own; report its
+        # context expression instead.
+        if isinstance(self.node, ast.withitem):
+            return self.node.context_expr
+        return self.node
+
+    @property
+    def line(self) -> int:
+        return getattr(self._positioned(), "lineno", 0)
+
+    @property
+    def col(self) -> int:
+        return getattr(self._positioned(), "col_offset", 0)
+
+
+@dataclass
+class Block:
+    """One CFG node holding at most one atom.
+
+    Attributes:
+        id: Dense integer id, unique within the CFG.
+        atom: The transfer unit, or ``None`` for join/entry/exit nodes.
+        succ: Normal-flow successor block ids.
+        exc_succ: Exceptional successor block ids (taken when the atom
+            raises; the analysis's ``transfer_exc`` produces the state
+            that flows along them).
+    """
+
+    id: int
+    atom: Optional[Atom] = None
+    succ: List[int] = field(default_factory=list)
+    exc_succ: List[int] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """The control-flow graph of one function.
+
+    Attributes:
+        func: The function definition the graph models.
+        blocks: Every block, keyed by id.
+        entry: Entry block (no atom); analysis starts here.
+        exit: Normal-return exit block (implicit and explicit returns).
+        raise_exit: Exit reached by exceptions that escape the function.
+    """
+
+    func: FunctionNode
+    blocks: Dict[int, Block] = field(default_factory=dict)
+    entry: int = 0
+    exit: int = 0
+    raise_exit: int = 0
+
+    def atoms(self) -> Iterator[Tuple[Block, Atom]]:
+        """Every (block, atom) pair, in block-id order."""
+        for block_id in sorted(self.blocks):
+            block = self.blocks[block_id]
+            if block.atom is not None:
+                yield block, block.atom
+
+
+def calls_in(node: ast.AST) -> Iterator[ast.Call]:
+    """Every call executed *at* this program point.
+
+    Nested function/class/lambda bodies are pruned — their calls run
+    when the nested object is invoked, not when it is defined.
+    """
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        if current is not node and isinstance(current, _OPAQUE):
+            continue
+        if isinstance(current, ast.Call):
+            yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _may_raise(atom: Atom) -> bool:
+    """Whether the atom can transfer control to a handler."""
+    if atom.kind in ("with-enter", "with-exit", "for-bind", "except"):
+        return True
+    node = atom.node
+    if isinstance(node, (ast.Raise, ast.Assert)):
+        return True
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        # Only the decorators/bases evaluate here.
+        return any(
+            next(calls_in(dec), None) is not None
+            for dec in getattr(node, "decorator_list", [])
+        )
+    return next(calls_in(node), None) is not None
+
+
+@dataclass(frozen=True)
+class _Ctx:
+    """Where the non-local exits of the current region lead."""
+
+    exc: int
+    ret: int
+    brk: Optional[int] = None
+    cont: Optional[int] = None
+
+
+def _is_const_true(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value) is True
+
+
+def _catches_everything(handlers: Sequence[ast.ExceptHandler]) -> bool:
+    for handler in handlers:
+        if handler.type is None:
+            return True
+        names = []
+        node: ast.AST = handler.type
+        if isinstance(node, ast.Tuple):
+            names = [_tail_name(e) for e in node.elts]
+        else:
+            names = [_tail_name(node)]
+        if any(name in ("Exception", "BaseException") for name in names):
+            return True
+    return False
+
+
+def _tail_name(node: ast.AST) -> str:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+class _Builder:
+    def __init__(self, func: FunctionNode) -> None:
+        self.cfg = CFG(func=func)
+        self._next_id = 0
+        self.cfg.entry = self._block()
+        self.cfg.exit = self._block()
+        self.cfg.raise_exit = self._block()
+
+    # ----- graph primitives ------------------------------------------------------
+
+    def _block(self, atom: Optional[Atom] = None) -> int:
+        block = Block(id=self._next_id, atom=atom)
+        self._next_id += 1
+        self.cfg.blocks[block.id] = block
+        return block.id
+
+    def _edge(self, a: Optional[int], b: Optional[int]) -> None:
+        if a is None or b is None:
+            return
+        block = self.cfg.blocks[a]
+        if b not in block.succ:
+            block.succ.append(b)
+
+    def _exc_edge(self, a: int, b: int) -> None:
+        block = self.cfg.blocks[a]
+        if b not in block.exc_succ:
+            block.exc_succ.append(b)
+
+    def _atom_block(self, atom: Atom, pred: Optional[int], ctx: _Ctx) -> int:
+        block_id = self._block(atom)
+        self._edge(pred, block_id)
+        if _may_raise(atom):
+            self._exc_edge(block_id, ctx.exc)
+        return block_id
+
+    # ----- statement lowering ----------------------------------------------------
+
+    def build(self) -> CFG:
+        ctx = _Ctx(exc=self.cfg.raise_exit, ret=self.cfg.exit)
+        end = self._stmts(self.cfg.func.body, self.cfg.entry, ctx)
+        self._edge(end, self.cfg.exit)  # implicit `return None`
+        return self.cfg
+
+    def _stmts(
+        self, body: Sequence[ast.stmt], pred: Optional[int], ctx: _Ctx
+    ) -> Optional[int]:
+        """Lower a statement list; returns the fall-through block or
+        ``None`` when every path left the region early."""
+        current = pred
+        for stmt in body:
+            if current is None:
+                break  # unreachable tail
+            current = self._stmt(stmt, current, ctx)
+        return current
+
+    def _stmt(self, stmt: ast.stmt, pred: int, ctx: _Ctx) -> Optional[int]:
+        if isinstance(stmt, _SIMPLE_STMTS):
+            return self._atom_block(Atom("stmt", stmt), pred, ctx)
+        if isinstance(stmt, ast.Return):
+            block = self._atom_block(Atom("stmt", stmt), pred, ctx)
+            self._edge(block, ctx.ret)
+            return None
+        if isinstance(stmt, ast.Raise):
+            block_id = self._block(Atom("stmt", stmt))
+            self._edge(pred, block_id)
+            self._exc_edge(block_id, ctx.exc)
+            return None
+        if isinstance(stmt, ast.Break):
+            self._edge(pred, ctx.brk)
+            return None
+        if isinstance(stmt, ast.Continue):
+            self._edge(pred, ctx.cont)
+            return None
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, pred, ctx)
+        if isinstance(stmt, ast.While):
+            return self._while(stmt, pred, ctx)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, pred, ctx)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, pred, ctx)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, pred, ctx)
+        if _TRY_STAR is not None and isinstance(stmt, _TRY_STAR):
+            return self._try(stmt, pred, ctx)
+        if _MATCH is not None and isinstance(stmt, _MATCH):
+            return self._match(stmt, pred, ctx)
+        # Unknown statement kinds degrade to an opaque atom.
+        return self._atom_block(Atom("stmt", stmt), pred, ctx)
+
+    def _if(self, stmt: ast.If, pred: int, ctx: _Ctx) -> Optional[int]:
+        test = self._atom_block(Atom("test", stmt.test), pred, ctx)
+        after = self._block()
+        then_end = self._stmts(stmt.body, test, ctx)
+        self._edge(then_end, after)
+        if stmt.orelse:
+            else_end = self._stmts(stmt.orelse, test, ctx)
+            self._edge(else_end, after)
+            if then_end is None and else_end is None:
+                return None
+        else:
+            self._edge(test, after)
+        return after
+
+    def _while(self, stmt: ast.While, pred: int, ctx: _Ctx) -> Optional[int]:
+        head = self._atom_block(Atom("test", stmt.test), pred, ctx)
+        after = self._block()
+        body_ctx = replace(ctx, brk=after, cont=head)
+        body_end = self._stmts(stmt.body, head, body_ctx)
+        self._edge(body_end, head)  # back-edge
+        if not _is_const_true(stmt.test):
+            if stmt.orelse:
+                else_end = self._stmts(stmt.orelse, head, ctx)
+                self._edge(else_end, after)
+            else:
+                self._edge(head, after)
+        return after
+
+    def _for(
+        self, stmt: Union[ast.For, ast.AsyncFor], pred: int, ctx: _Ctx
+    ) -> Optional[int]:
+        iterable = self._atom_block(Atom("test", stmt.iter), pred, ctx)
+        head = self._atom_block(Atom("for-bind", stmt), iterable, ctx)
+        after = self._block()
+        body_ctx = replace(ctx, brk=after, cont=head)
+        body_end = self._stmts(stmt.body, head, body_ctx)
+        self._edge(body_end, head)  # back-edge
+        if stmt.orelse:
+            else_end = self._stmts(stmt.orelse, head, ctx)
+            self._edge(else_end, after)
+        else:
+            self._edge(head, after)
+        return after
+
+    def _with(
+        self, stmt: Union[ast.With, ast.AsyncWith], pred: int, ctx: _Ctx
+    ) -> Optional[int]:
+        current = pred
+        # Acquire items left to right; each acquired item wraps every
+        # way out of the remaining region in its own exit atom.
+        inner = ctx
+        items_entered: List[ast.withitem] = []
+        for item in stmt.items:
+            current = self._atom_block(Atom("with-enter", item), current, inner)
+            items_entered.append(item)
+            inner = _Ctx(
+                exc=self._exit_chain([item], inner.exc),
+                ret=self._exit_chain([item], inner.ret),
+                brk=self._exit_chain([item], inner.brk),
+                cont=self._exit_chain([item], inner.cont),
+            )
+        body_end = self._stmts(stmt.body, current, inner)
+        if body_end is None:
+            return None
+        after = self._block()
+        chain = self._exit_chain(list(reversed(items_entered)), after)
+        self._edge(body_end, chain)
+        return after
+
+    def _exit_chain(
+        self, items: Sequence[ast.withitem], target: Optional[int]
+    ) -> Optional[int]:
+        """A chain of ``with-exit`` atoms ending at ``target``."""
+        if target is None:
+            return None
+        for item in reversed(items):
+            block_id = self._block(Atom("with-exit", item))
+            self._edge(block_id, target)
+            target = block_id
+        return target
+
+    def _try(self, stmt: ast.Try, pred: int, ctx: _Ctx) -> Optional[int]:
+        after = self._block()
+        final_ctx = ctx
+
+        def wrap(target: Optional[int]) -> Optional[int]:
+            """Route a continuation through a fresh ``finally`` copy."""
+            if target is None or not stmt.finalbody:
+                return target
+            entry = self._block()
+            end = self._stmts(stmt.finalbody, entry, final_ctx)
+            self._edge(end, target)
+            return entry
+
+        exc_w = wrap(ctx.exc)
+        assert exc_w is not None  # ctx.exc is never None
+        ret_w = wrap(ctx.ret)
+        assert ret_w is not None  # ctx.ret is never None
+        brk_w = wrap(ctx.brk)
+        cont_w = wrap(ctx.cont)
+        after_w = wrap(after)
+
+        if stmt.handlers:
+            dispatch = self._block()
+            body_exc: int = dispatch
+        else:
+            body_exc = exc_w
+        body_ctx = _Ctx(exc=body_exc, ret=ret_w, brk=brk_w, cont=cont_w)
+        body_end = self._stmts(stmt.body, pred, body_ctx)
+        if stmt.orelse:
+            # ``else`` runs after a clean body; its exceptions bypass
+            # the handlers.
+            else_ctx = _Ctx(exc=exc_w, ret=ret_w, brk=brk_w, cont=cont_w)
+            body_end = self._stmts(stmt.orelse, body_end, else_ctx)
+        self._edge(body_end, after_w)
+
+        any_live = body_end is not None
+        if stmt.handlers:
+            handler_ctx = _Ctx(exc=exc_w, ret=ret_w, brk=brk_w, cont=cont_w)
+            for handler in stmt.handlers:
+                entry = self._atom_block(
+                    Atom("except", handler), dispatch, handler_ctx
+                )
+                handler_end = self._stmts(handler.body, entry, handler_ctx)
+                self._edge(handler_end, after_w)
+                any_live = any_live or handler_end is not None
+            if not _catches_everything(stmt.handlers):
+                self._edge(dispatch, exc_w)
+        return after if any_live else None
+
+    def _match(self, stmt: ast.stmt, pred: int, ctx: _Ctx) -> Optional[int]:
+        subject = self._atom_block(
+            Atom("test", stmt.subject), pred, ctx  # type: ignore[attr-defined]
+        )
+        after = self._block()
+        for case in stmt.cases:  # type: ignore[attr-defined]
+            entry: int = subject
+            if case.guard is not None:
+                entry = self._atom_block(Atom("test", case.guard), subject, ctx)
+            case_end = self._stmts(case.body, entry, ctx)
+            self._edge(case_end, after)
+        self._edge(subject, after)  # no case matched
+        return after
+
+
+_TRY_STAR = getattr(ast, "TryStar", None)
+_MATCH = getattr(ast, "Match", None)
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """Build the control-flow graph of one function definition."""
+    return _Builder(func).build()

@@ -1,0 +1,123 @@
+"""Held-locks dataflow: the state RL009 and RL012 both consume.
+
+A *must* analysis over lock tokens (see
+:func:`repro.analysis.flow.annotations.lock_token`): the in-state of a
+block is the set of locks held on **every** path reaching it, so a
+lock acquired on only one side of a branch does not count as held
+after the join — the "partially-dominated lock frame" shape is
+reported, not forgiven.
+
+Lock frames are recognized in two forms:
+
+* ``with <obj>.<lock-like>:`` — the dominant idiom; the ``with-enter``
+  atom adds the token on its normal out-edge only (if ``__enter__``
+  raised, the lock was never taken) and every ``with-exit`` atom
+  removes it, including the copies on ``return``/``break`` and the
+  exceptional unwind.
+* explicit ``<obj>.<lock-like>.acquire()`` / ``.release()`` statement
+  calls, for the rare hand-rolled frame.
+
+Functions carrying ``requires-lock=<attr>`` (explicitly or via the
+``*_unlocked`` naming convention) start with the receiver's token
+already held — that is the one-level interprocedural propagation: the
+*call site* is checked by RL009, the body is analyzed as if the
+contract holds.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Optional
+
+from repro.analysis.index import dotted_name
+
+from .annotations import (
+    FunctionFlow,
+    is_lock_name,
+    lock_token,
+    normalize_lock_component,
+)
+from .cfg import CFG, Atom
+from .dataflow import ForwardAnalysis, run_forward
+
+__all__ = ["HeldLocks", "held_lock_states", "entry_tokens", "with_item_token"]
+
+LockState = FrozenSet[str]
+
+
+def with_item_token(item: ast.withitem) -> Optional[str]:
+    """The lock token a ``with`` item acquires, if lock-like."""
+    name = dotted_name(item.context_expr)
+    if name is None:
+        return None
+    return lock_token(name)
+
+
+def _explicit_call_token(node: ast.AST, method: str) -> Optional[str]:
+    """Token of an ``<obj>.<lock>.{acquire,release}()`` statement."""
+    if not isinstance(node, ast.Expr) or not isinstance(node.value, ast.Call):
+        return None
+    func = node.value.func
+    if not isinstance(func, ast.Attribute) or func.attr != method:
+        return None
+    name = dotted_name(func.value)
+    if name is None:
+        return None
+    return lock_token(name)
+
+
+def entry_tokens(func: FunctionFlow) -> LockState:
+    """Locks held at entry per the function's own contract."""
+    attr = func.requires_lock
+    if attr is None:
+        return frozenset()
+    norm = normalize_lock_component(attr)
+    if not is_lock_name(norm):
+        norm = "lock"
+    token = f"self.{norm}" if func.is_method else norm
+    return frozenset((token,))
+
+
+class HeldLocks(ForwardAnalysis[LockState]):
+    """Must-held lock tokens per program point."""
+
+    def __init__(self, func: FunctionFlow) -> None:
+        self._entry = entry_tokens(func)
+
+    def entry_state(self, cfg: CFG) -> LockState:
+        return self._entry
+
+    def join(self, a: LockState, b: LockState) -> LockState:
+        return a & b
+
+    def transfer(self, atom: Atom, state: LockState) -> LockState:
+        if atom.kind == "with-enter":
+            token = with_item_token(atom.node)  # type: ignore[arg-type]
+            if token is not None:
+                return state | {token}
+            return state
+        if atom.kind == "with-exit":
+            token = with_item_token(atom.node)  # type: ignore[arg-type]
+            if token is not None:
+                return state - {token}
+            return state
+        if atom.kind == "stmt":
+            acquired = _explicit_call_token(atom.node, "acquire")
+            if acquired is not None:
+                return state | {acquired}
+            released = _explicit_call_token(atom.node, "release")
+            if released is not None:
+                return state - {released}
+        return state
+
+    def transfer_exc(self, atom: Atom, state: LockState) -> LockState:
+        # ``__exit__`` raising still released the lock first; flowing
+        # the pre-state would wrongly mark handlers as lock-held.
+        if atom.kind == "with-exit":
+            return self.transfer(atom, state)
+        return state
+
+
+def held_lock_states(func: FunctionFlow) -> Dict[int, LockState]:
+    """In-state (held locks) of every reachable block of a function."""
+    return run_forward(func.cfg(), HeldLocks(func))

@@ -125,6 +125,9 @@ class ModuleInfo:
         suppressions: The file's suppression directives.
         import_aliases: Local name -> imported dotted name, e.g.
             ``{"np": "numpy", "perf_counter": "time.perf_counter"}``.
+        caches: Scratch space for derived per-module facts (e.g. the
+            flow model built by :mod:`repro.analysis.flow`), keyed by
+            subsystem; never part of module identity.
     """
 
     path: str
@@ -133,6 +136,9 @@ class ModuleInfo:
     source: str
     suppressions: Suppressions
     import_aliases: Dict[str, str] = field(default_factory=dict)
+    caches: Dict[str, object] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def resolve(self, node: ast.AST) -> Optional[str]:
         """Fully-qualified dotted name of a ``Name``/``Attribute`` chain.
@@ -237,10 +243,16 @@ class ProjectIndex:
     Attributes:
         modules: Every successfully parsed module, in discovery order.
         dataclasses: Every ``@dataclass`` definition found.
+        caches: Scratch space for derived cross-module facts (e.g. the
+            call-graph layer of :mod:`repro.analysis.flow`), keyed by
+            subsystem; never part of index identity.
     """
 
     modules: List[ModuleInfo] = field(default_factory=list)
     dataclasses: List[DataclassInfo] = field(default_factory=list)
+    caches: Dict[str, object] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @classmethod
     def build(cls, modules: List[ModuleInfo]) -> "ProjectIndex":

@@ -1,14 +1,18 @@
 """The pluggable rule registry.
 
 A rule is a plain function registered with the :func:`rule` decorator.
-Two shapes exist:
+Three shapes exist:
 
 * **module rules** (``scope="module"``) are called once per linted file
   with ``(module, index)`` and yield findings for that file;
 * **project rules** (``scope="project"``) are called once per lint run
   with the whole :class:`~repro.analysis.index.ProjectIndex` and may
   relate facts across files (e.g. dataclass fields in one module versus
-  the serializer that must cover them in another).
+  the serializer that must cover them in another);
+* **flow rules** (``scope="flow"``) share the project-rule calling
+  convention but additionally build per-function CFGs and run dataflow
+  fixpoints (:mod:`repro.analysis.flow`) — the most expensive tier,
+  surfaced as such by ``--list-rules`` and ``--stats``.
 
 Registration is import-time: :mod:`repro.analysis.rules` imports every
 rule module, so constructing an engine is enough to see the full
@@ -39,16 +43,28 @@ class Rule:
         name: Short kebab-case name for reports.
         severity: Default severity of the rule's findings.
         description: One-line rationale shown in the catalogue.
+        scope: ``"module"``, ``"project"`` or ``"flow"``.
         module_check: Per-file check (module-scope rules).
-        project_check: Whole-index check (cross-module rules).
+        project_check: Whole-index check (project- and flow-scope
+            rules).
     """
 
     id: str
     name: str
     severity: Severity
     description: str
+    scope: str = "module"
     module_check: Optional[ModuleCheck] = None
     project_check: Optional[ProjectCheck] = None
+
+    @property
+    def needs_index(self) -> bool:
+        """Whether the rule reads the cross-module ProjectIndex.
+
+        Module rules receive the index but only look at their own
+        file; project and flow rules cannot run without it.
+        """
+        return self.scope in ("project", "flow")
 
 
 _REGISTRY: Dict[str, Rule] = {}
@@ -69,9 +85,9 @@ def rule(
         name: Short kebab-case rule name.
         description: One-line rationale.
         severity: Default severity for the rule's findings.
-        scope: ``"module"`` or ``"project"``.
+        scope: ``"module"``, ``"project"`` or ``"flow"``.
     """
-    if scope not in ("module", "project"):
+    if scope not in ("module", "project", "flow"):
         raise ValueError(f"unknown rule scope {scope!r}")
 
     def decorator(
@@ -82,8 +98,9 @@ def rule(
             name=name,
             severity=severity,
             description=description,
+            scope=scope,
             module_check=check if scope == "module" else None,
-            project_check=check if scope == "project" else None,
+            project_check=check if scope != "module" else None,
         )
         return check
 

@@ -3,6 +3,16 @@
 The JSON form is versioned and round-trips losslessly through
 :func:`parse_json`, which is what lets CI archive lint output and the
 tests assert schema stability.
+
+Schema history:
+
+* **1** — findings + summary (files/findings/errors/warnings/
+  suppressed).
+* **2** — adds per-rule metadata (``rules``: id/name/scope/severity
+  and whether the rule needs the cross-module index) and
+  ``summary.baselined`` for ``--baseline`` runs.  Per-rule timings
+  are deliberately *not* serialized: reports must be byte-stable for
+  identical trees.
 """
 
 from __future__ import annotations
@@ -12,30 +22,55 @@ from typing import Any, Dict
 
 from repro.analysis.engine import LintResult
 from repro.analysis.findings import Finding
-from repro.analysis.registry import all_rules
+from repro.analysis.registry import all_rules, get_rule
 
 __all__ = [
     "render_text",
     "render_json",
     "parse_json",
     "render_catalogue",
+    "render_stats",
     "REPORT_SCHEMA",
 ]
 
 #: Bump when the JSON report layout changes.
-REPORT_SCHEMA = 1
+REPORT_SCHEMA = 2
 
 
-def render_text(result: LintResult) -> str:
-    """Human-readable report: one line per finding plus a summary."""
-    lines = [finding.format() for finding in result.findings]
-    lines.append(
+def _summary_line(result: LintResult) -> str:
+    line = (
         f"{result.files_checked} files checked, "
         f"{len(result.findings)} findings "
         f"({result.errors} errors, {result.warnings} warnings), "
         f"{result.suppressed} suppressed"
     )
+    if result.baselined:
+        line += f", {result.baselined} baselined"
+    return line
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.format() for finding in result.findings]
+    lines.append(_summary_line(result))
     return "\n".join(lines)
+
+
+def _rule_meta(rule_id: str) -> Dict[str, Any]:
+    try:
+        rule = get_rule(rule_id)
+    except KeyError:
+        # A report parsed from an older run may name rules this build
+        # no longer registers; keep the id, degrade the rest.
+        return {"id": rule_id, "name": None, "scope": None,
+                "severity": None, "needs_index": None}
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "scope": rule.scope,
+        "severity": rule.severity.value,
+        "needs_index": rule.needs_index,
+    }
 
 
 def render_json(result: LintResult) -> str:
@@ -44,6 +79,7 @@ def render_json(result: LintResult) -> str:
         "schema": REPORT_SCHEMA,
         "tool": "repro-lint",
         "rules_run": list(result.rules_run),
+        "rules": [_rule_meta(rule_id) for rule_id in result.rules_run],
         "findings": [finding.as_dict() for finding in result.findings],
         "summary": {
             "files_checked": result.files_checked,
@@ -51,6 +87,7 @@ def render_json(result: LintResult) -> str:
             "errors": result.errors,
             "warnings": result.warnings,
             "suppressed": result.suppressed,
+            "baselined": result.baselined,
         },
     }
     return json.dumps(payload, indent=2, sort_keys=True)
@@ -66,14 +103,44 @@ def parse_json(text: str) -> LintResult:
         files_checked=int(payload["summary"]["files_checked"]),
         rules_run=tuple(payload["rules_run"]),
         suppressed=int(payload["summary"]["suppressed"]),
+        baselined=int(payload["summary"]["baselined"]),
     )
 
 
 def render_catalogue() -> str:
-    """The registered rule catalogue, one line per rule."""
+    """The registered rule catalogue, one line per rule.
+
+    Each line names the rule's scope tier — ``module`` (one file at a
+    time), ``project`` (cross-module index), or ``flow`` (CFG +
+    dataflow fixpoints, the most expensive) — and marks the tiers
+    that cannot run without the cross-module ProjectIndex.
+    """
     lines = []
     for rule in all_rules():
+        scope = rule.scope
+        if rule.needs_index:
+            scope += ", needs project index"
         lines.append(
-            f"{rule.id} {rule.name} [{rule.severity.value}]: {rule.description}"
+            f"{rule.id} {rule.name} [{rule.severity.value}] "
+            f"({scope}): {rule.description}"
         )
+    return "\n".join(lines)
+
+
+def render_stats(result: LintResult) -> str:
+    """Per-rule wall-clock and finding counts (``--stats``)."""
+    counts: Dict[str, int] = {}
+    for finding in result.findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    lines = ["rule     scope     time      findings"]
+    for rule_id in result.rules_run:
+        meta = _rule_meta(rule_id)
+        scope = meta["scope"] or "?"
+        seconds = result.timings.get(rule_id)
+        timed = f"{seconds * 1000.0:7.1f}ms" if seconds is not None else "       —"
+        lines.append(
+            f"{rule_id:<8} {scope:<9} {timed}  {counts.get(rule_id, 0):8d}"
+        )
+    total = sum(result.timings.values())
+    lines.append(f"total    {'':<9} {total * 1000.0:7.1f}ms")
     return "\n".join(lines)

@@ -10,6 +10,10 @@ Rule ids:
 * ``RL006`` mutable-default-config (:mod:`.config`)
 * ``RL007`` scalar-path-drift (:mod:`.hotpath`)
 * ``RL008`` trace-schema-coverage (:mod:`.traces`)
+* ``RL009`` lock-discipline (:mod:`.locks`) — flow-sensitive
+* ``RL010`` shm-lifecycle (:mod:`.lifecycle`) — flow-sensitive
+* ``RL011`` memo-staleness (:mod:`.memo`) — flow-sensitive
+* ``RL012`` unguarded-shared-mutation (:mod:`.shared_state`) — flow-sensitive
 """
 
 from repro.analysis.rules import (  # noqa: F401
@@ -18,7 +22,11 @@ from repro.analysis.rules import (  # noqa: F401
     determinism,
     fingerprint,
     hotpath,
+    lifecycle,
+    locks,
+    memo,
     obs,
+    shared_state,
     traces,
 )
 
@@ -28,6 +36,10 @@ __all__ = [
     "determinism",
     "fingerprint",
     "hotpath",
+    "lifecycle",
+    "locks",
+    "memo",
     "obs",
+    "shared_state",
     "traces",
 ]

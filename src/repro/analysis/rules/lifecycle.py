@@ -1,0 +1,459 @@
+"""RL010 shm-lifecycle: owned segments must reach release on all paths.
+
+The parallel engine ships feature blocks to pool workers through named
+POSIX shared memory (``repro.engine.shm``).  The protocol has three
+legs the type system cannot see:
+
+* the **owner** creates a segment (``SharedMemory(create=True, ...)``
+  or ``export_block``, annotated ``# repro-lint: acquires=close``) and
+  must ``close``+``unlink`` it on *every* path — a segment that
+  escapes on an exception outlives the process in ``/dev/shm`` (the
+  CI leak check is the dynamic counterpart of this rule);
+* **workers** attach (``attach_block``, annotated
+  ``# repro-lint: shm-attach``) and must *never* ``unlink`` — the
+  owner's segment is not theirs to destroy;
+* receiver-style acquisitions (``# repro-lint:
+  acquires-on-receiver=<release>``, e.g. ``preload_lattice`` /
+  ``clear_preload``) must be balanced on the receiver before every
+  exit.
+
+RL010 runs a *may*-analysis (union join) over live owned resources: an
+acquisition assigned to a local becomes a live fact on the **normal**
+out-edge only (a failed constructor acquired nothing), and the fact
+dies when the handle is released (``.close()``/``.unlink()``/its
+annotated release method), registered for cleanup or otherwise
+escapes — passed to any call (``stack.callback(h.close)``,
+``pool.append(h)``), stored into an attribute or container, returned,
+or entered as a ``with`` context.  Releases kill on the exceptional
+edge too: once ``ExitStack`` holds the callback, unwinding is safe.
+Any fact still live at the function's normal or raise exit — or
+overwritten by a rebind — is a leak on some path.
+
+Motivating example (found by this rule and fixed in the same change):
+``ExperimentEngine._compute_parallel`` exported the feature block,
+then pickled the table payload *before* registering
+``stack.callback(shared_export.close)`` — and its ``except`` fallback
+rebound ``shared_export = None``, dropping a live segment if anything
+between export and registration raised.  The fix registers the
+cleanup callback immediately after the export, before any statement
+that can raise.  Same shape in ``export_block`` itself: the segment
+is created, then a numpy copy runs before ownership transfers to the
+returned ``SharedBlockExport`` — the copy is now guarded so the
+segment is unlinked if it raises.  And on the receiver side,
+``SessionManager.step_batch`` called ``preload_lattice`` on each
+grouped optimizer but only entered its ``try``/``finally`` (the one
+running ``clear_preload``) several statements later — an exception
+from a later group's sweep or from the obs counters left lattice
+preloads installed on live optimizers; the ``finally`` now covers the
+whole span from first preload to dispatch.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.flow.annotations import FunctionFlow, ModuleFlow, module_flow
+from repro.analysis.flow.callgraph import ProjectFlow, project_flow
+from repro.analysis.flow.cfg import Atom, calls_in
+from repro.analysis.flow.dataflow import ForwardAnalysis, run_forward
+from repro.analysis.index import ModuleInfo, ProjectIndex, dotted_name
+from repro.analysis.registry import rule
+from repro.analysis.rules.flowbase import flow_modules
+
+__all__ = ["check_shm_lifecycle"]
+
+#: Dotted names that construct an owning SharedMemory handle when
+#: called with ``create=True``.
+_SHARED_MEMORY_NAMES = (
+    "multiprocessing.shared_memory.SharedMemory",
+    "shared_memory.SharedMemory",
+    "SharedMemory",
+)
+
+#: Release methods accepted for any owned handle, on top of the
+#: annotated one: the shm protocol releases via close/unlink pairs.
+_GENERIC_RELEASES = ("close", "unlink")
+
+ResourceState = FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class _Acquisition:
+    """One tracked acquisition site."""
+
+    token: str
+    target: str
+    release: str
+    line: int
+    col: int
+    kind: str  # "handle" (assigned result) or "receiver"
+
+
+def _is_create_true(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == "create":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+def _acquisition_release(
+    call: ast.Call, module: ModuleInfo, project: ProjectFlow
+) -> Optional[str]:
+    """Release method owed for a call's result, or ``None``."""
+    resolved = module.resolve(call.func)
+    if resolved in _SHARED_MEMORY_NAMES:
+        return "unlink" if _is_create_true(call) else None
+    if project.is_shm_attach_call(call, module):
+        return None  # attaching is not owning
+    return project.release_for_call(call, module)
+
+
+def _receiver_name(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Attribute):
+        return dotted_name(call.func.value)
+    return None
+
+
+class _LiveResources(ForwardAnalysis[ResourceState]):
+    """May-live owned resources, tokenized per acquisition site."""
+
+    def __init__(
+        self,
+        func: FunctionFlow,
+        module: ModuleInfo,
+        project: ProjectFlow,
+    ) -> None:
+        self.func = func
+        self.module = module
+        self.project = project
+        self.acquisitions: Dict[str, _Acquisition] = {}
+
+    # -- fact bookkeeping --------------------------------------------------------
+
+    def _tokens_of(self, target: str) -> Set[str]:
+        return {
+            token
+            for token, acq in self.acquisitions.items()
+            if acq.target == target
+        }
+
+    def _gens(self, atom: Atom) -> List[_Acquisition]:
+        node = atom.node
+        gens: List[_Acquisition] = []
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            release = _acquisition_release(node.value, self.module, self.project)
+            if release is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        acq = _Acquisition(
+                            token=f"{target.id}@{node.lineno}",
+                            target=target.id,
+                            release=release,
+                            line=node.value.lineno,
+                            col=node.value.col_offset,
+                            kind="handle",
+                        )
+                        self.acquisitions[acq.token] = acq
+                        gens.append(acq)
+        for call in calls_in(node):
+            release = self.project.receiver_release_for_call(call, self.module)
+            receiver = _receiver_name(call)
+            if release is not None and receiver is not None:
+                acq = _Acquisition(
+                    token=f"{receiver}@{call.lineno}",
+                    target=receiver,
+                    release=release,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    kind="receiver",
+                )
+                self.acquisitions[acq.token] = acq
+                gens.append(acq)
+        return gens
+
+    def _released_targets(self, atom: Atom) -> Set[str]:
+        """Targets whose release method is called in this atom."""
+        released: Set[str] = set()
+        for call in calls_in(atom.node):
+            func = call.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            receiver = dotted_name(func.value)
+            if receiver is None:
+                continue
+            for acq in self.acquisitions.values():
+                if acq.target != receiver:
+                    continue
+                if func.attr == acq.release or func.attr in _GENERIC_RELEASES:
+                    released.add(receiver)
+        return released
+
+    def _releases_of(self, target: str) -> Set[str]:
+        methods = set(_GENERIC_RELEASES)
+        for acq in self.acquisitions.values():
+            if acq.target == target:
+                methods.add(acq.release)
+        return methods
+
+    def _escaped_targets(self, atom: Atom) -> Set[str]:
+        """Targets whose handle leaves local ownership in this atom.
+
+        Two distinct shapes kill here: the handle itself escaping
+        (``pool.append(h)``, ``return h``, ``self._shm = h``,
+        ``stack.enter_context(h)``) and its *release method* being
+        registered as a callback (``stack.callback(h.close)``).  A
+        plain attribute of the handle passed along (``buffer=shm.buf``,
+        ``name=shm.name``) is neither — the caller borrowed a view,
+        ownership stayed here — which is exactly what lets this rule
+        see the leak window between creating a segment and wrapping it
+        in its owning export object.
+        """
+        node = atom.node
+        escaped: Set[str] = set()
+        targets = {acq.target for acq in self.acquisitions.values()}
+
+        def mark(expr: Optional[ast.AST]) -> None:
+            if expr is None:
+                return
+            if isinstance(expr, ast.Attribute):
+                base = dotted_name(expr.value)
+                if base is not None and base in targets:
+                    # handle.<release> handed off as a callback
+                    if expr.attr in self._releases_of(base):
+                        escaped.add(base)
+                    return  # other attributes: borrowed, not escaped
+                mark(expr.value)
+                return
+            if isinstance(expr, ast.Name):
+                for target in targets:
+                    if expr.id == target or target.startswith(expr.id + "."):
+                        escaped.add(target)
+                return
+            for child in ast.iter_child_nodes(expr):
+                mark(child)
+
+        # A *method* call on the handle itself (``h.resize(...)``) does
+        # not escape it, so callees are skipped; their arguments are not.
+        for call in calls_in(node):
+            for arg in call.args:
+                mark(arg)
+            for keyword in call.keywords:
+                mark(keyword.value)
+        if isinstance(node, ast.Return):
+            mark(node.value)
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            assign_targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in assign_targets:
+                if not isinstance(target, ast.Name):
+                    # stored into an attribute/container: ownership
+                    # transferred to a longer-lived object
+                    value = getattr(node, "value", None)
+                    if value is not None:
+                        mark(value)
+        if atom.kind == "with-enter":
+            mark(node.context_expr)  # type: ignore[attr-defined]
+        for child in ast.walk(node):
+            if isinstance(child, (ast.Yield, ast.YieldFrom)):
+                mark(child.value)
+        # ``if h is None: ...`` / ``if h is not None: stack.callback``:
+        # the author is already discriminating the no-resource case, and
+        # a may-analysis cannot correlate the branch with fact death —
+        # treating the test as a kill avoids flagging the guarded-
+        # registration idiom.
+        if atom.kind == "test":
+            for child in ast.walk(node):
+                if not isinstance(child, ast.Compare):
+                    continue
+                if not any(
+                    isinstance(op, (ast.Is, ast.IsNot)) for op in child.ops
+                ):
+                    continue
+                operands = [child.left] + list(child.comparators)
+                if not any(
+                    isinstance(o, ast.Constant) and o.value is None
+                    for o in operands
+                ):
+                    continue
+                for operand in operands:
+                    if isinstance(operand, ast.Name) and operand.id in targets:
+                        escaped.add(operand.id)
+        return escaped
+
+    def _rebound_targets(self, atom: Atom) -> Set[str]:
+        node = atom.node
+        rebound: Set[str] = set()
+        targets = {acq.target for acq in self.acquisitions.values()}
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id in targets:
+                    rebound.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name) and node.target.id in targets:
+                rebound.add(node.target.id)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id in targets:
+                    rebound.add(target.id)
+        return rebound
+
+    def _kills(self, atom: Atom) -> Set[str]:
+        killed_targets = (
+            self._released_targets(atom)
+            | self._escaped_targets(atom)
+            | self._rebound_targets(atom)
+        )
+        killed: Set[str] = set()
+        for target in killed_targets:
+            killed |= self._tokens_of(target)
+        return killed
+
+    # -- analysis interface ------------------------------------------------------
+
+    def entry_state(self, cfg: object) -> ResourceState:
+        return frozenset()
+
+    def join(self, a: ResourceState, b: ResourceState) -> ResourceState:
+        return a | b
+
+    def transfer(self, atom: Atom, state: ResourceState) -> ResourceState:
+        state = state - self._kills(atom)
+        for acq in self._gens(atom):
+            state = state | {acq.token}
+        return state
+
+    def transfer_exc(self, atom: Atom, state: ResourceState) -> ResourceState:
+        # The atom raised: releases and escapes that already executed
+        # are indistinguishable from ones that did not, so killing on
+        # the exceptional edge is the no-false-positive choice — the
+        # rule targets handles with *no* cleanup registered, not
+        # cleanup racing the precise raising expression.  Gens do not
+        # apply: a constructor that raised acquired nothing.
+        return state - self._kills(atom)
+
+
+def _leak_message(acq: _Acquisition) -> str:
+    if acq.kind == "receiver":
+        return (
+            f"'{acq.target}.{acq.release}()' is not reached on every "
+            f"path after this acquiring call; pair the acquisition "
+            f"with its release in try/finally"
+        )
+    return (
+        f"owned resource '{acq.target}' may not reach "
+        f"'{acq.release}()' on all paths (exception or early return "
+        "between acquisition and release); register cleanup in "
+        "try/finally or ExitStack immediately after acquiring"
+    )
+
+
+def _check_function(
+    func: FunctionFlow, module: ModuleInfo, project: ProjectFlow
+) -> Iterator[Finding]:
+    analysis = _LiveResources(func, module, project)
+    cfg = func.cfg()
+    states = run_forward(cfg, analysis)
+    if not analysis.acquisitions:
+        return
+
+    leaked: Set[str] = set()
+    for exit_id in (cfg.exit, cfg.raise_exit):
+        leaked |= states.get(exit_id, frozenset())
+    reported: Set[Tuple[int, int]] = set()
+    for token in sorted(leaked):
+        acq = analysis.acquisitions[token]
+        key = (acq.line, acq.col)
+        if key in reported:
+            continue
+        reported.add(key)
+        yield Finding(
+            path=module.path,
+            line=acq.line,
+            col=acq.col,
+            rule_id="RL010",
+            severity=Severity.ERROR,
+            message=_leak_message(acq),
+        )
+
+    # Rebinding a name whose handle may still be live silently drops
+    # the only reference (the `shared_export = None` fallback shape).
+    for block, atom in cfg.atoms():
+        state = states.get(block.id)
+        if not state:
+            continue
+        rebound = analysis._rebound_targets(atom)
+        if not rebound:
+            continue
+        used = set(analysis._escaped_targets(atom)) | set(
+            analysis._released_targets(atom)
+        )
+        for target in sorted(rebound - used):
+            live = analysis._tokens_of(target) & state
+            if not live:
+                continue
+            key = (atom.line, atom.col)
+            if key in reported:
+                continue
+            reported.add(key)
+            yield Finding(
+                path=module.path,
+                line=atom.line,
+                col=atom.col,
+                rule_id="RL010",
+                severity=Severity.ERROR,
+                message=(
+                    f"rebinding '{target}' while its resource may "
+                    "still be live on this path drops the handle "
+                    "without release; release it first (or register "
+                    "cleanup at acquisition)"
+                ),
+            )
+
+
+def _check_attach_paths(
+    flow: ModuleFlow, module: ModuleInfo
+) -> Iterator[Finding]:
+    """Worker-attach functions must never unlink the owner's segment."""
+    for func in flow.functions:
+        if "shm-attach" not in func.annotations:
+            continue
+        for call in calls_in(func.node):
+            if (
+                isinstance(call.func, ast.Attribute)
+                and call.func.attr == "unlink"
+            ):
+                yield Finding(
+                    path=module.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    rule_id="RL010",
+                    severity=Severity.ERROR,
+                    message=(
+                        "unlink() inside a shm-attach (worker) path: "
+                        "attached segments belong to the exporting "
+                        "owner; only close() the local mapping here"
+                    ),
+                )
+
+
+@rule(
+    "RL010",
+    "shm-lifecycle",
+    "SharedMemory/export_block acquisitions must reach close/unlink on "
+    "every CFG path (try/finally or ExitStack); unlink is owner-only "
+    "and forbidden in shm-attach worker paths",
+    scope="flow",
+)
+def check_shm_lifecycle(index: ProjectIndex) -> Iterator[Finding]:
+    """Flag leaked owned handles and worker-side unlinks."""
+    project = project_flow(index)
+    for module in flow_modules(index):
+        flow = module_flow(module)
+        for func in flow.functions:
+            yield from _check_function(func, module, project)
+        yield from _check_attach_paths(flow, module)

@@ -1,0 +1,124 @@
+"""RL009 lock-discipline: ``*_unlocked`` calls must hold the lock.
+
+PR 7 gave the metrics layer a deliberately sharp edge: bound
+instruments expose ``inc_unlocked``/``observe_unlocked``/
+``set_unlocked`` so hot paths can batch many updates under **one**
+``with registry.lock`` frame instead of paying a lock round-trip per
+counter.  The contract — "only call these while holding the registry
+lock" — lived in docstrings until this rule.
+
+RL009 runs the held-locks must-analysis
+(:mod:`repro.analysis.flow.locksets`) over every function in
+``repro/`` and flags:
+
+* a call to a ``*_unlocked`` method — or to any function annotated
+  ``# repro-lint: requires-lock=<attr>`` anywhere in the project (the
+  one-level call-graph propagation) — at a program point where **no**
+  lock is held on some path.  Because the analysis is *must*, a frame
+  that only dominates one branch of an ``if`` (the
+  partially-dominated shape) does not count.
+* a ``with`` re-acquire of a lock token already held — the self-
+  deadlock shape; ``threading.Lock`` is not reentrant, and the
+  registry lock is shared across every bound instrument (see the
+  fail-safe comment in ``runtime/session.py``, which takes the rare
+  path *outside* the bulk frame for exactly this reason).
+
+Motivating audit (PR 8's hoisted hot paths, all verified clean by this
+rule and locked in by the mutation test on ``obs/health.py``):
+``GreedyHillClimbOptimizer._record_search``,
+``HorizonController.record``, ``PowerSession._finish_decide`` and
+``ModelHealthMonitor.observe`` each hoist ``tracer.current()`` out of
+the frame, then do their ``*_unlocked`` batch strictly inside
+``with self._m_lock:`` (an alias of ``registry.lock``).
+
+Precision notes: a call site with *some* lock held is accepted even
+when the receiver cannot be resolved to a specific object (bound
+instruments are usually reached through subscripts like
+``self._m_counters[...]``, which have no dotted name); the rule is
+therefore about lock *frames*, not lock *identity*.  Bodies of
+``requires-lock`` functions are analyzed with their contracted lock
+pre-held, so helpers calling helpers stay clean while every outermost
+call site is still checked.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.flow.annotations import module_flow
+from repro.analysis.flow.callgraph import call_name, project_flow
+from repro.analysis.flow.cfg import calls_in
+from repro.analysis.flow.locksets import held_lock_states, with_item_token
+from repro.analysis.index import ProjectIndex
+from repro.analysis.registry import rule
+from repro.analysis.rules.flowbase import Seen, flow_modules
+
+__all__ = ["check_lock_discipline"]
+
+
+@rule(
+    "RL009",
+    "lock-discipline",
+    "calls to *_unlocked methods (and # repro-lint: requires-lock "
+    "functions) must run inside a with-lock frame on every path, and "
+    "a held lock must not be re-acquired (deadlock shape)",
+    scope="flow",
+)
+def check_lock_discipline(index: ProjectIndex) -> Iterator[Finding]:
+    """Flag unlocked-contract calls outside lock frames; re-acquires."""
+    project = project_flow(index)
+    for module in flow_modules(index):
+        flow = module_flow(module)
+        for func in flow.functions:
+            states = held_lock_states(func)
+            seen: Seen = set()
+            for block, atom in func.cfg().atoms():
+                state = states.get(block.id)
+                if state is None:
+                    continue  # unreachable copy
+                if atom.kind == "with-enter":
+                    token = with_item_token(atom.node)  # type: ignore[arg-type]
+                    if token is not None and token in state:
+                        key = (atom.line, atom.col, "reacquire")
+                        if key not in seen:
+                            seen.add(key)
+                            yield Finding(
+                                path=module.path,
+                                line=atom.line,
+                                col=atom.col,
+                                rule_id="RL009",
+                                severity=Severity.ERROR,
+                                message=(
+                                    f"re-acquiring lock '{token}' that is "
+                                    "already held on this path; "
+                                    "threading.Lock is not reentrant, so "
+                                    "this deadlocks at runtime"
+                                ),
+                            )
+                if state:
+                    continue  # some lock held on every path: frame ok
+                for call in calls_in(atom.node):
+                    required = project.required_lock_for_call(call, module)
+                    if required is None:
+                        continue
+                    name = call_name(call, module) or "<call>"
+                    key = (call.lineno, call.col_offset, name)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield Finding(
+                        path=module.path,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        rule_id="RL009",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"call to '{name}' requires the "
+                            f"'{required}' lock but no lock frame "
+                            "dominates this path; wrap the batch in "
+                            "'with <registry>.lock:' (or annotate the "
+                            "enclosing function requires-lock if its "
+                            "callers hold it)"
+                        ),
+                    )

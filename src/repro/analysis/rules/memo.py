@@ -1,0 +1,276 @@
+"""RL011 memo-staleness: WeakKeyDictionary payloads need guards.
+
+Two hot-path memos set the pattern this rule enforces:
+
+* ``repro/ml/forest.py`` caches a ``_FlatForest`` per ``RandomForest``
+  in a module-level ``WeakKeyDictionary``.  A forest object can be
+  retrained in place, so the cached flattening validates itself:
+  ``flat is None or not flat.matches(forest.trees)`` — an identity
+  check on the payload — before use.  The cache is annotated
+  ``# repro-lint: memo-guard=matches``.
+* ``repro/hardware/table.py`` caches CPU power columns per
+  ``ConfigTable``, keyed so that the *key* encodes validity (the model
+  coefficients are part of it).  Keyed caches carry
+  ``# repro-lint: memo-guard=keyed`` and are exempt from payload
+  checks.
+
+A bare ``if cached is None`` on a weak-keyed payload is the staleness
+bug in waiting: the key object survives mutation, so the cache happily
+serves a payload built from state that no longer exists.  RL011 runs a
+may-analysis per function: binding a payload from a cache read
+(``CACHE.get(k)``, ``CACHE[k]``, ``CACHE.setdefault(k, ...)``) creates
+an *unvalidated* fact, which dies when a branch test (or ``assert``)
+inspects the payload — any ``payload.<attr>`` for unannotated caches,
+specifically ``payload.<guard>`` when the cache declares
+``memo-guard=<method>`` — or when the name is rebound (the rebuild
+path).  Using a still-unvalidated payload (returning it, passing it to
+a call, storing it) is flagged, as is reading the cache without
+binding it to a name at all (``return CACHE[k]`` has nowhere to hang a
+guard).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.flow.annotations import FunctionFlow, MemoCache, module_flow
+from repro.analysis.flow.cfg import Atom, calls_in
+from repro.analysis.flow.dataflow import ForwardAnalysis, run_forward
+from repro.analysis.index import ModuleInfo, ProjectIndex
+from repro.analysis.registry import rule
+from repro.analysis.rules.flowbase import flow_modules
+
+__all__ = ["check_memo_staleness"]
+
+MemoState = FrozenSet[str]
+
+#: Cache methods whose result is the cached payload.
+_READ_METHODS = ("get", "setdefault")
+
+
+@dataclass(frozen=True)
+class _Binding:
+    token: str
+    var: str
+    cache: str
+    line: int
+
+
+def _cache_read(
+    value: ast.expr, caches: Dict[str, MemoCache]
+) -> Optional[str]:
+    """Cache name when the expression reads a payload, else ``None``."""
+    if isinstance(value, ast.Subscript):
+        base = value.value
+        if isinstance(base, ast.Name) and base.id in caches:
+            if isinstance(value.ctx, ast.Load):
+                return base.id
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Attribute):
+        base = value.func.value
+        if (
+            isinstance(base, ast.Name)
+            and base.id in caches
+            and value.func.attr in _READ_METHODS
+        ):
+            return base.id
+    return None
+
+
+def _validates(node: ast.AST, var: str, guard: Optional[str]) -> bool:
+    """Whether an expression inspects the payload per the guard."""
+    for child in ast.walk(node):
+        if (
+            isinstance(child, ast.Attribute)
+            and isinstance(child.value, ast.Name)
+            and child.value.id == var
+        ):
+            if guard is None or child.attr == guard:
+                return True
+    return False
+
+
+def _uses(node: ast.AST, var: str) -> bool:
+    """Whether a statement consumes the payload (not just tests it)."""
+    if isinstance(node, ast.Return):
+        return node.value is not None and _mentions(node.value, var)
+    if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        value = getattr(node, "value", None)
+        if value is not None and _mentions(value, var):
+            return True
+    for call in calls_in(node):
+        for arg in call.args:
+            if _mentions(arg, var):
+                return True
+        for keyword in call.keywords:
+            if _mentions(keyword.value, var):
+                return True
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == var
+        ):
+            return True
+    return False
+
+
+def _mentions(node: ast.AST, var: str) -> bool:
+    return any(
+        isinstance(child, ast.Name) and child.id == var
+        for child in ast.walk(node)
+    )
+
+
+class _UnvalidatedPayloads(ForwardAnalysis[MemoState]):
+    """May-unvalidated cache payloads bound to locals."""
+
+    def __init__(self, caches: Dict[str, MemoCache]) -> None:
+        self.caches = caches
+        self.bindings: Dict[str, _Binding] = {}
+
+    def _tokens_of(self, var: str) -> Set[str]:
+        return {
+            token for token, b in self.bindings.items() if b.var == var
+        }
+
+    def entry_state(self, cfg: object) -> MemoState:
+        return frozenset()
+
+    def join(self, a: MemoState, b: MemoState) -> MemoState:
+        return a | b
+
+    def transfer(self, atom: Atom, state: MemoState) -> MemoState:
+        node = atom.node
+        # Validation: a branch test or assert inspecting the payload.
+        if atom.kind == "test" or isinstance(node, ast.Assert):
+            for token in set(state):
+                binding = self.bindings[token]
+                guard = self.caches[binding.cache].guard
+                if _validates(node, binding.var, guard):
+                    state = state - {token}
+        # Rebinding (including the rebuild path) clears old facts;
+        # a fresh cache read re-arms them.
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    state = state - self._tokens_of(target.id)
+                    cache = _cache_read(node.value, self.caches)
+                    if cache is not None:
+                        binding = _Binding(
+                            token=f"{target.id}@{node.lineno}",
+                            var=target.id,
+                            cache=cache,
+                            line=node.lineno,
+                        )
+                        self.bindings[binding.token] = binding
+                        state = state | {binding.token}
+        return state
+
+
+def _direct_reads(
+    func: FunctionFlow, caches: Dict[str, MemoCache]
+) -> Iterator[ast.expr]:
+    """Cache reads not bound to a local (nowhere to hang a guard)."""
+    bound_values: Set[int] = set()
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound_values.add(id(node.value))
+    for node in ast.walk(func.node):
+        if id(node) in bound_values:
+            continue
+        if isinstance(node, (ast.Subscript, ast.Call)):
+            if _cache_read(node, caches) is not None:
+                yield node
+
+
+def _check_function(
+    func: FunctionFlow, module: ModuleInfo, caches: Dict[str, MemoCache]
+) -> Iterator[Finding]:
+    analysis = _UnvalidatedPayloads(caches)
+    cfg = func.cfg()
+    states = run_forward(cfg, analysis)
+    for read in _direct_reads(func, caches):
+        yield Finding(
+            path=module.path,
+            line=read.lineno,
+            col=read.col_offset,
+            rule_id="RL011",
+            severity=Severity.ERROR,
+            message=(
+                "WeakKeyDictionary payload used directly from the "
+                "cache; bind it to a local and validate staleness "
+                "before use (or declare memo-guard=keyed)"
+            ),
+        )
+    if not analysis.bindings:
+        return
+    reported: Set[Tuple[int, int]] = set()
+    for block, atom in cfg.atoms():
+        state = states.get(block.id)
+        if not state:
+            continue
+        node = atom.node
+        if atom.kind == "test" or isinstance(node, ast.Assert):
+            continue  # tests are where validation happens
+        for token in sorted(state):
+            binding = analysis.bindings[token]
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == binding.var
+                for t in node.targets
+            ):
+                continue  # the rebuild/rebind itself
+            if not _uses(node, binding.var):
+                continue
+            key = (atom.line, atom.col)
+            if key in reported:
+                continue
+            reported.add(key)
+            guard = caches[binding.cache].guard
+            hint = (
+                f"check 'payload.{guard}(...)'"
+                if guard
+                else "add an identity/staleness check on the payload"
+            )
+            yield Finding(
+                path=module.path,
+                line=atom.line,
+                col=atom.col,
+                rule_id="RL011",
+                severity=Severity.ERROR,
+                message=(
+                    f"cached payload '{binding.var}' from "
+                    f"WeakKeyDictionary '{binding.cache}' (line "
+                    f"{binding.line}) used without a staleness guard; "
+                    f"{hint} before use, or annotate the cache "
+                    "memo-guard=keyed if the key encodes validity"
+                ),
+            )
+
+
+@rule(
+    "RL011",
+    "memo-staleness",
+    "module-level WeakKeyDictionary caches must guard payload reads "
+    "with an identity/staleness check (memo-guard=<method>) or key "
+    "validity into the cache key (memo-guard=keyed)",
+    scope="flow",
+)
+def check_memo_staleness(index: ProjectIndex) -> Iterator[Finding]:
+    """Flag unguarded reads of weak-keyed memo caches."""
+    for module in flow_modules(index):
+        flow = module_flow(module)
+        caches: Dict[str, MemoCache] = {}
+        for cache in flow.memo_caches:
+            if cache.guard == "keyed":
+                continue
+            for name in cache.names:
+                caches[name] = cache
+        if not caches:
+            continue
+        for func in flow.functions:
+            yield from _check_function(func, module, caches)

@@ -1,0 +1,210 @@
+"""RL012 unguarded-shared-mutation: shared attributes write under lock.
+
+The registry/manager objects are the rendezvous points of the
+threaded runtime: one ``MetricsRegistry`` is shared by every bound
+instrument, every session, and the health monitor; a
+``SessionManager`` fans one decision batch across many sessions.
+Their mutable attributes are declared with a class-level contract::
+
+    # repro-lint: shared-state=_metrics,sources
+    class MetricsRegistry:
+        ...
+
+and RL012 checks every method of an annotated class — plus every
+method of its module-local subclasses, which inherit the declaration
+one level down (``_Bound`` declares ``_series``; the writes live in
+``BoundGauge``/``BoundCounter``): a *write* to a declared attribute — direct assignment/augmentation, a subscript
+store through it, a mutating container method (``append``, ``pop``,
+``update``...), including through a local alias bound from
+``self.<attr>`` — must sit inside a lock frame on every path (the
+held-locks must-analysis again, so a frame covering only one branch
+does not pass).  ``__init__``/``__new__`` are exempt (no concurrent
+observer exists yet), as are methods carrying ``requires-lock`` —
+their callers hold the lock, and RL009 polices those call sites.
+
+Motivating examples (both found by running this rule over ``src/``
+and fixed in the same change, in ``obs/metrics.py``):
+
+* ``MetricsRegistry.merge`` bumped ``self.sources`` *after* leaving
+  the ``with self._lock:`` block that merged the series — a racing
+  ``snapshot_and_reset`` could read the merged data but the stale
+  source count.
+* ``MetricsRegistry.snapshot_and_reset`` reset ``self.sources = 1``
+  outside the same frame, racing concurrent ``merge`` calls from
+  worker result handlers.
+
+Both writes moved inside the existing frames; no new locking was
+needed, which is the common shape of this fix.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.flow.annotations import ClassFlow, FunctionFlow, module_flow
+from repro.analysis.flow.cfg import calls_in
+from repro.analysis.flow.locksets import held_lock_states
+from repro.analysis.index import ModuleInfo, ProjectIndex
+from repro.analysis.registry import rule
+from repro.analysis.rules.flowbase import flow_modules
+
+__all__ = ["check_shared_mutation"]
+
+#: Container methods that mutate their receiver in place.
+_MUTATORS = (
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "sort",
+)
+
+#: Methods where unguarded writes are legal: construction precedes
+#: sharing.
+_EXEMPT_METHODS = ("__init__", "__new__", "__post_init__")
+
+
+def _shared_attr_of(expr: ast.expr, shared: Tuple[str, ...]) -> Optional[str]:
+    """The declared attribute an expression designates, if any."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and expr.attr in shared
+    ):
+        return expr.attr
+    return None
+
+
+def _aliases(func: FunctionFlow, shared: Tuple[str, ...]) -> Dict[str, str]:
+    """Local name -> shared attribute for ``x = self.<attr>`` binds."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Assign):
+            attr = _shared_attr_of(node.value, shared)
+            if attr is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        aliases[target.id] = attr
+    return aliases
+
+
+def _written_attrs(
+    node: ast.AST, shared: Tuple[str, ...], aliases: Dict[str, str]
+) -> List[Tuple[str, int, int]]:
+    """``(attr, line, col)`` for every shared-state write in a subtree."""
+
+    def designated(expr: ast.expr) -> Optional[str]:
+        attr = _shared_attr_of(expr, shared)
+        if attr is not None:
+            return attr
+        if isinstance(expr, ast.Name):
+            return aliases.get(expr.id)
+        return None
+
+    writes: List[Tuple[str, int, int]] = []
+    targets: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    elif isinstance(node, ast.Delete):
+        targets = list(node.targets)
+    for target in targets:
+        attr = designated(target)
+        if attr is not None and not isinstance(target, ast.Name):
+            # plain-Name targets rebind the alias, not the attribute
+            writes.append((attr, target.lineno, target.col_offset))
+        if isinstance(target, ast.Subscript):
+            attr = designated(target.value)
+            if attr is not None:
+                writes.append((attr, target.lineno, target.col_offset))
+    for call in calls_in(node):
+        func_expr = call.func
+        if (
+            isinstance(func_expr, ast.Attribute)
+            and func_expr.attr in _MUTATORS
+        ):
+            attr = designated(func_expr.value)
+            if attr is not None:
+                writes.append((attr, call.lineno, call.col_offset))
+    return writes
+
+
+def _effective_shared(
+    cls: ClassFlow, by_name: Dict[str, ClassFlow]
+) -> Tuple[str, ...]:
+    """Own declaration plus one level of module-local base classes."""
+    shared = set(cls.shared_state)
+    for base in cls.node.bases:
+        name: Optional[str] = None
+        if isinstance(base, ast.Name):
+            name = base.id
+        elif isinstance(base, ast.Attribute):
+            name = base.attr
+        base_cls = by_name.get(name or "")
+        if base_cls is not None:
+            shared.update(base_cls.shared_state)
+    return tuple(sorted(shared))
+
+
+def _check_class(
+    cls: ClassFlow,
+    shared: Tuple[str, ...],
+    methods: List[FunctionFlow],
+    module: ModuleInfo,
+) -> Iterator[Finding]:
+    for func in methods:
+        if func.name in _EXEMPT_METHODS:
+            continue
+        if func.requires_lock is not None:
+            continue  # the caller's frame covers this body (RL009)
+        aliases = _aliases(func, shared)
+        states = held_lock_states(func)
+        reported: Set[Tuple[int, int]] = set()
+        for block, atom in func.cfg().atoms():
+            state = states.get(block.id)
+            if state is None or state:
+                continue  # unreachable, or a lock is held on all paths
+            for attr, line, col in _written_attrs(
+                atom.node, shared, aliases
+            ):
+                key = (line, col)
+                if key in reported:
+                    continue
+                reported.add(key)
+                yield Finding(
+                    path=module.path,
+                    line=line,
+                    col=col,
+                    rule_id="RL012",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"write to shared attribute "
+                        f"'{cls.name}.{attr}' outside a lock frame; "
+                        "move it inside 'with self.<lock>:' (or mark "
+                        "the method requires-lock if callers hold "
+                        "the lock)"
+                    ),
+                )
+
+
+@rule(
+    "RL012",
+    "unguarded-shared-mutation",
+    "attributes declared # repro-lint: shared-state=... may only be "
+    "written inside a lock frame (outside __init__); writes through "
+    "local aliases of self.<attr> count",
+    scope="flow",
+)
+def check_shared_mutation(index: ProjectIndex) -> Iterator[Finding]:
+    """Flag unguarded writes to declared shared state."""
+    for module in flow_modules(index):
+        flow = module_flow(module)
+        by_name = {cls.name: cls for cls in flow.classes}
+        for cls in flow.classes:
+            shared = _effective_shared(cls, by_name)
+            if not shared:
+                continue
+            yield from _check_class(
+                cls, shared, flow.methods_of(cls.name), module
+            )

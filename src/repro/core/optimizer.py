@@ -184,6 +184,7 @@ class GreedyHillClimbOptimizer:
             return list(many(list(counters_list), self.table))
         return [matrix_fn(counters, self.table) for counters in counters_list]
 
+    # repro-lint: acquires-on-receiver=clear_preload
     def preload_lattice(
         self, batches: Dict[CounterVector, EstimateBatch]
     ) -> None:

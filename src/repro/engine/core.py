@@ -302,38 +302,39 @@ class ExperimentEngine:
         # memory instead of once per worker through the pickled spec:
         # it is a pure function of the config lattice, so every worker
         # table adopting it is float-for-float the one it would build.
-        shared_export = None
-        shared_spec = None
-        try:
-            from repro.engine.shm import export_block
-            from repro.hardware.table import ConfigTable, lattice_feature_key
-
-            table = ConfigTable(ctx.space)
-            shared_export = export_block(table.feature_block)
-            shared_spec = {
-                "key": lattice_feature_key(ctx.space),
-                "handle": shared_export.handle,
-            }
-        except Exception:
-            shared_export = None
-            shared_spec = None  # workers build their own blocks
-        spec_bytes = pickle.dumps(
-            {
-                "simulator": ctx.sim,
-                "predictor": ctx._predictor,
-                "cache_dir": ctx._cache_dir,
-                "alpha": ctx.alpha,
-                "obs": obs.enabled,
-                "shared_table": shared_spec,
-            },
-            protocol=pickle.HIGHEST_PROTOCOL,
-        )
         max_workers = min(self.jobs, len(todo), os.cpu_count() or self.jobs)
         with contextlib.ExitStack() as stack:
-            if shared_export is not None:
-                # Unlinks the segment after the pool has fully exited
+            shared_spec = None
+            try:
+                from repro.engine.shm import export_block
+                from repro.hardware.table import (
+                    ConfigTable,
+                    lattice_feature_key,
+                )
+
+                table = ConfigTable(ctx.space)
+                shared_export = export_block(table.feature_block)
+                # Register the unlink before anything else can raise
+                # (RL010): it runs after the pool has fully exited
                 # (ExitStack callbacks run LIFO, pool shutdown first).
                 stack.callback(shared_export.close)
+                shared_spec = {
+                    "key": lattice_feature_key(ctx.space),
+                    "handle": shared_export.handle,
+                }
+            except Exception:
+                shared_spec = None  # workers build their own blocks
+            spec_bytes = pickle.dumps(
+                {
+                    "simulator": ctx.sim,
+                    "predictor": ctx._predictor,
+                    "cache_dir": ctx._cache_dir,
+                    "alpha": ctx.alpha,
+                    "obs": obs.enabled,
+                    "shared_table": shared_spec,
+                },
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
             pool = stack.enter_context(concurrent.futures.ProcessPoolExecutor(
                 max_workers=max_workers,
                 initializer=_worker_init,
@@ -411,6 +412,7 @@ _WORKER_CTX: Any = None
 _WORKER_OBS = False
 
 
+# repro-lint: shm-attach
 def _worker_init(spec_bytes: bytes) -> None:
     """Build this worker's private ExperimentContext from the spec."""
     global _WORKER_CTX, _WORKER_OBS

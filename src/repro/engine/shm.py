@@ -85,6 +85,7 @@ class SharedBlockExport:
         shm.close()
 
 
+# repro-lint: acquires=close
 def export_block(block: np.ndarray) -> SharedBlockExport:
     """Copy an array into a fresh named segment owned by the caller.
 
@@ -103,14 +104,23 @@ def export_block(block: np.ndarray) -> SharedBlockExport:
             # A stale segment from a crashed earlier run with the same
             # pid; the counter is process-local, so step past it.
             name = f"{SHM_PREFIX}{os.getpid()}-{next(_COUNTER)}"
-    view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
-    view[...] = array
-    handle = SharedBlockHandle(
-        name=shm.name, shape=array.shape, dtype=str(array.dtype)
-    )
+    try:
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+        view[...] = array
+        handle = SharedBlockHandle(
+            name=shm.name, shape=array.shape, dtype=str(array.dtype)
+        )
+    except BaseException:
+        # The segment exists but ownership never reached the returned
+        # export object; without this unlink it would outlive the
+        # process in /dev/shm (RL010).
+        shm.unlink()
+        shm.close()
+        raise
     return SharedBlockExport(shm, handle)
 
 
+# repro-lint: shm-attach
 def attach_block(handle: SharedBlockHandle) -> np.ndarray:
     """Map an exported block read-only in this process.
 

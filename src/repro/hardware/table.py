@@ -103,7 +103,10 @@ def clear_shared_feature_blocks() -> None:
 #: Per-table memo of CPU-power columns, keyed by the CPU model's
 #: ``(coef, static)`` coefficients.  Module-level (weak-keyed) rather
 #: than an instance attribute so a warm table pickles and fingerprints
-#: identically to a cold one.
+#: identically to a cold one.  Entries are plain dicts keyed by the
+#: coefficient pair, so stale hits are impossible (a changed CPU model
+#: is a different key) — hence ``memo-guard=keyed``.
+# repro-lint: memo-guard=keyed
 _CPU_POWER_COLUMNS: "weakref.WeakKeyDictionary[ConfigTable, Dict[Tuple[float, float], np.ndarray]]" = (
     weakref.WeakKeyDictionary()
 )

@@ -100,7 +100,10 @@ def _flatten(trees: Sequence[DecisionTreeRegressor]) -> _FlatForest:
 #: Derived flat arrays per forest.  A module-level weak-key memo — never
 #: an instance attribute — so flattening neither changes pickle bytes
 #: nor perturbs structural fingerprints (same discipline as
-#: ``repro.hardware.table._CPU_POWER_COLUMNS``).
+#: ``repro.hardware.table._CPU_POWER_COLUMNS``).  Readers must
+#: revalidate hits against the live tree tuple (``matches``) before
+#: use — a refit rebinds ``forest.trees`` without touching the memo.
+# repro-lint: memo-guard=matches
 _FLAT_FORESTS: "weakref.WeakKeyDictionary[RandomForestRegressor, _FlatForest]" = (
     weakref.WeakKeyDictionary()
 )

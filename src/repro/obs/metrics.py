@@ -53,6 +53,7 @@ def _label_key(labels: Dict[str, Any]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+# repro-lint: shared-state=_series
 class _Bound:
     """One label set of a metric with its key pre-resolved.
 
@@ -81,6 +82,7 @@ class BoundCounter(_Bound):
         with self._lock:
             self.inc_unlocked(value)
 
+    # repro-lint: requires-lock=lock
     def inc_unlocked(self, value: float = 1.0) -> None:
         """:meth:`inc` for callers already holding the registry lock."""
         if value < 0:
@@ -98,6 +100,7 @@ class BoundGauge(_Bound):
         with self._lock:
             self._series[self._key] = float(value)
 
+    # repro-lint: requires-lock=lock
     def set_unlocked(self, value: float) -> None:
         """:meth:`set` for callers already holding the registry lock."""
         self._series[self._key] = float(value)
@@ -121,6 +124,7 @@ class BoundHistogram(_Bound):
         with self._lock:
             self.observe_unlocked(value)
 
+    # repro-lint: requires-lock=lock
     def observe_unlocked(self, value: float) -> None:
         """:meth:`observe` for callers already holding the registry lock."""
         state = self._series.get(self._key)
@@ -141,6 +145,7 @@ class BoundHistogram(_Bound):
         state["count"] += 1
 
 
+# repro-lint: shared-state=_series
 class _Metric:
     """Shared plumbing of all labelled metric kinds."""
 
@@ -281,6 +286,7 @@ class Histogram(_Metric):
             return state["sum"] if state else 0.0
 
 
+# repro-lint: shared-state=_metrics,sources
 class MetricsRegistry:
     """Thread-safe, mergeable home of one process's metrics.
 
@@ -414,7 +420,10 @@ class MetricsRegistry:
                         ]
                         state["sum"] += float(value["sum"])
                         state["count"] += int(value["count"])
-        self.sources += int(snapshot.get("sources", 1))
+        # Inside the frame: a racing snapshot_and_reset must never see
+        # merged series paired with a stale source count (RL012).
+        with self._lock:
+            self.sources += int(snapshot.get("sources", 1))
 
     def snapshot_and_reset(self) -> Dict[str, Any]:
         """Snapshot, then clear every series (keeps definitions).
@@ -428,7 +437,9 @@ class MetricsRegistry:
                 # Clear in place: bound handles (``labelled()``) alias
                 # the series dict and must survive the reset.
                 metric._series.clear()
-        self.sources = 1
+            # Reset under the same frame as the series it describes,
+            # so concurrent merge() calls cannot interleave (RL012).
+            self.sources = 1
         return snap
 
 

@@ -220,42 +220,46 @@ class SessionManager:
         preloaded: List[Any] = []
         swept = 0
         requested = 0
-        for key, members in groups.items():
-            unique: Dict[Any, None] = {}
-            for wanted in requests[key]:
-                requested += len(wanted)
-                for counters in wanted:
-                    unique.setdefault(counters)
-            try:
-                batches = members[0].sweep_many(list(unique))
-            except Exception:
-                continue  # every member falls back to its lazy sweep
-            swept += len(unique)
-            mapping = dict(zip(unique, batches))
-            for optimizer in members:
-                optimizer.preload_lattice(mapping)
-                preloaded.append(optimizer)
-
-        if self.obs.enabled:
-            registry = self.obs.registry
-            registry.counter(
-                "repro_runtime_batched_steps_total",
-                "step_batch calls processed",
-            ).inc()
-            registry.counter(
-                "repro_runtime_batched_launches_total",
-                "Launches processed through step_batch",
-            ).inc(len(events))
-            registry.counter(
-                "repro_runtime_batched_sweeps_total",
-                "Distinct whole-lattice sweeps computed for batches",
-            ).inc(swept)
-            registry.counter(
-                "repro_runtime_batched_dedup_hits_total",
-                "Prefetched sweep requests served by another session's sweep",
-            ).inc(requested - swept)
-
+        # Every preload must be cleared even when a later group's sweep
+        # or the obs counters raise (RL010), so the whole span from the
+        # first preload_lattice to dispatch sits under one finally.
         try:
+            for key, members in groups.items():
+                unique: Dict[Any, None] = {}
+                for wanted in requests[key]:
+                    requested += len(wanted)
+                    for counters in wanted:
+                        unique.setdefault(counters)
+                try:
+                    batches = members[0].sweep_many(list(unique))
+                except Exception:
+                    continue  # every member falls back to its lazy sweep
+                swept += len(unique)
+                mapping = dict(zip(unique, batches))
+                for optimizer in members:
+                    optimizer.preload_lattice(mapping)
+                    preloaded.append(optimizer)
+
+            if self.obs.enabled:
+                registry = self.obs.registry
+                registry.counter(
+                    "repro_runtime_batched_steps_total",
+                    "step_batch calls processed",
+                ).inc()
+                registry.counter(
+                    "repro_runtime_batched_launches_total",
+                    "Launches processed through step_batch",
+                ).inc(len(events))
+                registry.counter(
+                    "repro_runtime_batched_sweeps_total",
+                    "Distinct whole-lattice sweeps computed for batches",
+                ).inc(swept)
+                registry.counter(
+                    "repro_runtime_batched_dedup_hits_total",
+                    "Prefetched sweep requests served by another "
+                    "session's sweep",
+                ).inc(requested - swept)
+
             return [self.dispatch(event) for event in events]
         finally:
             for optimizer in preloaded:

@@ -1,0 +1,31 @@
+"""RL009 bad fixture: unlocked calls and a re-acquired lock."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.count = 0
+
+    # repro-lint: requires-lock=lock
+    def inc_unlocked(self, n=1):
+        self.count += n
+
+    def bump_without_frame(self):
+        # BAD: no lock frame on any path.
+        self.inc_unlocked()
+
+    def bump_partially_dominated(self, fast):
+        # BAD: the frame covers only one branch; the must-analysis
+        # meets to the empty set at the call.
+        if fast:
+            with self.lock:
+                pass
+        self.inc_unlocked()
+
+    def reacquire(self):
+        # BAD: the inner with re-acquires a held non-reentrant lock.
+        with self.lock:
+            with self.lock:
+                self.inc_unlocked()

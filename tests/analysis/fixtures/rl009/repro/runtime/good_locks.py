@@ -1,0 +1,38 @@
+"""RL009 good fixture: every unlocked call sits under a dominating frame."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.count = 0
+
+    # repro-lint: requires-lock=lock
+    def inc_unlocked(self, n=1):
+        self.count += n
+
+    def bump(self):
+        with self.lock:
+            self.inc_unlocked()
+
+    def bump_both_branches(self, fast):
+        # The frame dominates the call on every path.
+        with self.lock:
+            if fast:
+                self.inc_unlocked()
+            else:
+                self.inc_unlocked(2)
+
+    # repro-lint: requires-lock=lock
+    def bump_many_unlocked(self, n):
+        # Callers hold the lock; the batch call inherits their frame.
+        for _ in range(n):
+            self.inc_unlocked()
+
+    def bump_explicit(self):
+        self.lock.acquire()
+        try:
+            self.inc_unlocked()
+        finally:
+            self.lock.release()

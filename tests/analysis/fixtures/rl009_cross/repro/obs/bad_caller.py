@@ -1,0 +1,11 @@
+"""Cross-module RL009 fixture: unlocked call into another module.
+
+``flush_pending`` is not named ``*_unlocked``; the requirement reaches
+this module only through the call-graph layer resolving the annotation
+on ``EventStore.flush_pending`` in ``store.py``.
+"""
+
+
+def drain(store):
+    # BAD: no frame; the requires-lock fact comes from store.py.
+    return store.flush_pending()

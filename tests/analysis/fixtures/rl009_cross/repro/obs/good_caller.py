@@ -1,0 +1,6 @@
+"""Cross-module RL009 fixture: the caller holds the store's lock."""
+
+
+def drain(store):
+    with store.lock:
+        return store.flush_pending()

@@ -1,0 +1,14 @@
+"""Cross-module RL009 fixture: the annotated callee lives here."""
+
+import threading
+
+
+class EventStore:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.pending = []
+
+    # repro-lint: requires-lock=lock
+    def flush_pending(self):
+        drained, self.pending = self.pending, []
+        return drained

@@ -1,0 +1,73 @@
+"""RL010 bad fixture: segments that miss their release on some path."""
+
+from multiprocessing import shared_memory
+
+
+def encode(payload):
+    return bytes(payload)
+
+
+class Optimizer:
+    def __init__(self):
+        self._preloaded = {}
+
+    # repro-lint: acquires-on-receiver=clear_preload
+    def preload_lattice(self, batches):
+        self._preloaded.update(batches)
+
+    def clear_preload(self):
+        self._preloaded.clear()
+
+    def dispatch(self):
+        return len(self._preloaded)
+
+
+def leak_on_exception(payload):
+    # BAD: encode() can raise after the create; the unlink at the end
+    # is not reached on the exceptional path (no try/finally).
+    shm = shared_memory.SharedMemory(create=True, size=64)
+    data = encode(payload)
+    shm.buf[: len(data)] = data
+    shm.unlink()
+    shm.close()
+
+
+def leak_in_try_body(payload):
+    shm = shared_memory.SharedMemory(create=True, size=64)
+    try:
+        data = encode(payload)
+        shm.buf[: len(data)] = data
+        # BAD: releases inside the try body cover only the happy
+        # path; they belong in the finally.
+        shm.unlink()
+        shm.close()
+    except KeyError:
+        pass
+
+
+def rebind_while_live(payloads):
+    shm = None
+    for payload in payloads:
+        # BAD: each iteration overwrites the previous live segment.
+        shm = shared_memory.SharedMemory(create=True, size=64)
+        shm.buf[:1] = b"x"
+    if shm is not None:
+        shm.unlink()
+        shm.close()
+
+
+def sweep_unbalanced(optimizer, batches):
+    # BAD: dispatch() can raise between the preload and the clear.
+    optimizer.preload_lattice(batches)
+    count = optimizer.dispatch()
+    optimizer.clear_preload()
+    return count
+
+
+# repro-lint: shm-attach
+def attach_and_destroy(handle_name):
+    shm = shared_memory.SharedMemory(name=handle_name)
+    view = bytes(shm.buf)
+    # BAD: workers never unlink; the owner's segment is not theirs.
+    shm.unlink()
+    return view

@@ -1,0 +1,62 @@
+"""RL010 good fixture: every acquisition reaches release on all paths."""
+
+import contextlib
+from multiprocessing import shared_memory
+
+
+def encode(payload):
+    return bytes(payload)
+
+
+class Optimizer:
+    def __init__(self):
+        self._preloaded = {}
+
+    # repro-lint: acquires-on-receiver=clear_preload
+    def preload_lattice(self, batches):
+        self._preloaded.update(batches)
+
+    def clear_preload(self):
+        self._preloaded.clear()
+
+    def dispatch(self):
+        return len(self._preloaded)
+
+
+def release_in_finally(payload):
+    shm = shared_memory.SharedMemory(create=True, size=64)
+    try:
+        data = encode(payload)
+        shm.buf[: len(data)] = data
+    finally:
+        shm.unlink()
+        shm.close()
+
+
+def register_with_exitstack(payload):
+    with contextlib.ExitStack() as stack:
+        shm = shared_memory.SharedMemory(create=True, size=64)
+        stack.callback(shm.unlink)
+        data = encode(payload)
+        shm.buf[: len(data)] = data
+
+
+def transfer_ownership(size):
+    # Returning the handle moves ownership to the caller.
+    return shared_memory.SharedMemory(create=True, size=size)
+
+
+def sweep_balanced(optimizer, batches):
+    optimizer.preload_lattice(batches)
+    try:
+        return optimizer.dispatch()
+    finally:
+        optimizer.clear_preload()
+
+
+# repro-lint: shm-attach
+def attach_read_only(handle_name):
+    shm = shared_memory.SharedMemory(name=handle_name)
+    view = bytes(shm.buf)
+    shm.close()
+    return view

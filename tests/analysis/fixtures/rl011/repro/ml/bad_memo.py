@@ -1,0 +1,25 @@
+"""RL011 bad fixture: stale-prone reads from a weak-key memo."""
+
+import weakref
+
+# repro-lint: memo-guard=matches
+_FLAT_FORESTS = weakref.WeakKeyDictionary()
+
+
+def _flatten(forest):
+    return list(forest.trees)
+
+
+def flat_of(forest):
+    flat = _FLAT_FORESTS.get(forest)
+    if flat is None:
+        flat = _flatten(forest)
+        _FLAT_FORESTS[forest] = flat
+    # BAD: a hit is returned without a matches() staleness check — a
+    # refit rebinds forest.trees but leaves the memo entry in place.
+    return flat
+
+
+def tree_count(forest):
+    # BAD: direct unguarded read; no binding to validate at all.
+    return len(_FLAT_FORESTS[forest])

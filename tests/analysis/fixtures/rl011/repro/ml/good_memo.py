@@ -1,0 +1,31 @@
+"""RL011 good fixture: guarded and keyed memo reads."""
+
+import weakref
+
+# repro-lint: memo-guard=matches
+_FLAT_FORESTS = weakref.WeakKeyDictionary()
+
+# Stale hits are impossible: the payload is a dict keyed by the
+# coefficient pair, so a changed model is a different key.
+# repro-lint: memo-guard=keyed
+_POWER_COLUMNS = weakref.WeakKeyDictionary()
+
+
+def _flatten(forest):
+    return list(forest.trees)
+
+
+def flat_of(forest):
+    flat = _FLAT_FORESTS.get(forest)
+    if flat is None or not flat.matches(forest.trees):
+        flat = _flatten(forest)
+        _FLAT_FORESTS[forest] = flat
+    return flat
+
+
+def columns_of(table, key):
+    memo = _POWER_COLUMNS.get(table)
+    if memo is None:
+        memo = {}
+        _POWER_COLUMNS[table] = memo
+    return memo.setdefault(key, table.compute(key))

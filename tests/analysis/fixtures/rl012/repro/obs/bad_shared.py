@@ -1,0 +1,34 @@
+"""RL012 bad fixture: unguarded writes to declared shared state."""
+
+import threading
+
+
+# repro-lint: shared-state=entries,total
+class Accumulator:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.entries = []
+        self.total = 0
+
+    def add(self, value):
+        # BAD: no lock frame on any path.
+        self.entries.append(value)
+
+    def merge(self, amount, fast):
+        if fast:
+            with self._lock:
+                self.total += amount
+        else:
+            # BAD: the frame covers only the other branch.
+            self.total += amount
+
+    def drain(self):
+        items = self.entries
+        # BAD: mutator through a local alias of self.entries.
+        items.clear()
+
+
+class FastAccumulator(Accumulator):
+    def bump(self, value):
+        # BAD: the shared-state declaration is inherited from the base.
+        self.total += value

@@ -1,0 +1,31 @@
+"""RL012 good fixture: every shared-state write sits under a frame."""
+
+import threading
+
+
+# repro-lint: shared-state=entries,total
+class Accumulator:
+    def __init__(self):
+        # Construction precedes sharing; __init__ writes are exempt.
+        self._lock = threading.Lock()
+        self.entries = []
+        self.total = 0
+
+    def add(self, value):
+        with self._lock:
+            self.entries.append(value)
+
+    # repro-lint: requires-lock=_lock
+    def merge_unlocked(self, amount):
+        # The caller's frame covers this write (RL009 polices callers).
+        self.total += amount
+
+    def merge(self, amount):
+        with self._lock:
+            self.merge_unlocked(amount)
+
+    def drain(self):
+        with self._lock:
+            items = self.entries
+            items.clear()
+            self.total = 0

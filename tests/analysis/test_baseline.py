@@ -1,0 +1,105 @@
+"""Baseline files: round-trip, budget semantics, CLI wiring, --stats."""
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, render_stats, run_lint
+from repro.cli import main
+
+from tests.analysis.conftest import FIXTURES, REPO_ROOT, lint_fixture
+
+pytestmark = pytest.mark.analysis
+
+BAD_LOCKS = str(FIXTURES / "rl009" / "repro" / "runtime" / "bad_locks.py")
+
+
+def test_baseline_round_trips():
+    result = lint_fixture("rl009")
+    baseline = Baseline.from_findings(result.findings)
+    parsed = Baseline.parse(baseline.render())
+    assert parsed == baseline
+    assert sum(baseline.entries.values()) == len(result.findings)
+
+
+def test_baseline_absorbs_known_findings():
+    result = lint_fixture("rl009")
+    baseline = Baseline.from_findings(result.findings)
+    kept, baselined = baseline.apply(result.findings)
+    assert kept == []
+    assert baselined == len(result.findings)
+
+
+def test_baseline_budget_is_per_instance():
+    result = lint_fixture("rl009")
+    findings = result.findings
+    # A baseline recording one instance absorbs one, not all.
+    baseline = Baseline.from_findings(findings[:1])
+    kept, baselined = baseline.apply(findings)
+    assert baselined == 1
+    assert len(kept) == len(findings) - 1
+
+
+def test_baseline_rejects_unknown_schema():
+    payload = json.loads(Baseline().render())
+    payload["schema"] = 99
+    with pytest.raises(ValueError):
+        Baseline.parse(json.dumps(payload))
+
+
+def test_run_lint_applies_baseline():
+    dirty = lint_fixture("rl009")
+    baseline = Baseline.from_findings(dirty.findings)
+    clean = run_lint(
+        [str(FIXTURES / "rl009")], root=str(REPO_ROOT), baseline=baseline
+    )
+    assert clean.exit_code == 0
+    assert clean.findings == []
+    assert clean.baselined == len(dirty.findings)
+
+
+def test_cli_write_then_apply_baseline(tmp_path, capsys):
+    baseline_file = tmp_path / "lint-baseline.json"
+    code = main(
+        ["lint", BAD_LOCKS, "--write-baseline", str(baseline_file)]
+    )
+    assert code == 0
+    assert baseline_file.exists()
+    capsys.readouterr()
+
+    code = main(["lint", BAD_LOCKS, "--baseline", str(baseline_file)])
+    assert code == 0
+    assert "baselined" in capsys.readouterr().out
+
+
+def test_cli_baseline_does_not_hide_new_findings(tmp_path, capsys):
+    baseline_file = tmp_path / "lint-baseline.json"
+    # Baseline only the RL011 fixture, then lint RL009 + RL011 trees.
+    rl011 = str(FIXTURES / "rl011")
+    code = main(["lint", rl011, "--write-baseline", str(baseline_file)])
+    assert code == 0
+    capsys.readouterr()
+    code = main(
+        ["lint", rl011, BAD_LOCKS, "--baseline", str(baseline_file)]
+    )
+    assert code == 1  # the RL009 findings are new
+
+
+def test_cli_bad_baseline_exits_two(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    code = main(["lint", BAD_LOCKS, "--baseline", str(bad)])
+    assert code == 2
+    assert "bad baseline" in capsys.readouterr().err
+
+
+def test_stats_reports_each_rule(capsys):
+    result = lint_fixture("rl009")
+    stats = render_stats(result)
+    for rule_id in result.rules_run:
+        assert rule_id in stats
+    assert "flow" in stats and "module" in stats
+    code = main(["lint", BAD_LOCKS, "--select", "RL009", "--stats"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "RL009" in out and "ms" in out

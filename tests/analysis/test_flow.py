@@ -1,0 +1,273 @@
+"""Flow-engine unit tests: CFG construction, fixpoints, annotations."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis.flow import (
+    ForwardAnalysis,
+    build_cfg,
+    held_lock_states,
+    lock_token,
+    module_flow,
+    run_forward,
+    scan_annotation_comments,
+)
+from repro.analysis.index import build_module
+
+pytestmark = pytest.mark.analysis
+
+
+def _func(source):
+    node = ast.parse(textwrap.dedent(source)).body[0]
+    assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return node
+
+
+def _flow_func(source, name, tmp_path):
+    path = tmp_path / "repro" / "mod.py"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    module = build_module(str(path), root=str(tmp_path))
+    flow = module_flow(module)
+    return next(f for f in flow.functions if f.name == name)
+
+
+# -- CFG construction ---------------------------------------------------------
+
+
+def test_cfg_straight_line_reaches_exit():
+    cfg = build_cfg(_func("""
+        def f(x):
+            y = x + 1
+            return y
+    """))
+    kinds = [atom.kind for _, atom in cfg.atoms()]
+    assert kinds == ["stmt", "stmt"]
+    # The return's only successor is the exit block.
+    ret = next(
+        b for b in cfg.blocks.values()
+        if b.atom is not None and isinstance(b.atom.node, ast.Return)
+    )
+    assert ret.succ == [cfg.exit]
+    assert cfg.blocks[cfg.exit].atom is None
+
+
+def test_cfg_if_has_two_way_branch_and_join():
+    cfg = build_cfg(_func("""
+        def f(x):
+            if x:
+                a = 1
+            else:
+                a = 2
+            return a
+    """))
+    test = next(
+        b for b in cfg.blocks.values()
+        if b.atom is not None and b.atom.kind == "test"
+    )
+    assert len(test.succ) == 2
+
+
+def test_cfg_while_loop_has_back_edge():
+    cfg = build_cfg(_func("""
+        def f(n):
+            while n:
+                n = n - 1
+            return n
+    """))
+    test = next(
+        b for b in cfg.blocks.values()
+        if b.atom is not None and b.atom.kind == "test"
+    )
+    body = next(
+        b for b in cfg.blocks.values()
+        if b.atom is not None and isinstance(b.atom.node, ast.Assign)
+    )
+    assert body.succ == [test.id]  # the loop's back edge
+
+
+def test_cfg_with_emits_enter_and_exit_atoms():
+    cfg = build_cfg(_func("""
+        def f(lock):
+            with lock:
+                pass
+    """))
+    kinds = [atom.kind for _, atom in cfg.atoms()]
+    assert "with-enter" in kinds
+    assert "with-exit" in kinds
+
+
+def test_cfg_finally_is_duplicated_per_continuation():
+    cfg = build_cfg(_func("""
+        def f(x):
+            try:
+                if x:
+                    return 1
+                y = risky()
+            finally:
+                cleanup()
+            return 0
+    """))
+    finally_stmt = None
+    for _, atom in cfg.atoms():
+        node = atom.node
+        if (
+            isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id == "cleanup"
+        ):
+            finally_stmt = finally_stmt or node
+    # return / fall-through / exception each run their own copy of the
+    # finally body, so the same AST statement appears in >= 3 blocks.
+    copies = sum(
+        1 for _, atom in cfg.atoms() if atom.node is finally_stmt
+    )
+    assert copies >= 3
+
+
+def test_cfg_uncaught_exception_reaches_raise_exit():
+    cfg = build_cfg(_func("""
+        def f():
+            try:
+                risky()
+            except KeyError:
+                pass
+    """))
+    # KeyError does not catch everything: some exc edge must reach the
+    # raise exit.
+    reachable = set()
+    frontier = [cfg.entry]
+    while frontier:
+        block_id = frontier.pop()
+        if block_id in reachable:
+            continue
+        reachable.add(block_id)
+        block = cfg.blocks[block_id]
+        frontier.extend(block.succ)
+        frontier.extend(block.exc_succ)
+    assert cfg.raise_exit in reachable
+
+
+# -- dataflow fixpoint --------------------------------------------------------
+
+
+class _MayAssign(ForwardAnalysis):
+    """May-analysis collecting names ever assigned (tests the worklist)."""
+
+    def entry_state(self, cfg):
+        return frozenset()
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, atom, state):
+        node = atom.node
+        if isinstance(node, ast.Assign):
+            names = {
+                t.id for t in node.targets if isinstance(t, ast.Name)
+            }
+            return state | names
+        return state
+
+
+def test_fixpoint_converges_on_loop():
+    cfg = build_cfg(_func("""
+        def f(n):
+            while n:
+                a = 1
+                b = 2
+            return n
+    """))
+    states = run_forward(cfg, _MayAssign())
+    # After one full trip around the loop, both names flow back into
+    # the loop test — requiring a second visit (a genuine fixpoint).
+    test = next(
+        b for b in cfg.blocks.values()
+        if b.atom is not None and b.atom.kind == "test"
+    )
+    assert states[test.id] == frozenset({"a", "b"})
+    assert states[cfg.exit] == frozenset({"a", "b"})
+
+
+def test_unreachable_code_has_no_state():
+    cfg = build_cfg(_func("""
+        def f():
+            return 1
+            x = dead()
+    """))
+    dead = [
+        b for b in cfg.blocks.values()
+        if b.atom is not None and isinstance(b.atom.node, ast.Assign)
+    ]
+    states = run_forward(cfg, _MayAssign())
+    for block in dead:
+        assert block.id not in states
+
+
+# -- lock states (must-analysis) ----------------------------------------------
+
+
+def test_held_locks_intersect_at_joins(tmp_path):
+    func = _flow_func("""
+        def f(self, fast):
+            if fast:
+                with self._lock:
+                    pass
+            probe = 1
+    """, "f", tmp_path)
+    cfg = func.cfg()
+    states = held_lock_states(func)
+    probe = next(
+        b for b in cfg.blocks.values()
+        if b.atom is not None and isinstance(b.atom.node, ast.Assign)
+    )
+    # Held on one branch only -> not held at the join.
+    assert states[probe.id] == frozenset()
+
+
+def test_held_locks_survive_loops(tmp_path):
+    func = _flow_func("""
+        def f(self, items):
+            with self._lock:
+                for item in items:
+                    probe = item
+    """, "f", tmp_path)
+    cfg = func.cfg()
+    states = held_lock_states(func)
+    probe = next(
+        b for b in cfg.blocks.values()
+        if b.atom is not None and isinstance(b.atom.node, ast.Assign)
+    )
+    assert states[probe.id] == frozenset({"self.lock"})
+
+
+# -- annotations --------------------------------------------------------------
+
+
+def test_lock_token_normalizes_leading_underscores():
+    assert lock_token("self._lock") == "self.lock"
+    assert lock_token("self.lock") == "self.lock"
+    assert lock_token("registry.tree_lock") == "registry.tree_lock"
+    assert lock_token("self.data") is None
+
+
+def test_annotation_comments_attach_to_next_def():
+    source = textwrap.dedent("""
+        # repro-lint: requires-lock=_lock
+        def merge_series(self):
+            pass
+    """)
+    annotations = scan_annotation_comments(source)
+    assert annotations == {2: {"requires-lock": "_lock"}}
+
+
+def test_unlocked_suffix_implies_requires_lock(tmp_path):
+    func = _flow_func("""
+        class R:
+            def inc_unlocked(self):
+                pass
+    """, "inc_unlocked", tmp_path)
+    assert func.requires_lock == "lock"

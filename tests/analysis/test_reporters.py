@@ -25,12 +25,23 @@ def test_json_round_trip_is_lossless():
 
 def test_json_layout():
     payload = json.loads(render_json(lint_fixture("rl002/bad_rng.py")))
-    assert payload["schema"] == REPORT_SCHEMA
+    assert payload["schema"] == REPORT_SCHEMA == 2
     assert payload["tool"] == "repro-lint"
     assert payload["summary"]["findings"] == len(payload["findings"])
     assert payload["summary"]["errors"] == 3
+    assert payload["summary"]["baselined"] == 0
     first = payload["findings"][0]
     assert set(first) == {"path", "line", "col", "rule", "severity", "message"}
+
+
+def test_json_rules_metadata_names_scope_and_index_need():
+    payload = json.loads(render_json(lint_fixture("rl002/good_rng.py")))
+    by_id = {entry["id"]: entry for entry in payload["rules"]}
+    assert set(by_id) == set(payload["rules_run"])
+    assert by_id["RL002"]["scope"] == "module"
+    assert by_id["RL002"]["needs_index"] is False
+    assert by_id["RL009"]["scope"] == "flow"
+    assert by_id["RL009"]["needs_index"] is True
 
 
 def test_unknown_schema_rejected():
@@ -50,7 +61,12 @@ def test_text_report_has_location_lines_and_summary():
     assert "3 errors" in lines[-1]
 
 
-def test_catalogue_lists_every_rule():
+def test_catalogue_lists_every_rule_with_scope():
     catalogue = render_catalogue()
-    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005", "RL006"):
+    for rule_id in (
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+        "RL007", "RL008", "RL009", "RL010", "RL011", "RL012",
+    ):
         assert rule_id in catalogue
+    assert "(module)" in catalogue
+    assert "(flow, needs project index)" in catalogue
