@@ -14,9 +14,11 @@ Rule ids:
 * ``RL010`` shm-lifecycle (:mod:`.lifecycle`) — flow-sensitive
 * ``RL011`` memo-staleness (:mod:`.memo`) — flow-sensitive
 * ``RL012`` unguarded-shared-mutation (:mod:`.shared_state`) — flow-sensitive
+* ``RL013`` budget-conservation (:mod:`.budget`)
 """
 
 from repro.analysis.rules import (  # noqa: F401
+    budget,
     concurrency,
     config,
     determinism,
@@ -31,6 +33,7 @@ from repro.analysis.rules import (  # noqa: F401
 )
 
 __all__ = [
+    "budget",
     "concurrency",
     "config",
     "determinism",

@@ -1,0 +1,172 @@
+"""RL013 budget-conservation: apportion paths must assert conservation.
+
+The fleet's safety contract is that the sum of per-node budgets never
+exceeds the global cap (``docs/FLEET.md``).  The contract is enforced
+at runtime by an assertion inside the allocator's ``apportion`` path —
+``assert math.fsum(budgets.values()) <= self.cap_w`` in
+:mod:`repro.fleet.budget` — and this rule makes the assertion itself a
+checked invariant: deleting or weakening it is a lint error, not a
+silent regression that only a well-aimed property test would catch.
+
+Concretely, every class that defines an ``apportion`` method in an
+allocator module (``repro/fleet/budget.py``-shaped paths, matched the
+same way RL003 pairs serializer/trace modules so fixture mirror trees
+check themselves) must contain, on the apportion path, an ``assert``
+whose test both
+
+* sums the apportioned budgets — a call to ``sum`` or ``fsum`` (plain
+  or attribute-qualified, e.g. ``math.fsum``), and
+* compares with ``<=`` (or the mirrored ``>=``) against the cap.
+
+"On the apportion path" means in ``apportion`` itself or in any
+same-module helper it (transitively) calls — either a method of the
+same class invoked through ``self`` or a module-level function — so
+refactoring the tail of ``apportion`` into a ``_finalize`` helper does
+not defeat the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.index import ModuleInfo, ProjectIndex
+from repro.analysis.registry import rule
+
+__all__ = ["check_budget_conservation"]
+
+#: Allocator modules whose apportion paths must carry the assertion.
+ALLOCATOR_PATH = "repro/fleet/budget.py"
+
+#: Call names that count as summing the budget vector.
+SUM_NAMES = frozenset({"sum", "fsum"})
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    """The terminal name of a call target (``fsum`` for ``math.fsum``)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _is_conservation_assert(node: ast.Assert) -> bool:
+    """True when the assert both sums budgets and bounds them by a cap."""
+    sums = any(
+        isinstance(sub, ast.Call) and _call_name(sub) in SUM_NAMES
+        for sub in ast.walk(node.test)
+    )
+    bounded = any(
+        isinstance(sub, ast.Compare)
+        and any(isinstance(op, (ast.LtE, ast.GtE)) for op in sub.ops)
+        for sub in ast.walk(node.test)
+    )
+    return sums and bounded
+
+
+def _local_calls(body: List[ast.stmt]) -> Set[str]:
+    """Names of same-module callees reachable from ``body``.
+
+    Collects both ``self._helper(...)`` method calls and bare
+    ``_helper(...)`` module-function calls; the caller resolves which
+    exist.
+    """
+    names: Set[str] = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+            ):
+                names.add(func.attr)
+            elif isinstance(func, ast.Name):
+                names.add(func.id)
+    return names
+
+
+def _apportion_path_bodies(
+    module: ModuleInfo, cls: ast.ClassDef, entry: ast.FunctionDef
+) -> Iterator[List[ast.stmt]]:
+    """Statement bodies on the apportion path, entry first.
+
+    Follows calls one module deep: ``self`` methods of the same class
+    and module-level functions, transitively, each visited once.
+    """
+    methods: Dict[str, ast.FunctionDef] = {
+        node.name: node
+        for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    functions: Dict[str, ast.FunctionDef] = {
+        node.name: node
+        for node in module.tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    seen: Set[str] = {entry.name}
+    worklist: List[ast.FunctionDef] = [entry]
+    while worklist:
+        fn = worklist.pop()
+        yield fn.body
+        for name in sorted(_local_calls(fn.body)):
+            if name in seen:
+                continue
+            target = methods.get(name) or functions.get(name)
+            if target is not None:
+                seen.add(name)
+                worklist.append(target)
+
+
+def _check_allocator(module: ModuleInfo) -> Iterator[Finding]:
+    for cls in module.tree.body:
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        apportion = next(
+            (
+                node
+                for node in cls.body
+                if isinstance(node, ast.FunctionDef)
+                and node.name == "apportion"
+            ),
+            None,
+        )
+        if apportion is None:
+            continue
+        covered = any(
+            isinstance(node, ast.Assert) and _is_conservation_assert(node)
+            for body in _apportion_path_bodies(module, cls, apportion)
+            for stmt in body
+            for node in ast.walk(stmt)
+        )
+        if not covered:
+            yield Finding(
+                path=module.path,
+                line=apportion.lineno,
+                col=apportion.col_offset,
+                rule_id="RL013",
+                severity=Severity.ERROR,
+                message=(
+                    f"{cls.name}.apportion has no budget-conservation "
+                    "assertion on its path; assert "
+                    "sum/fsum(budgets) <= cap so oversubscription fails "
+                    "loudly instead of overdrawing the fleet"
+                ),
+            )
+
+
+@rule(
+    "RL013",
+    "budget-conservation",
+    "budget apportion paths must assert sum(child budgets) <= cap",
+    scope="project",
+)
+def check_budget_conservation(index: ProjectIndex) -> Iterator[Finding]:
+    """Cross-module conservation-assertion coverage check."""
+    for module in index.modules_matching(ALLOCATOR_PATH):
+        yield from _check_allocator(module)

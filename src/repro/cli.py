@@ -14,6 +14,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli trace record kmeans -o k.jsonl   # capture a run
     python -m repro.cli trace replay k.jsonl         # re-check it float-for-float
     python -m repro.cli trace generate -o traces/    # adversarial corpus
+    python -m repro.cli fleet run t.jsonl --nodes 4 --cap-w 250  # fleet sim
+    python -m repro.cli bench fleet --quick          # fleet scaling smoke
 """
 
 from __future__ import annotations
@@ -90,7 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_flags(report)
 
     lint = sub.add_parser(
-        "lint", help="run the AST invariant linter (RL001-RL012)"
+        "lint", help="run the AST invariant linter (RL001-RL013)"
     )
     lint.add_argument(
         "paths", nargs="*", default=["src"],
@@ -155,6 +157,82 @@ def build_parser() -> argparse.ArgumentParser:
     decide.add_argument(
         "--max-health-overhead", default=None, type=float, metavar="PCT",
         help="fail if the health-vs-NOOP hot-path overhead exceeds PCT",
+    )
+    bench_fleet = bench_sub.add_parser(
+        "fleet",
+        help="fleet decisions/sec across shard counts and global caps",
+    )
+    bench_fleet.add_argument(
+        "--quick", action="store_true",
+        help="smaller trace and the {1,4}-node grid (CI smoke mode)",
+    )
+    bench_fleet.add_argument(
+        "-o", "--output", default=None, metavar="PATH",
+        help="trajectory JSON file (default: BENCH_fleet.json)",
+    )
+    bench_fleet.add_argument(
+        "-l", "--label", default=None,
+        help="label for this trajectory entry",
+    )
+    bench_fleet.add_argument("--seed", type=int, default=0,
+                             help="bench workload seed (default: 0)")
+    bench_fleet.add_argument(
+        "--epoch-launches", type=int, default=32, metavar="N",
+        help="budget-epoch length in dispatched launches (default: 32)",
+    )
+    bench_fleet.add_argument(
+        "--min-speedup", default=None, type=float, metavar="X",
+        help="fail unless the best 4-node speedup over the single-node "
+        "batched baseline reaches X (pass only on multi-core hosts)",
+    )
+
+    fleet = sub.add_parser(
+        "fleet", help="shard a multi-session trace across simulated nodes"
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_run = fleet_sub.add_parser(
+        "run",
+        help="drive a trace through N nodes under a hierarchical power cap",
+    )
+    fleet_run.add_argument("trace", help="JSONL kernel-launch trace file")
+    fleet_run.add_argument("--nodes", type=int, default=1,
+                           help="fleet size (default: 1)")
+    fleet_run.add_argument(
+        "--cap-w", type=float, default=None, metavar="W",
+        help="global power cap in watts (default: uncapped)",
+    )
+    fleet_run.add_argument(
+        "--epoch-launches", type=int, default=32, metavar="N",
+        help="budget-epoch length in dispatched launches (default: 32)",
+    )
+    fleet_run.add_argument(
+        "--transport", choices=("inline", "process"), default="inline",
+        help="shard transport (default: inline)",
+    )
+    fleet_run.add_argument(
+        "--max-sessions-per-node", type=int, default=None, metavar="N",
+        help="admission limit per node (arrivals beyond it queue)",
+    )
+    fleet_run.add_argument(
+        "--max-queued", type=int, default=None, metavar="N",
+        help="admission-queue capacity (overflow sheds sessions)",
+    )
+    fleet_run.add_argument(
+        "--rebalance", action="store_true",
+        help="migrate sessions from the most- to the least-loaded node "
+        "at epoch boundaries",
+    )
+    fleet_run.add_argument("--scalar", action="store_true",
+                           help="force the scalar decision-core path")
+    fleet_run.add_argument("--cache-dir", default=".cache",
+                           help="Random Forest cache directory")
+    fleet_run.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write node launch spans plus fleet epoch spans to FILE",
+    )
+    fleet_run.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write the merged fleet metrics registry to FILE",
     )
 
     trace = sub.add_parser(
@@ -585,9 +663,110 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
             return 1
         return 0
+    if args.bench_command == "fleet":
+        from repro.experiments.bench_fleet import (
+            DEFAULT_OUTPUT as FLEET_OUTPUT,
+            best_speedup,
+            format_fleet_entry,
+            run_bench_fleet,
+        )
+
+        entry = run_bench_fleet(
+            quick=args.quick,
+            output=args.output or FLEET_OUTPUT,
+            label=args.label,
+            seed=args.seed,
+            min_speedup=args.min_speedup,
+            epoch_launches=args.epoch_launches,
+        )
+        print(format_fleet_entry(entry))
+        print(f"appended to {args.output or FLEET_OUTPUT}")
+        if not all(point["budget_conserved"] for point in entry["grid"]):
+            print("bench fleet: budget conservation violated", file=sys.stderr)
+            return 1
+        if args.min_speedup is not None:
+            speedup_x = best_speedup(entry)
+            if speedup_x is None or speedup_x < args.min_speedup:
+                print(
+                    f"bench fleet: best 4-node speedup "
+                    f"{speedup_x if speedup_x is not None else 'n/a'} "
+                    f"is below the required {args.min_speedup}x",
+                    file=sys.stderr,
+                )
+                return 1
+        return 0
     raise ValueError(
         f"unknown bench command {args.bench_command!r}"
     )  # pragma: no cover
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import FleetSimulator
+    from repro.workloads.traces import Trace
+
+    if args.fleet_command != "run":  # pragma: no cover - argparse restricts
+        raise ValueError(f"unknown fleet command {args.fleet_command!r}")
+    try:
+        trace = Trace.load(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"{args.trace}: {exc}", file=sys.stderr)
+        return 2
+    problems = trace.validate()
+    if problems:
+        for problem in problems:
+            print(f"{args.trace}: {problem}", file=sys.stderr)
+        return 2
+    try:
+        sim = FleetSimulator(
+            trace,
+            nodes=args.nodes,
+            cap_w=args.cap_w,
+            epoch_launches=args.epoch_launches,
+            transport=args.transport,
+            max_sessions_per_node=args.max_sessions_per_node,
+            max_queued=args.max_queued,
+            rebalance=args.rebalance,
+            use_matrix=not args.scalar,
+            cache_dir=args.cache_dir,
+        )
+    except ValueError as exc:
+        print(f"repro fleet run: {exc}", file=sys.stderr)
+        return 2
+    report = sim.run()
+
+    cap = f"{args.cap_w:g} W cap" if args.cap_w is not None else "uncapped"
+    print(
+        f"fleet {trace.header.name}: {args.nodes} node(s) ({args.transport}), "
+        f"{cap}, {report.launches()} launches over {len(report.epochs)} "
+        f"epoch(s)"
+    )
+    hosted: dict = {}
+    for session_id, node_id in report.placement.items():
+        hosted.setdefault(node_id, []).append(session_id)
+    for node_id in sorted(hosted):
+        print(f"  {node_id}: {len(hosted[node_id])} session(s)")
+    if report.queued or report.shed:
+        print(f"  admission: {report.queued} queued, {report.shed} shed")
+    if report.epochs and report.epochs[-1].budgets:
+        last = report.epochs[-1]
+        total = sum(last.budgets.values())
+        print(
+            f"  last epoch budgets: {total:.1f} W apportioned of "
+            f"{last.cap_w:g} W cap"
+        )
+        for node_id, watts in sorted(last.budgets.items()):
+            print(f"    {node_id}: {watts:.1f} W")
+    print(f"  aggregate: {report.aggregate_stats().format()}")
+    if args.trace_out or args.metrics_out:
+        from repro.obs.exporters import write_jsonl, write_prometheus
+
+        if args.trace_out:
+            count = write_jsonl(report.spans, args.trace_out)
+            print(f"wrote {count} spans to {args.trace_out}")
+        if args.metrics_out:
+            write_prometheus(report.registry, args.metrics_out)
+            print(f"wrote metrics to {args.metrics_out}")
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -778,6 +957,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_lint(args)
     if args.command == "bench":
         return _cmd_bench(args)
+    if args.command == "fleet":
+        return _cmd_fleet(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "obs":

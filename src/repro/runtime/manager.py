@@ -31,7 +31,34 @@ from repro.sim.policy import PowerPolicy
 from repro.sim.simulator import MANAGER_CONFIG, OverheadModel
 from repro.workloads.counters import CounterSynthesizer
 
-__all__ = ["SessionManager"]
+__all__ = ["SessionManager", "chunk_distinct_sessions"]
+
+
+def chunk_distinct_sessions(items: Sequence[Any], key: Any) -> List[List[Any]]:
+    """Split ``items`` into maximal distinct-session runs, in order.
+
+    A chunk closes as soon as a session repeats, so each chunk is a
+    legal :meth:`SessionManager.step_batch` input and per-session item
+    order is preserved across chunks.  Shared by the trace replayer's
+    batched mode and the fleet nodes.
+
+    Args:
+        items: The ordered items to chunk.
+        key: Callable mapping an item to its session id.
+    """
+    chunks: List[List[Any]] = []
+    chunk: List[Any] = []
+    sessions: set = set()
+    for item in items:
+        sid = key(item)
+        if sid in sessions:
+            chunks.append(chunk)
+            chunk, sessions = [], set()
+        chunk.append(item)
+        sessions.add(sid)
+    if chunk:
+        chunks.append(chunk)
+    return chunks
 
 
 class SessionManager:
@@ -48,6 +75,11 @@ class SessionManager:
         manager_config: Configuration the optimizer runs at.
         cpu_phase_s: Per-launch CPU phase that hides optimizer time.
         enforce_tdp: Throttle over-TDP configurations before executing.
+        power_budget_w: Optional node power budget (watts) applied to
+            every hosted session — launches are throttled under
+            ``min(budget, TDP if enforce_tdp)``.  Updated live via
+            :meth:`set_power_budget` (the fleet allocator's entry
+            point, re-negotiated each epoch).
         isolate_faults: Fault-isolate hosted policies (the default for
             long-lived streaming service use).
         fail_safe: Fallback configuration for degraded decisions.
@@ -69,13 +101,17 @@ class SessionManager:
         fail_safe: HardwareConfig = FAILSAFE_CONFIG,
         store: Optional[Any] = None,
         obs: Optional[Instrumentation] = None,
+        power_budget_w: Optional[float] = None,
     ) -> None:
+        if power_budget_w is not None and power_budget_w <= 0:
+            raise ValueError("power_budget_w must be positive")
         self.apu = apu if apu is not None else APUModel()
         self.counters = counters if counters is not None else CounterSynthesizer()
         self.overhead = overhead if overhead is not None else OverheadModel()
         self.manager_config = manager_config
         self.cpu_phase_s = cpu_phase_s
         self.enforce_tdp = enforce_tdp
+        self.power_budget_w = power_budget_w
         self.isolate_faults = isolate_faults
         self.fail_safe = fail_safe
         self.store = store
@@ -113,6 +149,7 @@ class SessionManager:
             charge_overhead=charge_overhead,
             obs=self.obs,
             recent_errors_limit=recent_errors_limit,
+            power_budget_w=self.power_budget_w,
         )
         self._sessions[session_id] = session
         return session
@@ -264,6 +301,45 @@ class SessionManager:
         finally:
             for optimizer in preloaded:
                 optimizer.clear_preload()
+
+    # ----- power budget ----------------------------------------------------------
+
+    def set_power_budget(self, watts: Optional[float]) -> None:
+        """Update the node power budget live (fleet epoch entry point).
+
+        Applies to every hosted session *and* to sessions added later;
+        ``None`` removes the budget constraint.  Takes effect at each
+        session's next launch — in-flight launches are not revisited,
+        matching how a real power controller applies a new cap at the
+        next scheduling quantum.
+        """
+        if watts is not None and watts <= 0:
+            raise ValueError("power_budget_w must be positive")
+        self.power_budget_w = watts
+        for session in self._sessions.values():
+            session.power_budget_w = watts
+
+    def utilization(self) -> Dict[str, float]:
+        """Aggregate power/throughput demand signal for the allocator.
+
+        Average power is total energy over total busy time (kernel +
+        overhead); throughput is instructions over kernel time.  Both
+        are 0.0 before any launch has been processed.
+        """
+        total = self.aggregate_stats()
+        busy_s = total.kernel_time_s + total.overhead_time_s
+        return {
+            "power_w": total.energy_j / busy_s if busy_s > 0 else 0.0,
+            "throughput_ips": (
+                total.instructions / total.kernel_time_s
+                if total.kernel_time_s > 0
+                else 0.0
+            ),
+            "energy_j": total.energy_j,
+            "busy_time_s": busy_s,
+            "sessions": float(len(self._sessions)),
+            "launches": float(total.launches),
+        }
 
     def stats(self) -> Dict[str, SessionStats]:
         """Per-session statistics keyed by session id."""

@@ -55,6 +55,7 @@ __all__ = [
     "SessionRuntime",
     "SessionStats",
     "invocation_pair",
+    "throttle_to_cap",
     "throttle_to_tdp",
 ]
 
@@ -70,16 +71,20 @@ RECENT_ERRORS_LIMIT = 8
 _THROTTLE_SPACE = ConfigSpace(gpu_states=tuple(GPU_DPM_STATES))
 
 
-def throttle_to_tdp(apu: APUModel, spec: KernelSpec,
-                    config: HardwareConfig) -> HardwareConfig:
-    """Clamp a configuration into the TDP the way the part would.
+def throttle_to_cap(apu: APUModel, spec: KernelSpec,
+                    config: HardwareConfig, cap_w: float) -> HardwareConfig:
+    """Clamp a configuration under a chip power cap the way the part would.
 
     Mirrors Turbo Core's shedding order: CPU P-states first, then the
     GPU DPM state.  Returns the first configuration along that path
-    whose chip power fits; if none fits, the lowest one.
+    whose chip power fits under ``cap_w``; if none fits, the lowest one.
+    With ``cap_w == apu.tdp_w`` this is exactly the TDP throttle the
+    part's power controller applies; a *node power budget* (see
+    ``repro.fleet``) enforces itself by passing a tighter cap through
+    the same path.
     """
     current = config
-    while not apu.within_tdp(spec, current):
+    while apu.kernel_power(spec, current).total_w > cap_w:
         lowered = _THROTTLE_SPACE.step(current, Knob.CPU, -1)
         if lowered is None:
             lowered = _THROTTLE_SPACE.step(current, Knob.GPU, -1)
@@ -87,6 +92,12 @@ def throttle_to_tdp(apu: APUModel, spec: KernelSpec,
             break
         current = lowered
     return current
+
+
+def throttle_to_tdp(apu: APUModel, spec: KernelSpec,
+                    config: HardwareConfig) -> HardwareConfig:
+    """Clamp a configuration into the TDP (``throttle_to_cap`` at it)."""
+    return throttle_to_cap(apu, spec, config, apu.tdp_w)
 
 
 @dataclass
@@ -104,6 +115,10 @@ class SessionStats:
             runtime degraded to the fail-safe configuration.
         observe_failures: Telemetry deliveries the policy raised on
             (swallowed; the launch record is unaffected).
+        instructions: Total instructions executed across all launches
+            (``instructions / kernel_time_s`` is the session's
+            aggregate throughput, the signal the fleet's budget
+            allocator weighs demand by).
         kernel_time_s: Total kernel execution time.
         overhead_time_s: Total optimizer overhead time charged.
         energy_j: Total chip energy including overheads.
@@ -124,6 +139,7 @@ class SessionStats:
     fail_safe_decisions: int = 0
     fail_safe_fallbacks: int = 0
     observe_failures: int = 0
+    instructions: float = 0.0
     kernel_time_s: float = 0.0
     overhead_time_s: float = 0.0
     energy_j: float = 0.0
@@ -153,6 +169,7 @@ class SessionStats:
         self.fail_safe_decisions += other.fail_safe_decisions
         self.fail_safe_fallbacks += other.fail_safe_fallbacks
         self.observe_failures += other.observe_failures
+        self.instructions += other.instructions
         self.kernel_time_s += other.kernel_time_s
         self.overhead_time_s += other.overhead_time_s
         self.energy_j += other.energy_j
@@ -215,6 +232,15 @@ class SessionRuntime:
         cpu_phase_s: CPU-phase duration that can hide optimizer time
             from the wall clock (Section VI-E); energy is still charged.
         enforce_tdp: Throttle over-TDP configurations before executing.
+        power_budget_w: Optional node power budget (watts).  When set,
+            configurations are throttled under
+            ``min(budget, TDP if enforce_tdp)`` through the same
+            shedding path as the TDP — this is how a fleet node's
+            apportioned budget (``repro.fleet``) reaches every hosted
+            policy.  ``None`` (the default) leaves behaviour exactly
+            as before: TDP-only when ``enforce_tdp``, unconstrained
+            otherwise.  Host property, not migratable session state:
+            a restored session takes the *new* host's budget.
         isolate_faults: When set (the streaming default), a policy
             exception inside ``decide`` degrades the launch to the
             fail-safe configuration and increments
@@ -255,11 +281,14 @@ class SessionRuntime:
         charge_overhead: bool = True,
         obs: Optional[Instrumentation] = None,
         recent_errors_limit: int = RECENT_ERRORS_LIMIT,
+        power_budget_w: Optional[float] = None,
     ) -> None:
         if cpu_phase_s < 0:
             raise ValueError("cpu_phase_s must be non-negative")
         if recent_errors_limit < 1:
             raise ValueError("recent_errors_limit must be >= 1")
+        if power_budget_w is not None and power_budget_w <= 0:
+            raise ValueError("power_budget_w must be positive")
         self.obs = or_noop(obs)
         self.policy = policy
         self.apu = apu if apu is not None else APUModel()
@@ -268,6 +297,7 @@ class SessionRuntime:
         self.manager_config = manager_config
         self.cpu_phase_s = cpu_phase_s
         self.enforce_tdp = enforce_tdp
+        self.power_budget_w = power_budget_w
         self.isolate_faults = isolate_faults
         self.fail_safe = fail_safe
         self.session_id = session_id
@@ -322,6 +352,23 @@ class SessionRuntime:
         if self._result is None:
             return None
         return self._result.base_index + len(self._result.launches)
+
+    @property
+    def effective_cap_w(self) -> Optional[float]:
+        """The power cap launches are throttled under, if any.
+
+        The tighter of the part's TDP (when ``enforce_tdp``) and the
+        node budget (when set); ``None`` when neither constraint is
+        active.
+        """
+        caps = []
+        if self.enforce_tdp:
+            caps.append(self.apu.tdp_w)
+        if self.power_budget_w is not None:
+            caps.append(self.power_budget_w)
+        if not caps:
+            return None
+        return min(caps)
 
     @property
     def sim_time_s(self) -> float:
@@ -407,15 +454,19 @@ class SessionRuntime:
             decision = Decision(config=self.fail_safe, fail_safe=True)
             fallback = True
 
-        # 2. throttle into the TDP, as the part's power controller would.
-        if self.enforce_tdp:
-            throttled = throttle_to_tdp(self.apu, event.spec, decision.config)
+        # 2. throttle under the active power cap (TDP and/or node
+        # budget), as the part's power controller would.
+        cap_w = self.effective_cap_w
+        if cap_w is not None:
+            throttled = throttle_to_cap(self.apu, event.spec,
+                                        decision.config, cap_w)
             if throttled != decision.config:
                 decision = replace(decision, config=throttled)
                 span.annotate("tdp_throttled", True)
                 registry.counter(
                     "repro_runtime_tdp_throttles_total",
-                    "Launches whose configuration was throttled into the TDP",
+                    "Launches whose configuration was throttled into the "
+                    "active power cap (TDP or node budget)",
                 ).inc(session=self.session_id)
 
         # 3. charge the decision's optimizer overhead.
@@ -480,6 +531,7 @@ class SessionRuntime:
         self.stats.model_evaluations += decision.model_evaluations
         if decision.fail_safe and not fallback:
             self.stats.fail_safe_decisions += 1
+        self.stats.instructions += record.instructions
         self.stats.kernel_time_s += record.time_s
         self.stats.overhead_time_s += overhead_time
         self.stats.energy_j += record.energy_j + record.overhead_energy_j

@@ -34,7 +34,11 @@ from repro.workloads.traces.replay import (
     stamp_decisions,
     trace_from_benchmark,
 )
-from repro.workloads.traces.scenarios import FAMILIES, ScenarioGenerator
+from repro.workloads.traces.scenarios import (
+    FAMILIES,
+    ScenarioGenerator,
+    build_serverless,
+)
 
 __all__ = [
     "ASSERTION_METRICS",
@@ -59,4 +63,5 @@ __all__ = [
     "trace_from_benchmark",
     "FAMILIES",
     "ScenarioGenerator",
+    "build_serverless",
 ]

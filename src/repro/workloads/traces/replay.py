@@ -28,7 +28,7 @@ from repro.hardware.apu import APUModel
 from repro.ml.predictors import OraclePredictor, PerfPowerPredictor
 from repro.obs import Instrumentation, make_instrumentation
 from repro.runtime.events import LaunchOutcome
-from repro.runtime.manager import SessionManager
+from repro.runtime.manager import SessionManager, chunk_distinct_sessions
 from repro.runtime.session import SessionStats
 from repro.sim.policy import PowerPolicy
 from repro.sim.simulator import OverheadModel, Simulator
@@ -349,18 +349,10 @@ class TraceReplayer:
         legal ``step_batch`` input and per-session event order is
         preserved across chunks.
         """
-        chunks: List[List[Tuple[int, TraceEvent]]] = []
-        chunk: List[Tuple[int, TraceEvent]] = []
-        sessions: set = set()
-        for position, event in enumerate(self.trace.events):
-            if event.session in sessions:
-                chunks.append(chunk)
-                chunk, sessions = [], set()
-            chunk.append((position, event))
-            sessions.add(event.session)
-        if chunk:
-            chunks.append(chunk)
-        return chunks
+        return chunk_distinct_sessions(
+            list(enumerate(self.trace.events)),
+            key=lambda pair: pair[1].session,
+        )
 
     def replay(self) -> ReplayReport:
         """Run the whole trace; returns the full report."""

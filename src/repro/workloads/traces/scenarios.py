@@ -21,6 +21,11 @@ contract the scenario must provoke:
   the session-routing transparency invariant.
 * ``tdp-storm`` — high-activity compute kernels pinned at the fastest
   configuration with TDP enforcement on: the throttle must engage.
+* ``serverless`` — open-loop serverless arrivals: sessions arrive
+  staggered (not all at t=0), launch in random bursts, and depart when
+  their stream drains — the fleet simulator's canonical workload
+  (:mod:`repro.fleet`), with a parameterized builder
+  (:func:`build_serverless`) the fleet benchmark scales up.
 
 All randomness flows through ``random.Random(f"{seed}:{family}")`` —
 one derived stream per family, so generating a single family or the
@@ -51,7 +56,7 @@ from repro.workloads.traces.format import (
 )
 from repro.workloads.traces.replay import TraceReplayer
 
-__all__ = ["FAMILIES", "ScenarioGenerator"]
+__all__ = ["FAMILIES", "ScenarioGenerator", "build_serverless"]
 
 #: The adversarial scenario families, in generation order.
 FAMILIES = (
@@ -60,6 +65,7 @@ FAMILIES = (
     "mispredict-cascade",
     "bursty",
     "tdp-storm",
+    "serverless",
 )
 
 
@@ -107,6 +113,131 @@ def _events(session: str, *invocations: Sequence[KernelSpec]) -> List[TraceEvent
     return out
 
 
+def build_serverless(
+    rng: random.Random,
+    *,
+    seed: int = 0,
+    sessions: int = 5,
+    invocations: int = 2,
+    predictor: str = "oracle",
+    variety: bool = True,
+    name: str = "serverless",
+    with_assertions: bool = True,
+) -> Trace:
+    """An open-loop serverless arrival trace, parameterized for scale.
+
+    Sessions arrive staggered (each a random gap after the previous
+    arrival), launch in random bursts of 1-4 consecutive events, and
+    depart when their stream drains — the bursty/serverless shape the
+    fleet simulator's placement, admission queue, and epoch budgets
+    are exercised against.
+
+    Args:
+        rng: The derived randomness stream (the seeded-RNG invariant:
+            callers derive it from a seed, never share it).
+        seed: Recorded in the header for provenance only.
+        sessions: Concurrent session count (policies cycle through
+            mpc/ppk/turbo).
+        invocations: Application invocations per session.
+        predictor: Predictor backend for the mpc/ppk sessions.
+        variety: Per-session kernels and targets (the family default).
+            ``False`` draws one kernel pair and computes one Turbo
+            target shared by every session — the benchmark mode, where
+            target computation must not dominate setup at 64 sessions.
+        name: Trace (and file) name.
+        with_assertions: Stamp the coverage contract (disabled by the
+            benchmark, which replays uncounted warm-up slices).
+    """
+    if sessions < 1:
+        raise ValueError("sessions must be at least 1")
+    if invocations < 1:
+        raise ValueError("invocations must be at least 1")
+    kinds = ("mpc", "ppk", "turbo")
+    shared_compute = _compute_kernel("svl-c", rng)
+    shared_memory = _memory_kernel("svl-m", rng)
+    shared_target = (
+        None
+        if variety
+        else _turbo_target([shared_compute, shared_memory] * 3, name)
+    )
+
+    specs: List[SessionSpec] = []
+    streams: Dict[str, List[TraceEvent]] = {}
+    for ordinal in range(sessions):
+        session = f"fn-{ordinal}"
+        kind = kinds[ordinal % len(kinds)]
+        if variety:
+            compute = _compute_kernel(f"svl-c{ordinal}", rng)
+            memory = _memory_kernel(f"svl-m{ordinal}", rng)
+        else:
+            compute, memory = shared_compute, shared_memory
+        invocation = [compute, memory] * 3
+        if kind == "turbo":
+            policy = PolicySpec(kind="turbo")
+        else:
+            target = (
+                shared_target
+                if shared_target is not None
+                else _turbo_target(invocation, session)
+            )
+            policy = PolicySpec(
+                kind=kind, target_throughput=target, predictor=predictor
+            )
+        specs.append(
+            SessionSpec(session_id=session, app_name=session, policy=policy)
+        )
+        streams[session] = _events(session, *([invocation] * invocations))
+
+    # Open-loop arrivals: session k becomes eligible only after its
+    # arrival position in the merged stream; launches then interleave
+    # in bursts among the arrived-and-pending sessions.
+    arrivals: Dict[str, int] = {}
+    position = 0
+    for spec in specs:
+        arrivals[spec.session_id] = position
+        position += rng.randint(1, 8)
+    interleaved: List[TraceEvent] = []
+    pending = {sid: list(events) for sid, events in streams.items()}
+    while any(pending.values()):
+        eligible = sorted(
+            sid
+            for sid, queue in pending.items()
+            if queue and arrivals[sid] <= len(interleaved)
+        )
+        if not eligible:
+            # Arrival gap: the earliest future arrival opens the lull.
+            eligible = [
+                min(
+                    (sid for sid, queue in pending.items() if queue),
+                    key=lambda sid: (arrivals[sid], sid),
+                )
+            ]
+        choice = rng.choice(eligible)
+        for _ in range(rng.randint(1, 4)):
+            if not pending[choice]:
+                break
+            interleaved.append(pending[choice].pop(0))
+
+    total = float(sum(len(events) for events in streams.values()))
+    assertions = ()
+    if with_assertions:
+        assertions = (
+            CoverageAssertion("sessions", "==", float(sessions)),
+            CoverageAssertion("launches", "==", total),
+            CoverageAssertion("runs", "==", float(sessions * invocations)),
+            CoverageAssertion("mpc_decisions", ">=", 1.0),
+            CoverageAssertion("distinct_configs", ">=", 2.0),
+        )
+    header = TraceHeader(
+        name=name,
+        source=f"generator:serverless seed={seed}",
+        seed=seed,
+        sessions=tuple(specs),
+        assertions=assertions,
+    )
+    return Trace(header=header, events=tuple(interleaved)).ensure_valid()
+
+
 class ScenarioGenerator:
     """Deterministic adversarial-trace factory.
 
@@ -124,6 +255,7 @@ class ScenarioGenerator:
             "mispredict-cascade": self._mispredict_cascade,
             "bursty": self._bursty,
             "tdp-storm": self._tdp_storm,
+            "serverless": self._serverless,
         }
 
     # ----- public API ------------------------------------------------------
@@ -379,6 +511,10 @@ class ScenarioGenerator:
             ),
         )
         return Trace(header=header, events=tuple(interleaved))
+
+    def _serverless(self, rng: random.Random) -> Trace:
+        """Open-loop serverless arrivals (family defaults)."""
+        return build_serverless(rng, seed=self.seed)
 
     def _tdp_storm(self, rng: random.Random) -> Trace:
         """High-activity kernels pinned at the fastest configuration."""

@@ -1,0 +1,32 @@
+"""RL013 fixture: allocators missing the conservation assertion."""
+
+import math
+
+
+class UncheckedAllocator:
+    """No assertion anywhere on the apportion path."""
+
+    def __init__(self, cap_w):
+        self.cap_w = cap_w
+
+    def apportion(self, demands):
+        return {d.node_id: self.cap_w / len(demands) for d in demands}
+
+
+class WrongAssertAllocator:
+    """Has an assert, but it neither sums nor bounds the budgets."""
+
+    def __init__(self, cap_w):
+        self.cap_w = cap_w
+
+    def apportion(self, demands):
+        assert demands, "empty demand vector"
+        budgets = {d.node_id: self.cap_w / len(demands) for d in demands}
+        return self._finalize(budgets)
+
+    def _finalize(self, budgets):
+        # Sums without bounding: max() is not a conservation check and
+        # the comparison is strict-greater, not a <= cap bound.
+        assert max(budgets.values()) > 0
+        total = math.fsum(budgets.values())
+        return budgets if total else {}

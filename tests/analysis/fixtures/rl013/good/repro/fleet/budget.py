@@ -1,0 +1,42 @@
+"""RL013 fixture: allocators whose apportion paths carry the assertion."""
+
+import math
+
+
+class DirectAllocator:
+    """Asserts conservation directly inside apportion."""
+
+    def __init__(self, cap_w):
+        self.cap_w = cap_w
+
+    def apportion(self, demands):
+        budgets = {d.node_id: self.cap_w / len(demands) for d in demands}
+        assert math.fsum(budgets.values()) <= self.cap_w
+        return budgets
+
+
+class HelperAllocator:
+    """Asserts conservation in a same-class helper apportion calls."""
+
+    def __init__(self, cap_w):
+        self.cap_w = cap_w
+
+    def apportion(self, demands):
+        budgets = {d.node_id: self.cap_w / len(demands) for d in demands}
+        return self._finalize(budgets)
+
+    def _finalize(self, budgets):
+        return _checked(budgets, self.cap_w)
+
+
+def _checked(budgets, cap_w):
+    """Module-level tail of the apportion path (two hops from entry)."""
+    assert sum(budgets.values()) <= cap_w, "conservation violated"
+    return budgets
+
+
+class NotAnAllocator:
+    """No apportion method: out of the rule's scope entirely."""
+
+    def divide(self, demands):
+        return {d.node_id: 0.0 for d in demands}

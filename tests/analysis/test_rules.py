@@ -153,6 +153,32 @@ def test_rl008_real_trace_format_covers_kernel_fields():
     assert result.findings == []
 
 
+def test_rl013_flags_unasserted_apportion_paths():
+    result = lint_fixture("rl013/bad")
+    findings = _by_rule(result, "RL013")
+    assert len(findings) == 2
+    messages = " ".join(f.message for f in findings)
+    # No assert at all, and an assert that neither sums nor bounds.
+    assert "UncheckedAllocator.apportion" in messages
+    assert "WrongAssertAllocator.apportion" in messages
+    assert all(f.path.endswith("budget.py") for f in findings)
+
+
+def test_rl013_allows_asserted_apportion_paths():
+    """Direct asserts and helper-chain asserts both satisfy the rule."""
+    assert lint_fixture("rl013/good").findings == []
+
+
+def test_rl013_real_allocator_carries_the_assertion():
+    """The shipped BudgetAllocator.apportion stays covered (RL013 clean)."""
+    result = run_lint(
+        [str(REPO_ROOT / "src" / "repro" / "fleet")],
+        select=["RL013"],
+        root=str(REPO_ROOT),
+    )
+    assert result.findings == []
+
+
 def test_shipped_tree_is_clean():
     """The acceptance bar: ``repro lint src`` exits 0 on the repo itself."""
     result = run_lint([str(REPO_ROOT / "src")], root=str(REPO_ROOT))

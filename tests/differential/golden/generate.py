@@ -15,7 +15,12 @@ import os
 from repro.workloads.traces import ScenarioGenerator, stamp_decisions
 
 #: Families pinned as golden traces (seed 0).
-GOLDEN_FAMILIES = ("phase-shift", "input-storm", "mispredict-cascade")
+GOLDEN_FAMILIES = (
+    "phase-shift",
+    "input-storm",
+    "mispredict-cascade",
+    "serverless",
+)
 
 GOLDEN_DIR = os.path.dirname(os.path.abspath(__file__))
 

@@ -1,0 +1,143 @@
+"""Property tests for the hierarchical budget allocator.
+
+Conservation, min-floor, and headroom-reclaim must hold for *any*
+demand vector, so these tests sweep seeded random load vectors rather
+than hand-picked cases; the fixed seed keeps every run identical.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.fleet import BudgetAllocator, NodeDemand
+
+pytestmark = pytest.mark.fleet
+
+
+def random_demands(rng, n):
+    """One random demand vector: mixed idle/moderate/saturated nodes."""
+    demands = []
+    for i in range(n):
+        kind = rng.random()
+        if kind < 0.25:
+            power = 0.0
+        elif kind < 0.75:
+            power = rng.uniform(1.0, 120.0)
+        else:
+            power = rng.uniform(120.0, 500.0)
+        demands.append(NodeDemand(node_id=f"node-{i}", power_w=power))
+    return demands
+
+
+def random_allocator(rng):
+    return BudgetAllocator(
+        rng.uniform(20.0, 800.0),
+        min_floor_w=rng.uniform(1.0, 40.0),
+        headroom_frac=rng.uniform(0.0, 1.0),
+    )
+
+
+def test_conservation_and_floor_hold_for_random_load_vectors():
+    """sum(budgets) <= cap and budget >= feasible floor, always."""
+    rng = random.Random(0x5EED)
+    for _ in range(300):
+        allocator = random_allocator(rng)
+        demands = random_demands(rng, rng.randint(1, 16))
+        budgets = allocator.apportion(demands)
+        assert set(budgets) == {d.node_id for d in demands}
+        total = math.fsum(budgets.values())
+        assert total <= allocator.cap_w
+        floor = min(allocator.min_floor_w, allocator.cap_w / len(demands))
+        for watts in budgets.values():
+            assert watts >= floor * (1.0 - 1e-9)
+
+
+def test_full_cap_is_apportioned_when_any_node_is_busy():
+    """Reclaim leaves no watts stranded: the cap is spent (to 1e-12)."""
+    rng = random.Random(0xCAFE)
+    for _ in range(200):
+        allocator = random_allocator(rng)
+        demands = random_demands(rng, rng.randint(1, 12))
+        budgets = allocator.apportion(demands)
+        total = math.fsum(budgets.values())
+        # Under- or over-subscribed, the leftover/spare split always
+        # hands out the whole cap; only the defensive 1e-12 shave and
+        # float rounding separate the sum from it.
+        assert total == pytest.approx(allocator.cap_w, rel=1e-9)
+
+
+def test_reclaim_routes_headroom_to_busy_nodes_pro_rata():
+    allocator = BudgetAllocator(100.0, min_floor_w=10.0, headroom_frac=0.0)
+    budgets = allocator.apportion(
+        [
+            NodeDemand("busy", power_w=40.0),
+            NodeDemand("half", power_w=10.0),
+            NodeDemand("idle", power_w=0.0),
+        ]
+    )
+    # Requests are 40 + 10 + floor(10) = 60; the 40 W leftover goes to
+    # the busy nodes 4:1 and the idle node keeps exactly its floor.
+    assert budgets["idle"] == pytest.approx(10.0)
+    assert budgets["busy"] == pytest.approx(40.0 + 32.0)
+    assert budgets["half"] == pytest.approx(10.0 + 8.0)
+
+
+def test_oversubscription_scales_above_floor_shares():
+    allocator = BudgetAllocator(100.0, min_floor_w=10.0, headroom_frac=0.0)
+    budgets = allocator.apportion(
+        [
+            NodeDemand("a", power_w=190.0),
+            NodeDemand("b", power_w=100.0),
+            NodeDemand("c", power_w=0.0),
+        ]
+    )
+    # Floors (3 x 10) are sacred; the 70 W spare splits by above-floor
+    # request: a gets 180/270, b gets 90/270, c stays at its floor.
+    assert budgets["c"] == pytest.approx(10.0)
+    assert budgets["a"] == pytest.approx(10.0 + 70.0 * 180.0 / 270.0)
+    assert budgets["b"] == pytest.approx(10.0 + 70.0 * 90.0 / 270.0)
+    assert math.fsum(budgets.values()) <= 100.0
+
+
+def test_floor_is_feasibility_clamped_at_scale():
+    """At 20 nodes a 10 W floor would oversubscribe a 100 W cap."""
+    allocator = BudgetAllocator(100.0, min_floor_w=10.0)
+    demands = [NodeDemand(f"n{i}", power_w=0.0) for i in range(20)]
+    budgets = allocator.apportion(demands)
+    assert math.fsum(budgets.values()) <= 100.0
+    for watts in budgets.values():
+        assert watts == pytest.approx(5.0)
+
+
+def test_apportion_is_deterministic():
+    rng = random.Random(7)
+    allocator = random_allocator(rng)
+    demands = random_demands(rng, 9)
+    assert allocator.apportion(demands) == allocator.apportion(demands)
+
+
+def test_empty_demand_vector_is_empty():
+    assert BudgetAllocator(100.0).apportion([]) == {}
+
+
+def test_duplicate_node_ids_are_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        BudgetAllocator(100.0).apportion(
+            [NodeDemand("a"), NodeDemand("a")]
+        )
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"cap_w": 0.0},
+        {"cap_w": -5.0},
+        {"cap_w": 100.0, "min_floor_w": 0.0},
+        {"cap_w": 100.0, "headroom_frac": -0.1},
+    ],
+)
+def test_invalid_parameters_are_rejected(kwargs):
+    cap_w = kwargs.pop("cap_w")
+    with pytest.raises(ValueError):
+        BudgetAllocator(cap_w, **kwargs)

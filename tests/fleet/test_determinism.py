@@ -1,0 +1,63 @@
+"""The fleet determinism contract.
+
+Same seed + same shard count => identical per-session decisions,
+placement, and per-epoch budgets — run to run, and transport to
+transport.
+"""
+
+import pytest
+
+from repro.fleet import FleetSimulator
+
+pytestmark = pytest.mark.fleet
+
+
+def fingerprint(report):
+    return (
+        report.decisions,
+        report.placement,
+        [(e.epoch, e.launches, e.budgets) for e in report.epochs],
+        {sid: stats for sid, stats in report.stats.items()},
+    )
+
+
+def test_same_seed_same_shards_is_identical(corpus):
+    trace = corpus["serverless"]
+    first = FleetSimulator(
+        trace, nodes=3, cap_w=150.0, epoch_launches=8
+    ).run()
+    second = FleetSimulator(
+        trace, nodes=3, cap_w=150.0, epoch_launches=8
+    ).run()
+    assert fingerprint(first) == fingerprint(second)
+
+
+def test_regenerated_trace_reproduces_the_fleet_run(corpus):
+    """The workload seed pins the whole fleet, not just the trace."""
+    from repro.workloads.traces import ScenarioGenerator
+
+    regenerated = ScenarioGenerator(seed=0).generate("serverless")
+    first = FleetSimulator(
+        corpus["serverless"], nodes=2, cap_w=120.0, epoch_launches=8
+    ).run()
+    second = FleetSimulator(
+        regenerated, nodes=2, cap_w=120.0, epoch_launches=8
+    ).run()
+    assert fingerprint(first) == fingerprint(second)
+
+
+def test_process_transport_matches_inline(corpus):
+    """The worker-process shard protocol is observably the inline one."""
+    trace = corpus["serverless"]
+    inline = FleetSimulator(
+        trace, nodes=2, cap_w=150.0, epoch_launches=16
+    ).run()
+    process = FleetSimulator(
+        trace, nodes=2, cap_w=150.0, epoch_launches=16, transport="process"
+    ).run()
+    assert fingerprint(process) == fingerprint(inline)
+    # Merged node metrics agree too (e.g. throttle counts).
+    name = "repro_runtime_tdp_throttles_total"
+    assert process.registry.counter(name).total() == inline.registry.counter(
+        name
+    ).total()

@@ -1,0 +1,84 @@
+"""Migration: snapshot/restore moves sessions without moving decisions."""
+
+import pytest
+
+from repro.fleet import FleetSimulator
+from repro.fleet.node import FleetNode
+
+from tests.fleet.conftest import build_schedule_trace
+
+pytestmark = pytest.mark.fleet
+
+#: a and c (long-lived) land on node-0, b and d (short-lived) on
+#: node-1; b and d finish inside epoch 1, leaving loads 2 vs 0 — the
+#: >=2 imbalance that triggers one rebalance migration.
+IMBALANCE = (
+    ["a", "b", "c", "d"] * 4  # epoch 1: b and d run their 4 launches
+    + ["a", "c"] * 10         # the survivors keep node-0 busy
+)
+
+
+def test_rebalance_migrates_without_changing_decisions():
+    trace = build_schedule_trace(IMBALANCE)
+    baseline = FleetSimulator(trace, nodes=2, epoch_launches=16).run()
+    rebalanced = FleetSimulator(
+        trace, nodes=2, epoch_launches=16, rebalance=True
+    ).run()
+    migrations = rebalanced.registry.counter(
+        "repro_fleet_migrations_total"
+    ).total()
+    assert migrations == 1
+    # a (lexicographically first on the loaded node) moved to node-1.
+    assert baseline.placement["a"] == "node-0"
+    assert rebalanced.placement["a"] == "node-1"
+    # Placement invariance: the migrated session's decisions — and
+    # everyone else's — are float-for-float the baseline's.
+    assert rebalanced.decisions == baseline.decisions
+    assert rebalanced.stats == baseline.stats
+
+
+def test_rebalance_is_idle_on_balanced_fleets():
+    trace = build_schedule_trace(["a", "b"] * 8)
+    report = FleetSimulator(
+        trace, nodes=2, epoch_launches=4, rebalance=True
+    ).run()
+    assert report.registry.counter(
+        "repro_fleet_migrations_total"
+    ).total() == 0
+
+
+def test_node_snapshot_restore_resumes_mid_run():
+    """A session moved between nodes mid-stream decides as if it never
+    moved (the placement-invariance foundation, node-level)."""
+    trace = build_schedule_trace(["s"] * 8, name="migrate-mini")
+    spec = trace.session("s")
+    kernels = trace.unique_kernels("s")
+    events = [(e.index, e.session, e.spec.key) for e in trace.events]
+
+    stay = FleetNode("stay")
+    stay.add_session(spec, kernels)
+    expected = stay.step(events)
+
+    source = FleetNode("source")
+    source.add_session(spec, kernels)
+    first_half = source.step(events[:4])
+    payload = source.snapshot_session("s")
+    source.remove_session("s")
+    assert source.session_ids() == []
+
+    target = FleetNode("target")
+    target.restore_session(payload)
+    second_half = target.step(events[4:])
+    assert first_half + second_half == expected
+
+
+def test_restore_failure_leaves_no_half_registered_session():
+    trace = build_schedule_trace(["s"] * 4, name="migrate-bad")
+    node = FleetNode("n")
+    node.add_session(trace.session("s"), trace.unique_kernels("s"))
+    payload = node.snapshot_session("s")
+    node.remove_session("s")
+    payload["session"] = {"schema": 999}  # unrecognisable snapshot
+    with pytest.raises(Exception):
+        node.restore_session(payload)
+    assert node.session_ids() == []
